@@ -1,0 +1,125 @@
+// dce-bisect locates the version-history commit that made a compiler stop
+// eliminating a dead marker (paper §4.2, "Missed optimization diversity").
+//
+// Usage:
+//
+//	dce-bisect -seed 42 -marker DCEMarker7 -compiler gcc -level O3
+//	dce-bisect -file case.c -marker DCEMarker0 -compiler llvm
+//	dce-bisect -history gcc        # just print the synthetic history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcelens"
+	"dcelens/internal/pipeline"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "generator seed")
+	file := flag.String("file", "", "already-instrumented MiniC source file")
+	marker := flag.String("marker", "", "marker that is missed at the latest version")
+	compiler := flag.String("compiler", "gcc", "gcc or llvm")
+	level := flag.String("level", "O3", "optimization level")
+	history := flag.String("history", "", "print the commit history of gcc or llvm and exit")
+	flag.Parse()
+
+	if *history != "" {
+		p := personality(*history)
+		for i, c := range pipeline.History(p) {
+			reg := "   "
+			if c.Regression {
+				reg = "[R]"
+			}
+			fmt.Printf("%2d %s %s %-32s %s\n", i+1, reg, c.ID, c.Component, c.Desc)
+		}
+		return
+	}
+	if *marker == "" {
+		fmt.Fprintln(os.Stderr, "dce-bisect: -marker is required")
+		os.Exit(2)
+	}
+
+	var ins *dcelens.Instrumented
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := dcelens.Parse(string(data))
+		if err != nil {
+			fail(err)
+		}
+		ins = adopt(prog)
+	case *seed >= 0:
+		prog := dcelens.Generate(*seed)
+		var err error
+		ins, err = dcelens.Instrument(prog)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dce-bisect: need -seed or -file")
+		os.Exit(2)
+	}
+
+	out, err := dcelens.BisectRegression(ins, personality(*compiler), parseLevel(*level), *marker)
+	if err != nil {
+		fail(err)
+	}
+	c := out.Commit
+	fmt.Printf("first bad commit: %s (#%d in %s history)\n", c.ID, out.CommitIndex, *compiler)
+	fmt.Printf("  component: %s\n", c.Component)
+	fmt.Printf("  files:     %v\n", c.Files)
+	fmt.Printf("  subject:   %s\n", c.Desc)
+}
+
+// adopt treats explicit DCEMarker declarations in a hand-written file as
+// the marker table.
+func adopt(p *dcelens.Program) *dcelens.Instrumented {
+	ins := &dcelens.Instrumented{Prog: p}
+	for _, f := range p.Funcs() {
+		if f.Body == nil && dcelens.IsMarker(f.Name) {
+			ins.Markers = append(ins.Markers, dcelens.Marker{ID: len(ins.Markers), Name: f.Name})
+		}
+	}
+	return ins
+}
+
+func personality(name string) pipeline.Personality {
+	switch name {
+	case "gcc":
+		return pipeline.GCC
+	case "llvm":
+		return pipeline.LLVM
+	}
+	fmt.Fprintf(os.Stderr, "dce-bisect: unknown compiler %q\n", name)
+	os.Exit(2)
+	return ""
+}
+
+func parseLevel(s string) dcelens.Level {
+	switch s {
+	case "O0":
+		return dcelens.O0
+	case "O1":
+		return dcelens.O1
+	case "Os":
+		return dcelens.Os
+	case "O2":
+		return dcelens.O2
+	case "O3":
+		return dcelens.O3
+	}
+	fmt.Fprintf(os.Stderr, "dce-bisect: unknown level %q\n", s)
+	os.Exit(2)
+	return dcelens.O0
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dce-bisect:", err)
+	os.Exit(1)
+}

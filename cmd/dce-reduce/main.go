@@ -1,0 +1,111 @@
+// dce-reduce shrinks a missed-optimization test case while it keeps
+// reproducing (the C-Reduce role, paper §4.3): the named marker must stay
+// dead in ground truth, the target compiler must keep missing it, and the
+// reference compiler must keep eliminating it.
+//
+// Usage:
+//
+//	dce-reduce -seed 42 -marker DCEMarker7 -target gcc -reference llvm
+//	dce-reduce -file case.c -marker DCEMarker0 -target llvm -level O3 -reflevel O2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcelens"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "generator seed (program is generated and instrumented)")
+	file := flag.String("file", "", "already-instrumented MiniC source file")
+	marker := flag.String("marker", "", "marker to preserve (required)")
+	target := flag.String("target", "gcc", "compiler that misses the marker: gcc or llvm")
+	reference := flag.String("reference", "", "compiler that eliminates it: gcc, llvm, or empty for same-compiler level diff")
+	level := flag.String("level", "O3", "target optimization level")
+	refLevel := flag.String("reflevel", "O1", "reference level for same-compiler reduction")
+	checks := flag.Int("checks", 3000, "interestingness-test budget")
+	flag.Parse()
+
+	if *marker == "" {
+		fmt.Fprintln(os.Stderr, "dce-reduce: -marker is required")
+		os.Exit(2)
+	}
+
+	var prog *dcelens.Program
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		p, err := dcelens.Parse(string(data))
+		if err != nil {
+			fail(err)
+		}
+		prog = p
+	case *seed >= 0:
+		ins, err := dcelens.Instrument(dcelens.Generate(*seed))
+		if err != nil {
+			fail(err)
+		}
+		prog = ins.Prog
+	default:
+		fmt.Fprintln(os.Stderr, "dce-reduce: need -seed or -file")
+		os.Exit(2)
+	}
+
+	targetCfg := mkCompiler(*target, parseLevel(*level))
+	var refCfg *dcelens.Compiler
+	if *reference != "" {
+		refCfg = mkCompiler(*reference, dcelens.O3)
+	} else {
+		refCfg = mkCompiler(*target, parseLevel(*refLevel))
+	}
+
+	test := dcelens.MissedInterestingness(*marker, targetCfg, refCfg)
+	if !test(prog) {
+		fmt.Fprintln(os.Stderr, "dce-reduce: the input does not exhibit the requested miss")
+		os.Exit(1)
+	}
+	res := dcelens.Reduce(prog, test, dcelens.ReduceOptions{MaxChecks: *checks})
+	fmt.Fprintf(os.Stderr, "reduced %d -> %d AST nodes in %d rounds (%d checks)\n",
+		res.NodesBefore, res.NodesAfter, res.Rounds, res.Checks)
+	fmt.Println(dcelens.Print(res.Program))
+}
+
+func mkCompiler(name string, lvl dcelens.Level) *dcelens.Compiler {
+	switch name {
+	case "gcc":
+		return dcelens.GCC(lvl)
+	case "llvm":
+		return dcelens.LLVM(lvl)
+	}
+	fmt.Fprintf(os.Stderr, "dce-reduce: unknown compiler %q\n", name)
+	os.Exit(2)
+	return nil
+}
+
+func parseLevel(s string) dcelens.Level {
+	switch s {
+	case "O0":
+		return dcelens.O0
+	case "O1":
+		return dcelens.O1
+	case "Os":
+		return dcelens.Os
+	case "O2":
+		return dcelens.O2
+	case "O3":
+		return dcelens.O3
+	}
+	fmt.Fprintf(os.Stderr, "dce-reduce: unknown level %q\n", s)
+	os.Exit(2)
+	return dcelens.O0
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dce-reduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// dce-report regenerates the paper's evaluation tables from a fresh
+// campaign: dead-block prevalence (§4.1), Tables 1 and 2, the §4.2
+// differential counts, the Table 3/4 component categorizations (via
+// bisection of level regressions), and the Table 5 triage model (via
+// reduction, deduplication, and the future-fix check).
+//
+// Usage:
+//
+//	dce-report [-n programs] [-seed base] [-triage] [-bisect]
+//
+// Without flags it prints prevalence + Tables 1/2 + differential counts;
+// -bisect adds Tables 3/4; -triage adds Table 5 (slow: it reduces cases).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcelens"
+	"dcelens/internal/bisect"
+	"dcelens/internal/corpus"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/reduce"
+	"dcelens/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 30, "corpus size")
+	seed := flag.Int64("seed", 1, "base seed")
+	doTriage := flag.Bool("triage", false, "reduce + deduplicate + triage findings (Table 5; slow)")
+	doBisect := flag.Bool("bisect", false, "bisect level regressions (Tables 3/4)")
+	maxBisect := flag.Int("max-bisect", 60, "bisection budget per compiler")
+	maxReduce := flag.Int("max-reduce", 12, "reduction budget per compiler for triage")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "running a %d-program campaign...\n", *n)
+	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{Programs: *n, BaseSeed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	if len(c.Stats.Errors) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign errors: %v\n", c.Stats.Errors)
+	}
+	fmt.Print(dcelens.Report(c))
+
+	if *doBisect {
+		fmt.Println()
+		for _, p := range []pipeline.Personality{pipeline.LLVM, pipeline.GCC} {
+			outs, attempted, err := c.BisectRegressions(p, false, *maxBisect)
+			if err != nil {
+				fail(err)
+			}
+			title := fmt.Sprintf("Table 4 analogue (%s): offending components", p)
+			if p == pipeline.LLVM {
+				title = fmt.Sprintf("Table 3 analogue (%s): offending components", p)
+			}
+			fmt.Printf("%s\n(bisected %d level-diff candidates, %d confirmed regressions, %d unique commits)\n",
+				"", attempted, len(outs), bisect.UniqueCommits(outs))
+			fmt.Print(report.ComponentTable(title, bisect.Categorize(outs)))
+			fmt.Println()
+		}
+	}
+
+	if *doTriage {
+		fmt.Fprintln(os.Stderr, "reducing findings for triage (this is the slow part)...")
+		triage := map[pipeline.Personality]*corpus.Triage{}
+		for _, p := range []pipeline.Personality{pipeline.GCC, pipeline.LLVM} {
+			var cases []*corpus.ReducedCase
+			budget := *maxReduce
+			for _, kind := range []corpus.FindingKind{corpus.KindCompilerDiff, corpus.KindLevelDiff} {
+				for _, f := range c.FindingsOf(kind, p, true /* primary */) {
+					if budget == 0 {
+						break
+					}
+					budget--
+					rc, err := c.ReduceFinding(f, reduce.Options{MaxChecks: 500, MaxRounds: 4})
+					if err != nil {
+						fail(err)
+					}
+					cases = append(cases, rc)
+				}
+			}
+			tr, err := corpus.TriageCases(p, cases)
+			if err != nil {
+				fail(err)
+			}
+			triage[p] = tr
+		}
+		fmt.Println()
+		fmt.Print(report.Table5(triage[pipeline.GCC], triage[pipeline.LLVM]))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dce-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,223 @@
+// Package dcelens finds missed compiler optimizations through the lens of
+// dead code elimination, reproducing Theodoridis, Rigger & Su,
+// "Finding Missed Optimizations through the Lens of Dead Code Elimination"
+// (ASPLOS 2022).
+//
+// The package is a facade over the full system: a MiniC frontend and
+// reference interpreter, a Csmith-style program generator, an SSA
+// optimizing middle-end with two compiler personalities (gcc-sim and
+// llvm-sim) plus their synthetic version histories, the marker
+// instrumentation and differential-testing engine, a test-case reducer,
+// and a regression bisector. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quick start:
+//
+//	prog := dcelens.Generate(42)                       // random program
+//	ins, _ := dcelens.Instrument(prog)                 // add DCE markers
+//	truth, _ := dcelens.GroundTruth(ins)               // execute: dead/alive
+//	gcc, _ := dcelens.Compile(ins, dcelens.GCC(dcelens.O3))
+//	llvm, _ := dcelens.Compile(ins, dcelens.LLVM(dcelens.O3))
+//	missed := dcelens.DiffMissed(gcc, llvm, truth)     // gcc's missed markers
+package dcelens
+
+import (
+	"dcelens/internal/ast"
+	"dcelens/internal/bisect"
+	"dcelens/internal/cgen"
+	"dcelens/internal/core"
+	"dcelens/internal/corpus"
+	"dcelens/internal/instrument"
+	"dcelens/internal/parser"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/reduce"
+	"dcelens/internal/report"
+	"dcelens/internal/sema"
+)
+
+// Program is a parsed, type-checked MiniC program.
+type Program = ast.Program
+
+// Instrumented is a program with optimization markers and their table.
+type Instrumented = instrument.Program
+
+// Marker identifies one inserted optimization marker.
+type Marker = instrument.Marker
+
+// Truth is the executed ground truth: which markers are alive or dead.
+type Truth = core.Truth
+
+// Compilation is a compiled program plus its surviving-marker set.
+type Compilation = core.Compilation
+
+// MarkerCFG is the interprocedural marker graph used for primary-marker
+// filtering (paper §3.2).
+type MarkerCFG = core.MarkerCFG
+
+// Compiler is a fully-assembled compiler configuration.
+type Compiler = pipeline.Config
+
+// Level is an optimization level (O0, O1, Os, O2, O3).
+type Level = pipeline.Level
+
+// Optimization levels.
+const (
+	O0 = pipeline.O0
+	O1 = pipeline.O1
+	Os = pipeline.Os
+	O2 = pipeline.O2
+	O3 = pipeline.O3
+)
+
+// Personalities.
+const (
+	PersonalityGCC  = pipeline.GCC
+	PersonalityLLVM = pipeline.LLVM
+)
+
+// GenConfig configures the random program generator.
+type GenConfig = cgen.Config
+
+// ---------------------------------------------------------------------------
+// Programs
+
+// Parse parses and type-checks MiniC source.
+func Parse(src string) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sema.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Print renders a program back to MiniC source.
+func Print(p *Program) string { return ast.Print(p) }
+
+// Generate produces a random, deterministic, input-free MiniC program from
+// a seed, with the default Csmith-like configuration.
+func Generate(seed int64) *Program { return cgen.Generate(cgen.DefaultConfig(seed)) }
+
+// GenerateWith produces a random program from an explicit configuration.
+func GenerateWith(cfg GenConfig) *Program { return cgen.Generate(cfg) }
+
+// DefaultGenConfig returns the evaluation corpus generator configuration.
+func DefaultGenConfig(seed int64) GenConfig { return cgen.DefaultConfig(seed) }
+
+// ---------------------------------------------------------------------------
+// Instrumentation and ground truth
+
+// Instrument inserts an optimization marker into every source basic block
+// (paper step ①). The input program is not modified.
+func Instrument(p *Program) (*Instrumented, error) {
+	return instrument.Instrument(p, instrument.Options{})
+}
+
+// InstrumentValueChecks implements the paper's §4.4 future-work extension:
+// synthesize guaranteed-dead blocks `if (g != C) DCEValueCheckN();` at the
+// end of main, with C recorded by execution. A compiler eliminates such a
+// check exactly when it can prove the global's final value.
+func InstrumentValueChecks(p *Program) (*Instrumented, error) {
+	return instrument.InstrumentValueChecks(p)
+}
+
+// IsMarker reports whether a function name is an optimization marker.
+func IsMarker(name string) bool { return instrument.IsMarker(name) }
+
+// GroundTruth executes the instrumented program and classifies every
+// marker as alive (executed) or dead.
+func GroundTruth(ins *Instrumented) (*Truth, error) { return core.GroundTruth(ins) }
+
+// BuildMarkerCFG derives the interprocedural marker graph for
+// primary-marker filtering.
+func BuildMarkerCFG(ins *Instrumented) (*MarkerCFG, error) { return core.BuildMarkerCFG(ins) }
+
+// ---------------------------------------------------------------------------
+// Compilers
+
+// GCC returns the gcc-sim personality at its latest version.
+func GCC(lvl Level) *Compiler { return pipeline.New(pipeline.GCC, lvl) }
+
+// LLVM returns the llvm-sim personality at its latest version.
+func LLVM(lvl Level) *Compiler { return pipeline.New(pipeline.LLVM, lvl) }
+
+// CompilerAt returns a personality at a historical version (the first
+// `commits` entries of its history applied).
+func CompilerAt(p pipeline.Personality, lvl Level, commits int) *Compiler {
+	return pipeline.AtCommit(p, lvl, commits)
+}
+
+// History returns a personality's synthetic commit history.
+func History(p pipeline.Personality) []pipeline.Commit { return pipeline.History(p) }
+
+// Compile lowers, optimizes, and code-generates the instrumented program,
+// scanning the assembly for surviving markers (paper steps ②-③).
+func Compile(ins *Instrumented, c *Compiler) (*Compilation, error) { return core.Compile(ins, c) }
+
+// DiffMissed returns the dead markers target keeps but reference
+// eliminates: feasible missed optimizations of target (paper §3.1).
+func DiffMissed(target, reference *Compilation, t *Truth) []string {
+	return core.DiffMissed(target, reference, t)
+}
+
+// Analyze compiles and computes missed plus primary-missed markers.
+func Analyze(ins *Instrumented, c *Compiler, t *Truth, g *MarkerCFG) (*core.Analysis, error) {
+	return core.Analyze(ins, c, t, g)
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns, reduction, bisection
+
+// CampaignOptions configures a corpus campaign.
+type CampaignOptions = corpus.Options
+
+// Campaign is a finished corpus run with statistics and findings.
+type Campaign = corpus.Campaign
+
+// Finding is one discovered missed-optimization opportunity.
+type Finding = corpus.Finding
+
+// RunCampaign generates a corpus, compiles every program under every
+// configuration, and aggregates the paper's statistics.
+func RunCampaign(o CampaignOptions) (*Campaign, error) { return corpus.Run(o) }
+
+// ReduceOptions bounds reduction effort.
+type ReduceOptions = reduce.Options
+
+// ReduceResult is a finished reduction.
+type ReduceResult = reduce.Result
+
+// Reduce shrinks a program while the interestingness test keeps holding
+// (the C-Reduce role, paper §4.3).
+func Reduce(p *Program, interesting func(*Program) bool, o ReduceOptions) *ReduceResult {
+	return reduce.Reduce(p, interesting, o)
+}
+
+// MissedInterestingness builds the standard reduction oracle: marker still
+// dead, target still misses it, reference still eliminates it.
+func MissedInterestingness(marker string, target, reference *Compiler) func(*Program) bool {
+	return corpus.InterestingnessFor(marker, target, reference)
+}
+
+// BisectOutcome is one bisected regression.
+type BisectOutcome = bisect.Outcome
+
+// BisectRegression finds the history commit that made the compiler stop
+// eliminating the marker at the given level.
+func BisectRegression(ins *Instrumented, p pipeline.Personality, lvl Level, marker string) (*BisectOutcome, error) {
+	return bisect.Regression(ins, p, lvl, marker)
+}
+
+// Categorize aggregates bisection outcomes into the Table 3/4 component
+// rows.
+func Categorize(outcomes []*BisectOutcome) []bisect.ComponentRow {
+	return bisect.Categorize(outcomes)
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+
+// Report renders the full evaluation summary for a campaign.
+func Report(c *Campaign) string { return report.Summary(c) }

@@ -1,0 +1,53 @@
+// Compare compilers: the §4.2 "Between GCC and LLVM" experiment on a small
+// corpus, with primary-marker filtering and automatic reduction of one
+// finding per direction.
+//
+//	go run ./examples/comparecompilers [programs]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"dcelens"
+	"dcelens/internal/corpus"
+	"dcelens/internal/pipeline"
+)
+
+func main() {
+	n := 15
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			n = v
+		}
+	}
+	fmt.Printf("running a %d-program campaign (both compilers, all levels)...\n", n)
+	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{Programs: n, BaseSeed: 1000})
+	check(err)
+	fmt.Println()
+	fmt.Print(dcelens.Report(c))
+
+	// Reduce one primary compiler-diff finding per personality, like the
+	// paper reduces before reporting.
+	fmt.Println("\nreducing one primary finding per compiler:")
+	for _, p := range []pipeline.Personality{pipeline.GCC, pipeline.LLVM} {
+		findings := c.FindingsOf(corpus.KindCompilerDiff, p, true /* primary only */)
+		if len(findings) == 0 {
+			fmt.Printf("  %s: no primary compiler-diff findings in this corpus\n", p)
+			continue
+		}
+		f := findings[0]
+		rc, err := c.ReduceFinding(f, dcelens.ReduceOptions{MaxChecks: 1500, MaxRounds: 6})
+		check(err)
+		fmt.Printf("\n--- reduced case for %s (marker %s, seed %d), %d AST nodes ---\n%s\n",
+			f.Personality, f.Marker, f.Seed, rc.Nodes, rc.Source)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Regression hunt: the §4.2 "Between optimization levels" experiment —
+// find markers eliminated at -O1/-O2 but missed at -O3, bisect each
+// regression to the offending commit, and print the Table 3/4 style
+// component categorization.
+//
+//	go run ./examples/regressionhunt [programs]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"dcelens"
+	"dcelens/internal/bisect"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/report"
+)
+
+func main() {
+	n := 20
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			n = v
+		}
+	}
+	fmt.Printf("hunting level regressions over %d programs...\n\n", n)
+	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{Programs: n, BaseSeed: 5000})
+	check(err)
+
+	for _, p := range []pipeline.Personality{pipeline.GCC, pipeline.LLVM} {
+		missed := c.Stats.LevelMissed[p]
+		primary := c.Stats.LevelPrimary[p]
+		fmt.Printf("%s: %d markers eliminated at -O1/-O2 but missed at -O3 (%d primary)\n",
+			p, missed, primary)
+		if missed == 0 {
+			continue
+		}
+		outcomes, attempted, err := c.BisectRegressions(p, false /* all, not just primary */, 40)
+		check(err)
+		fmt.Printf("  bisected %d candidates: %d are regressions, %d unique offending commits\n",
+			attempted, len(outcomes), bisect.UniqueCommits(outcomes))
+		for _, o := range dedupeByCommit(outcomes) {
+			fmt.Printf("    %s %-28s %s\n", o.Commit.ID, o.Commit.Component, o.Commit.Desc)
+		}
+		title := "Table 4 analogue: offending GCC components"
+		if p == pipeline.LLVM {
+			title = "Table 3 analogue: offending LLVM components"
+		}
+		fmt.Println()
+		fmt.Print(report.ComponentTable(title, bisect.Categorize(outcomes)))
+		fmt.Println()
+	}
+}
+
+func dedupeByCommit(outs []*bisect.Outcome) []*bisect.Outcome {
+	seen := map[string]bool{}
+	var uniq []*bisect.Outcome
+	for _, o := range outs {
+		if !seen[o.Commit.ID] {
+			seen[o.Commit.ID] = true
+			uniq = append(uniq, o)
+		}
+	}
+	return uniq
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module dcelens
+
+go 1.22

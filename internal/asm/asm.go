@@ -1,0 +1,237 @@
+// Package asm emits textual pseudo-assembly from the IR and scans it for
+// surviving optimization markers.
+//
+// The paper's oracle observes exactly one thing: whether `call DCEMarkerN`
+// appears in the compiled output (§3.1). This backend therefore does not
+// allocate physical registers or schedule instructions; it produces an
+// x86-flavoured listing with virtual registers in which every surviving
+// call appears as a `call <name>` line, every global as a data-section
+// symbol, and every block as a local label. Unreachable blocks are not
+// emitted (no code generator emits them), so -O0's trivial frontend folding
+// already eliminates some markers, as the paper measures.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcelens/internal/ir"
+	"dcelens/internal/token"
+)
+
+// Emit renders the module as pseudo-assembly.
+func Emit(m *ir.Module) string {
+	var sb strings.Builder
+	sb.WriteString("\t.text\n")
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		emitFunc(&sb, f)
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteString("\t.data\n")
+		for _, g := range m.Globals {
+			emitGlobal(&sb, g)
+		}
+	}
+	return sb.String()
+}
+
+func emitGlobal(sb *strings.Builder, g *ir.Global) {
+	if !g.Internal {
+		fmt.Fprintf(sb, "\t.globl %s\n", g.Name)
+	}
+	fmt.Fprintf(sb, "%s:\n", mangle(g.Name))
+	size := g.Elem.Size()
+	directive := map[int]string{1: ".byte", 2: ".short", 4: ".long", 8: ".quad"}[size]
+	for i := 0; i < g.Len; i++ {
+		var c ir.Const
+		if i < len(g.Init) {
+			c = g.Init[i]
+		}
+		if c.IsAddr {
+			if c.Global == nil {
+				fmt.Fprintf(sb, "\t.quad 0\n")
+			} else if c.Off != 0 {
+				fmt.Fprintf(sb, "\t.quad %s+%d\n", mangle(c.Global.Name), c.Off*int64(c.Global.Elem.Size()))
+			} else {
+				fmt.Fprintf(sb, "\t.quad %s\n", mangle(c.Global.Name))
+			}
+		} else {
+			fmt.Fprintf(sb, "\t%s %d\n", directive, c.Int)
+		}
+	}
+}
+
+// mangle keeps symbol names assembler-friendly (hoisted statics contain
+// dots already, which is fine for local symbols; spaces are not possible).
+func mangle(name string) string { return name }
+
+func emitFunc(sb *strings.Builder, f *ir.Func) {
+	if !f.Internal {
+		fmt.Fprintf(sb, "\t.globl %s\n", f.Name)
+	}
+	fmt.Fprintf(sb, "%s:\n", f.Name)
+
+	// Deterministic code layout: reverse postorder of reachable blocks.
+	blocks := f.ReversePostorder()
+	emitted := map[*ir.Block]bool{}
+	label := func(b *ir.Block) string { return fmt.Sprintf(".L%s_%d", f.Name, b.ID) }
+
+	for idx, b := range blocks {
+		emitted[b] = true
+		fmt.Fprintf(sb, "%s:\n", label(b))
+		for _, in := range b.Instrs {
+			emitInstr(sb, f, in, label, idx+1 < len(blocks), blocks, idx)
+		}
+	}
+	sb.WriteString("\n")
+}
+
+func reg(in *ir.Instr) string { return fmt.Sprintf("%%v%d", in.ID) }
+
+func emitInstr(sb *strings.Builder, f *ir.Func, in *ir.Instr, label func(*ir.Block) string, hasNext bool, blocks []*ir.Block, idx int) {
+	switch in.Op {
+	case ir.OpConst:
+		fmt.Fprintf(sb, "\tmov $%d, %s\n", in.IntVal, reg(in))
+	case ir.OpNull:
+		fmt.Fprintf(sb, "\txor %s, %s\n", reg(in), reg(in))
+	case ir.OpGlobalAddr:
+		fmt.Fprintf(sb, "\tlea %s(%%rip), %s\n", mangle(in.Global.Name), reg(in))
+	case ir.OpParam:
+		fmt.Fprintf(sb, "\tmov %s, %s\n", paramReg(in.ParamIdx), reg(in))
+	case ir.OpAlloca:
+		fmt.Fprintf(sb, "\tlea -%d(%%rbp), %s\n", 8*(in.ID+1), reg(in))
+	case ir.OpPhi:
+		// Phis are resolved by the (virtual) register copies implied on
+		// each incoming edge; document the join for readability.
+		fmt.Fprintf(sb, "\t# phi %s\n", reg(in))
+	case ir.OpBin:
+		fmt.Fprintf(sb, "\t%s %s, %s, %s\n", mnemonic(in.BinOp), reg(in.Args[0]), reg(in.Args[1]), reg(in))
+	case ir.OpCast:
+		fmt.Fprintf(sb, "\tmovsx %s, %s\n", reg(in.Args[0]), reg(in))
+	case ir.OpGEP:
+		fmt.Fprintf(sb, "\tlea (%s,%s,%d), %s\n", reg(in.Args[0]), reg(in.Args[1]), in.Typ.Elem.Size(), reg(in))
+	case ir.OpSelect:
+		fmt.Fprintf(sb, "\ttest %s, %s\n", reg(in.Args[0]), reg(in.Args[0]))
+		fmt.Fprintf(sb, "\tcmovnz %s, %s\n", reg(in.Args[1]), reg(in))
+		fmt.Fprintf(sb, "\tcmovz %s, %s\n", reg(in.Args[2]), reg(in))
+	case ir.OpLoad:
+		fmt.Fprintf(sb, "\tmov (%s), %s\n", reg(in.Args[0]), reg(in))
+	case ir.OpStore:
+		fmt.Fprintf(sb, "\tmov %s, (%s)\n", reg(in.Args[1]), reg(in.Args[0]))
+	case ir.OpCall:
+		for i, a := range in.Args {
+			fmt.Fprintf(sb, "\tmov %s, %s\n", reg(a), paramReg(i))
+		}
+		fmt.Fprintf(sb, "\tcall %s\n", in.Callee.Name)
+		if in.Typ != nil {
+			fmt.Fprintf(sb, "\tmov %%rax, %s\n", reg(in))
+		}
+	case ir.OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(sb, "\tmov %s, %%rax\n", reg(in.Args[0]))
+		}
+		fmt.Fprintf(sb, "\tret\n")
+	case ir.OpBr:
+		// Fallthrough elision when the target is the next emitted block.
+		if !(idx+1 < len(blocks) && blocks[idx+1] == in.Targets[0]) {
+			fmt.Fprintf(sb, "\tjmp %s\n", label(in.Targets[0]))
+		}
+	case ir.OpCondBr:
+		fmt.Fprintf(sb, "\ttest %s, %s\n", reg(in.Args[0]), reg(in.Args[0]))
+		fmt.Fprintf(sb, "\tjnz %s\n", label(in.Targets[0]))
+		if !(idx+1 < len(blocks) && blocks[idx+1] == in.Targets[1]) {
+			fmt.Fprintf(sb, "\tjmp %s\n", label(in.Targets[1]))
+		}
+	}
+}
+
+func paramReg(i int) string {
+	regs := []string{"%rdi", "%rsi", "%rdx", "%rcx", "%r8", "%r9"}
+	if i < len(regs) {
+		return regs[i]
+	}
+	return fmt.Sprintf("%d(%%rsp)", 8*(i-len(regs)))
+}
+
+func mnemonic(op token.Kind) string {
+	names := map[token.Kind]string{
+		token.Plus: "add", token.Minus: "sub", token.Star: "imul",
+		token.Slash: "idiv", token.Percent: "irem",
+		token.Amp: "and", token.Pipe: "or", token.Caret: "xor",
+		token.Shl: "shl", token.Shr: "shr",
+		token.EqEq: "sete", token.NotEq: "setne",
+		token.Lt: "setl", token.Gt: "setg", token.Le: "setle", token.Ge: "setge",
+	}
+	if n, ok := names[op]; ok {
+		return n
+	}
+	return "op"
+}
+
+// ---------------------------------------------------------------------------
+// Marker scanning — the oracle's observation (paper step ③).
+
+// Calls extracts the multiset of callee names appearing as call
+// instructions in the assembly.
+func Calls(asmText string) map[string]int {
+	out := map[string]int{}
+	for _, line := range strings.Split(asmText, "\n") {
+		line = strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(line, "call "); ok {
+			out[strings.TrimSpace(name)] = out[strings.TrimSpace(name)] + 1
+		}
+	}
+	return out
+}
+
+// SurvivingMarkers returns the marker names (per isMarker) present in the
+// assembly, sorted.
+func SurvivingMarkers(asmText string, isMarker func(string) bool) []string {
+	var out []string
+	for name := range Calls(asmText) {
+		if isMarker(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics are Barany-style static features of the generated code (related
+// work in the paper §5: differential testing on assembly features). They
+// support the comparison experiments but are not part of the DCE oracle.
+type Metrics struct {
+	Instructions int
+	Calls        int
+	Loads        int
+	Stores       int
+	Branches     int
+}
+
+// Measure computes static metrics of the assembly.
+func Measure(asmText string) Metrics {
+	var mt Metrics
+	for _, line := range strings.Split(asmText, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ".") || strings.HasPrefix(line, "#") ||
+			strings.HasSuffix(line, ":") {
+			continue
+		}
+		mt.Instructions++
+		switch {
+		case strings.HasPrefix(line, "call"):
+			mt.Calls++
+		case strings.HasPrefix(line, "jmp"), strings.HasPrefix(line, "jnz"), strings.HasPrefix(line, "jz"):
+			mt.Branches++
+		case strings.HasPrefix(line, "mov ("):
+			mt.Loads++
+		case strings.HasPrefix(line, "mov %") && strings.Contains(line, ", ("):
+			mt.Stores++
+		}
+	}
+	return mt
+}

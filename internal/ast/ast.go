@@ -1,0 +1,399 @@
+// Package ast defines the abstract syntax tree of MiniC.
+//
+// The tree is produced by internal/parser (or directly by internal/cgen),
+// annotated in place by internal/sema (types, symbol resolution, inserted
+// conversions), consumed by internal/interp and internal/lower, rewritten by
+// internal/instrument and internal/reduce, and printed back to source text by
+// the Printer in this package.
+package ast
+
+import (
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is implemented by all expression nodes. Type() returns the node's
+// MiniC type; it is nil until sema has run.
+type Expr interface {
+	Node
+	Type() *types.Type
+	exprNode()
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is implemented by top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Storage is the storage class of a declaration.
+type Storage int
+
+const (
+	StorageNone   Storage = iota // external linkage (globals), automatic (locals)
+	StorageStatic                // internal linkage (globals), not used for locals
+	StorageExtern                // declaration only, defined elsewhere
+)
+
+func (s Storage) String() string {
+	switch s {
+	case StorageStatic:
+		return "static"
+	case StorageExtern:
+		return "extern"
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// IntLit is an integer literal. Val holds the bits; the literal's type is
+// determined by sema (int, or long/unsigned long for large values, or the
+// type recorded by the generator).
+type IntLit struct {
+	LitPos token.Pos
+	Val    int64       // canonical value under Typ
+	Typ    *types.Type // may be pre-set by cgen; sema fills if nil
+}
+
+// VarRef is a reference to a variable by name. Obj is resolved by sema.
+type VarRef struct {
+	NamePos token.Pos
+	Name    string
+	Obj     *VarDecl // resolved declaration (global, local, or parameter)
+	Typ     *types.Type
+}
+
+// Unary is a prefix unary operation: - ~ ! & (address-of) * (deref).
+type Unary struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+	Typ   *types.Type
+}
+
+// Binary is a binary operation, excluding assignment. For AndAnd and OrOr
+// the right operand is evaluated conditionally (short circuit).
+type Binary struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+	Typ   *types.Type
+}
+
+// Assign is an assignment expression: lhs = rhs or a compound form
+// (lhs += rhs etc.). Its value is the value stored.
+type Assign struct {
+	OpPos token.Pos
+	Op    token.Kind // Assign or a compound-assignment kind
+	LHS   Expr       // VarRef, Unary{Star}, or Index
+	RHS   Expr
+	Typ   *types.Type
+}
+
+// IncDec is ++x, --x, x++, or x--.
+type IncDec struct {
+	OpPos  token.Pos
+	Op     token.Kind // PlusPlus or MinusMinus
+	Prefix bool
+	X      Expr
+	Typ    *types.Type
+}
+
+// Cond is the ternary conditional c ? t : f.
+type Cond struct {
+	QPos              token.Pos
+	CondX, Then, Else Expr
+	Typ               *types.Type
+}
+
+// Call is a function call by name. Fn is resolved by sema; calls to
+// undeclared-body (extern) functions are the paper's optimization markers
+// and any other opaque externals.
+type Call struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+	Fn      *FuncDecl // resolved declaration (may have nil Body)
+	Typ     *types.Type
+}
+
+// Index is base[idx] where base is an array variable or a pointer.
+type Index struct {
+	LbrackPos token.Pos
+	Base      Expr
+	Idx       Expr
+	Typ       *types.Type
+}
+
+// Cast is an implicit conversion inserted by sema (MiniC has no cast
+// syntax; the printer renders it as the bare operand, which re-typechecks
+// to the same conversion).
+type Cast struct {
+	To *types.Type
+	X  Expr
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *VarRef) Pos() token.Pos { return e.NamePos }
+func (e *Unary) Pos() token.Pos  { return e.OpPos }
+func (e *Binary) Pos() token.Pos { return e.X.Pos() }
+func (e *Assign) Pos() token.Pos { return e.LHS.Pos() }
+func (e *IncDec) Pos() token.Pos { return e.OpPos }
+func (e *Cond) Pos() token.Pos   { return e.CondX.Pos() }
+func (e *Call) Pos() token.Pos   { return e.NamePos }
+func (e *Index) Pos() token.Pos  { return e.Base.Pos() }
+func (e *Cast) Pos() token.Pos   { return e.X.Pos() }
+
+func (e *IntLit) Type() *types.Type { return e.Typ }
+func (e *VarRef) Type() *types.Type { return e.Typ }
+func (e *Unary) Type() *types.Type  { return e.Typ }
+func (e *Binary) Type() *types.Type { return e.Typ }
+func (e *Assign) Type() *types.Type { return e.Typ }
+func (e *IncDec) Type() *types.Type { return e.Typ }
+func (e *Cond) Type() *types.Type   { return e.Typ }
+func (e *Call) Type() *types.Type   { return e.Typ }
+func (e *Index) Type() *types.Type  { return e.Typ }
+func (e *Cast) Type() *types.Type   { return e.To }
+
+func (*IntLit) exprNode() {}
+func (*VarRef) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Assign) exprNode() {}
+func (*IncDec) exprNode() {}
+func (*Cond) exprNode()   {}
+func (*Call) exprNode()   {}
+func (*Index) exprNode()  {}
+func (*Cast) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Block is { stmts }.
+type Block struct {
+	LbracePos token.Pos
+	Stmts     []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt is an expression evaluated for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// Empty is a lone semicolon.
+type Empty struct {
+	SemiPos token.Pos
+}
+
+// If is if (cond) then [else els].
+type If struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // nil if absent
+}
+
+// While is while (cond) body.
+type While struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// DoWhile is do body while (cond);.
+type DoWhile struct {
+	DoPos token.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// For is for (init; cond; post) body. Init is a DeclStmt, ExprStmt or nil;
+// Cond and Post may be nil.
+type For struct {
+	ForPos token.Pos
+	Init   Stmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+}
+
+// Return is return [x];.
+type Return struct {
+	RetPos token.Pos
+	X      Expr // nil for void return
+}
+
+// Break is break;.
+type Break struct {
+	BrPos token.Pos
+}
+
+// Continue is continue;.
+type Continue struct {
+	ContPos token.Pos
+}
+
+// SwitchCase is one case group of a switch: one or more case labels (or the
+// default label when IsDefault is set) followed by statements. Execution
+// falls through to the next group unless a break terminates it, as in C.
+type SwitchCase struct {
+	CasePos   token.Pos
+	Vals      []Expr // constant case labels; empty together with IsDefault
+	IsDefault bool
+	Body      []Stmt
+}
+
+// Switch is switch (tag) { cases }.
+type Switch struct {
+	SwPos token.Pos
+	Tag   Expr
+	Cases []*SwitchCase
+}
+
+func (s *Block) Pos() token.Pos    { return s.LbracePos }
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.Pos() }
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *Empty) Pos() token.Pos    { return s.SemiPos }
+func (s *If) Pos() token.Pos       { return s.IfPos }
+func (s *While) Pos() token.Pos    { return s.WhilePos }
+func (s *DoWhile) Pos() token.Pos  { return s.DoPos }
+func (s *For) Pos() token.Pos      { return s.ForPos }
+func (s *Return) Pos() token.Pos   { return s.RetPos }
+func (s *Break) Pos() token.Pos    { return s.BrPos }
+func (s *Continue) Pos() token.Pos { return s.ContPos }
+func (s *Switch) Pos() token.Pos   { return s.SwPos }
+
+func (*Block) stmtNode()    {}
+func (*DeclStmt) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Empty) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Switch) stmtNode()   {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// VarDecl declares a variable: global, local, or function parameter.
+// For arrays, Typ is the array type and Init (if present) is an
+// ArrayInit expression.
+type VarDecl struct {
+	NamePos  token.Pos
+	Name     string
+	Typ      *types.Type
+	Storage  Storage
+	IsGlobal bool
+	IsParam  bool
+	Init     Expr // nil means zero-initialized (globals) / uninitialized-reads-as-zero (locals; MiniC defines them to zero)
+}
+
+// ArrayInit is the brace initializer of an array: {e0, e1, ...}.
+// Missing trailing elements are zero.
+type ArrayInit struct {
+	LbracePos token.Pos
+	Elems     []Expr
+	Typ       *types.Type // array type
+}
+
+func (e *ArrayInit) Pos() token.Pos    { return e.LbracePos }
+func (e *ArrayInit) Type() *types.Type { return e.Typ }
+func (*ArrayInit) exprNode()           {}
+
+// FuncDecl declares (Body == nil) or defines a function.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Ret     *types.Type
+	Params  []*VarDecl
+	Storage Storage
+	Body    *Block // nil for extern declarations (e.g. optimization markers)
+}
+
+func (d *VarDecl) Pos() token.Pos  { return d.NamePos }
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+func (*VarDecl) declNode()  {}
+func (*FuncDecl) declNode() {}
+
+// Sig returns d's function type.
+func (d *FuncDecl) Sig() *types.Type {
+	params := make([]*types.Type, len(d.Params))
+	for i, p := range d.Params {
+		params[i] = p.Typ
+	}
+	return types.FuncOf(d.Ret, params)
+}
+
+// ---------------------------------------------------------------------------
+// Program
+
+// Program is a complete MiniC translation unit.
+type Program struct {
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (p *Program) Pos() token.Pos {
+	if len(p.Decls) > 0 {
+		return p.Decls[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Funcs returns the function declarations in order.
+func (p *Program) Funcs() []*FuncDecl {
+	var fs []*FuncDecl
+	for _, d := range p.Decls {
+		if f, ok := d.(*FuncDecl); ok {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// Globals returns the global variable declarations in order.
+func (p *Program) Globals() []*VarDecl {
+	var gs []*VarDecl
+	for _, d := range p.Decls {
+		if v, ok := d.(*VarDecl); ok {
+			gs = append(gs, v)
+		}
+	}
+	return gs
+}
+
+// LookupFunc returns the function named name, or nil.
+func (p *Program) LookupFunc(name string) *FuncDecl {
+	for _, d := range p.Decls {
+		if f, ok := d.(*FuncDecl); ok && f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Main returns the program's main function, or nil.
+func (p *Program) Main() *FuncDecl { return p.LookupFunc("main") }

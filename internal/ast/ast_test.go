@@ -1,0 +1,130 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+func lit(v int64) *IntLit { return &IntLit{Val: v, Typ: types.I32Type} }
+
+func bin(op token.Kind, x, y Expr) *Binary { return &Binary{Op: op, X: x, Y: y} }
+
+func TestPrintPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		// (1 + 2) * 3 needs parens; 1 + 2 * 3 does not.
+		{bin(token.Star, bin(token.Plus, lit(1), lit(2)), lit(3)), "(1 + 2) * 3"},
+		{bin(token.Plus, lit(1), bin(token.Star, lit(2), lit(3))), "1 + 2 * 3"},
+		// Left-associativity: a - b - c prints without parens, a - (b - c) with.
+		{bin(token.Minus, bin(token.Minus, lit(1), lit(2)), lit(3)), "1 - 2 - 3"},
+		{bin(token.Minus, lit(1), bin(token.Minus, lit(2), lit(3))), "1 - (2 - 3)"},
+		// Shift vs compare.
+		{bin(token.Lt, bin(token.Shl, lit(1), lit(2)), lit(3)), "1 << 2 < 3"},
+		{bin(token.Shl, lit(1), bin(token.Lt, lit(2), lit(3))), "1 << (2 < 3)"},
+		// Unary in binary context.
+		{bin(token.Plus, &Unary{Op: token.Minus, X: lit(1)}, lit(2)), "-1 + 2"},
+		// Negative literal as right operand of minus keeps a space.
+		{bin(token.Minus, lit(1), lit(-2)), "1 - -2"},
+		// Double negation never token-pastes.
+		{&Unary{Op: token.Minus, X: &Unary{Op: token.Minus, X: lit(3)}}, "- -3"},
+		{&Unary{Op: token.Minus, X: lit(-3)}, "- -3"},
+	}
+	for _, c := range cases {
+		if got := PrintExpr(c.e); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintLiteralSuffixes(t *testing.T) {
+	cases := []struct {
+		val  int64
+		typ  *types.Type
+		want string
+	}{
+		{5, types.I32Type, "5"},
+		{-5, types.I32Type, "-5"},
+		{5, types.U32Type, "5U"},
+		{-1, types.U32Type, "4294967295U"},
+		{5, types.I64Type, "5L"},
+		{-5, types.I64Type, "-5L"},
+		{-1, types.U64Type, "18446744073709551615UL"},
+		{-2147483648, types.I32Type, "-2147483647 - 1"},
+		{-9223372036854775808, types.I64Type, "-9223372036854775807L - 1L"},
+	}
+	for _, c := range cases {
+		got := PrintExpr(&IntLit{Val: c.val, Typ: c.typ})
+		if got != c.want {
+			t.Errorf("lit(%d, %v) = %q, want %q", c.val, c.typ, got, c.want)
+		}
+	}
+}
+
+func TestPrintStatements(t *testing.T) {
+	s := &If{
+		Cond: &VarRef{Name: "x"},
+		Then: &Block{Stmts: []Stmt{&Break{}}},
+		Else: &Block{Stmts: []Stmt{&Continue{}}},
+	}
+	out := PrintStmt(s)
+	for _, want := range []string{"if (x) {", "break;", "} else {", "continue;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	e := bin(token.Plus, lit(1), lit(2))
+	if n := CountNodes(e); n != 3 {
+		t.Errorf("CountNodes = %d, want 3", n)
+	}
+}
+
+func TestInspectSkipsChildren(t *testing.T) {
+	e := bin(token.Plus, bin(token.Star, lit(1), lit(2)), lit(3))
+	visited := 0
+	Inspect(e, func(n Node) bool {
+		visited++
+		_, isBin := n.(*Binary)
+		return !isBin || visited == 1 // descend only into the root
+	})
+	// root + its two children (inner binary pruned, literal visited)
+	if visited != 3 {
+		t.Errorf("visited %d nodes, want 3", visited)
+	}
+}
+
+func TestCloneExprSharesOuterDecls(t *testing.T) {
+	d := &VarDecl{Name: "g", Typ: types.I32Type, IsGlobal: true}
+	e := &VarRef{Name: "g", Obj: d, Typ: types.I32Type}
+	c := CloneExpr(e).(*VarRef)
+	if c == e {
+		t.Fatal("CloneExpr returned the same node")
+	}
+	if c.Obj != d {
+		t.Fatal("references to declarations outside the subtree must be shared")
+	}
+}
+
+func TestCloneStmtRemapsLocalDecls(t *testing.T) {
+	d := &VarDecl{Name: "x", Typ: types.I32Type}
+	s := &Block{Stmts: []Stmt{
+		&DeclStmt{Decl: d},
+		&ExprStmt{X: &VarRef{Name: "x", Obj: d, Typ: types.I32Type}},
+	}}
+	c := CloneStmt(s).(*Block)
+	cd := c.Stmts[0].(*DeclStmt).Decl
+	cr := c.Stmts[1].(*ExprStmt).X.(*VarRef)
+	if cd == d {
+		t.Fatal("declaration not cloned")
+	}
+	if cr.Obj != cd {
+		t.Fatal("reference inside subtree must point at the cloned declaration")
+	}
+}

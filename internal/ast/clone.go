@@ -1,0 +1,213 @@
+package ast
+
+import "fmt"
+
+// Clone deep-copies a program. Resolved references (VarRef.Obj, Call.Fn)
+// are remapped to the cloned declarations, so the copy is fully independent
+// of the original — mutating one never affects the other. This is the
+// foundation of the reducer, which speculatively mutates candidate copies.
+func Clone(p *Program) *Program {
+	c := &cloner{
+		vars:  map[*VarDecl]*VarDecl{},
+		funcs: map[*FuncDecl]*FuncDecl{},
+	}
+	out := &Program{Decls: make([]Decl, len(p.Decls))}
+	// First pass: create shells for all top-level declarations, so forward
+	// references (e.g. a call to a function defined later) can be remapped.
+	for i, d := range p.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			nv := &VarDecl{}
+			*nv = *d
+			nv.Init = nil
+			c.vars[d] = nv
+			out.Decls[i] = nv
+		case *FuncDecl:
+			nf := &FuncDecl{
+				NamePos: d.NamePos,
+				Name:    d.Name,
+				Ret:     d.Ret,
+				Storage: d.Storage,
+			}
+			c.funcs[d] = nf
+			out.Decls[i] = nf
+		default:
+			panic(fmt.Sprintf("ast: Clone: unknown decl %T", d))
+		}
+	}
+	// Second pass: fill in initializers, parameters, and bodies.
+	for i, d := range p.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			if d.Init != nil {
+				out.Decls[i].(*VarDecl).Init = c.expr(d.Init)
+			}
+		case *FuncDecl:
+			nf := out.Decls[i].(*FuncDecl)
+			nf.Params = make([]*VarDecl, len(d.Params))
+			for j, par := range d.Params {
+				np := &VarDecl{}
+				*np = *par
+				c.vars[par] = np
+				nf.Params[j] = np
+			}
+			if d.Body != nil {
+				nf.Body = c.stmt(d.Body).(*Block)
+			}
+		}
+	}
+	return out
+}
+
+// CloneFuncBody deep-copies a statement subtree without remapping
+// references to declarations outside the subtree (they keep pointing at the
+// shared declarations). Useful for duplicating statements inside one
+// program, e.g. in generator templates.
+func CloneStmt(s Stmt) Stmt {
+	c := &cloner{vars: map[*VarDecl]*VarDecl{}, funcs: map[*FuncDecl]*FuncDecl{}}
+	return c.stmt(s)
+}
+
+// CloneExpr deep-copies an expression subtree, sharing declaration
+// references with the original.
+func CloneExpr(e Expr) Expr {
+	c := &cloner{vars: map[*VarDecl]*VarDecl{}, funcs: map[*FuncDecl]*FuncDecl{}}
+	return c.expr(e)
+}
+
+type cloner struct {
+	vars  map[*VarDecl]*VarDecl
+	funcs map[*FuncDecl]*FuncDecl
+}
+
+func (c *cloner) varRef(d *VarDecl) *VarDecl {
+	if d == nil {
+		return nil
+	}
+	if nv, ok := c.vars[d]; ok {
+		return nv
+	}
+	return d // reference to a declaration outside the cloned subtree
+}
+
+func (c *cloner) funcRef(d *FuncDecl) *FuncDecl {
+	if d == nil {
+		return nil
+	}
+	if nf, ok := c.funcs[d]; ok {
+		return nf
+	}
+	return d
+}
+
+func (c *cloner) stmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		nb := &Block{LbracePos: s.LbracePos, Stmts: make([]Stmt, len(s.Stmts))}
+		for i, st := range s.Stmts {
+			nb.Stmts[i] = c.stmt(st)
+		}
+		return nb
+	case *DeclStmt:
+		nd := &VarDecl{}
+		*nd = *s.Decl
+		if s.Decl.Init != nil {
+			nd.Init = c.expr(s.Decl.Init)
+		}
+		c.vars[s.Decl] = nd
+		return &DeclStmt{Decl: nd}
+	case *ExprStmt:
+		return &ExprStmt{X: c.expr(s.X)}
+	case *Empty:
+		cp := *s
+		return &cp
+	case *If:
+		ni := &If{IfPos: s.IfPos, Cond: c.expr(s.Cond), Then: c.stmt(s.Then)}
+		if s.Else != nil {
+			ni.Else = c.stmt(s.Else)
+		}
+		return ni
+	case *While:
+		return &While{WhilePos: s.WhilePos, Cond: c.expr(s.Cond), Body: c.stmt(s.Body)}
+	case *DoWhile:
+		return &DoWhile{DoPos: s.DoPos, Body: c.stmt(s.Body), Cond: c.expr(s.Cond)}
+	case *For:
+		nf := &For{ForPos: s.ForPos, Body: nil}
+		if s.Init != nil {
+			nf.Init = c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			nf.Cond = c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			nf.Post = c.expr(s.Post)
+		}
+		nf.Body = c.stmt(s.Body)
+		return nf
+	case *Return:
+		nr := &Return{RetPos: s.RetPos}
+		if s.X != nil {
+			nr.X = c.expr(s.X)
+		}
+		return nr
+	case *Break:
+		cp := *s
+		return &cp
+	case *Continue:
+		cp := *s
+		return &cp
+	case *Switch:
+		ns := &Switch{SwPos: s.SwPos, Tag: c.expr(s.Tag)}
+		for _, cs := range s.Cases {
+			nc := &SwitchCase{CasePos: cs.CasePos, IsDefault: cs.IsDefault}
+			for _, v := range cs.Vals {
+				nc.Vals = append(nc.Vals, c.expr(v))
+			}
+			for _, st := range cs.Body {
+				nc.Body = append(nc.Body, c.stmt(st))
+			}
+			ns.Cases = append(ns.Cases, nc)
+		}
+		return ns
+	default:
+		panic(fmt.Sprintf("ast: clone: unknown stmt %T", s))
+	}
+}
+
+func (c *cloner) expr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *VarRef:
+		return &VarRef{NamePos: e.NamePos, Name: e.Name, Obj: c.varRef(e.Obj), Typ: e.Typ}
+	case *Unary:
+		return &Unary{OpPos: e.OpPos, Op: e.Op, X: c.expr(e.X), Typ: e.Typ}
+	case *Binary:
+		return &Binary{OpPos: e.OpPos, Op: e.Op, X: c.expr(e.X), Y: c.expr(e.Y), Typ: e.Typ}
+	case *Assign:
+		return &Assign{OpPos: e.OpPos, Op: e.Op, LHS: c.expr(e.LHS), RHS: c.expr(e.RHS), Typ: e.Typ}
+	case *IncDec:
+		return &IncDec{OpPos: e.OpPos, Op: e.Op, Prefix: e.Prefix, X: c.expr(e.X), Typ: e.Typ}
+	case *Cond:
+		return &Cond{QPos: e.QPos, CondX: c.expr(e.CondX), Then: c.expr(e.Then), Else: c.expr(e.Else), Typ: e.Typ}
+	case *Call:
+		nc := &Call{NamePos: e.NamePos, Name: e.Name, Fn: c.funcRef(e.Fn), Typ: e.Typ}
+		for _, a := range e.Args {
+			nc.Args = append(nc.Args, c.expr(a))
+		}
+		return nc
+	case *Index:
+		return &Index{LbrackPos: e.LbrackPos, Base: c.expr(e.Base), Idx: c.expr(e.Idx), Typ: e.Typ}
+	case *Cast:
+		return &Cast{To: e.To, X: c.expr(e.X)}
+	case *ArrayInit:
+		na := &ArrayInit{LbracePos: e.LbracePos, Typ: e.Typ}
+		for _, el := range e.Elems {
+			na.Elems = append(na.Elems, c.expr(el))
+		}
+		return na
+	default:
+		panic(fmt.Sprintf("ast: clone: unknown expr %T", e))
+	}
+}

@@ -1,0 +1,451 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// Print renders the program as MiniC source text. The output reparses and
+// retypechecks to a semantically identical program: literal suffixes keep
+// literal types, parentheses are inserted from operator precedence, and
+// implicit Cast nodes (inserted by sema) print as their bare operands.
+func Print(p *Program) string {
+	var pr printer
+	for i, d := range p.Decls {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.decl(d)
+	}
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement (useful in tests and diagnostics).
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e, 0)
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) ws(s string)           { p.b.WriteString(s) }
+func (p *printer) wf(f string, a ...any) { fmt.Fprintf(&p.b, f, a...) }
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		p.varDecl(d)
+		p.ws(";")
+	case *FuncDecl:
+		p.funcDecl(d)
+	default:
+		panic(fmt.Sprintf("ast: unknown decl %T", d))
+	}
+}
+
+// typePrefix renders the scalar/element part of a declaration type;
+// array suffixes are rendered after the name, C style.
+func typePrefix(t *types.Type) string {
+	if t.Kind == types.Array {
+		return typePrefix(t.Elem)
+	}
+	if t.Kind == types.Pointer {
+		return typePrefix(t.Elem) + " *"
+	}
+	return t.CSpelling()
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	if s := d.Storage.String(); s != "" {
+		p.ws(s)
+		p.ws(" ")
+	}
+	p.ws(typePrefix(d.Typ))
+	if !strings.HasSuffix(typePrefix(d.Typ), "*") {
+		p.ws(" ")
+	}
+	p.ws(d.Name)
+	if d.Typ.Kind == types.Array {
+		p.wf("[%d]", d.Typ.Len)
+	}
+	if d.Init != nil {
+		p.ws(" = ")
+		p.expr(d.Init, precAssign)
+	}
+}
+
+func (p *printer) funcDecl(d *FuncDecl) {
+	if s := d.Storage.String(); s != "" {
+		p.ws(s)
+		p.ws(" ")
+	}
+	p.ws(typePrefix(d.Ret))
+	if !strings.HasSuffix(typePrefix(d.Ret), "*") {
+		p.ws(" ")
+	}
+	p.ws(d.Name)
+	p.ws("(")
+	if len(d.Params) == 0 {
+		p.ws("void")
+	}
+	for i, par := range d.Params {
+		if i > 0 {
+			p.ws(", ")
+		}
+		p.ws(typePrefix(par.Typ))
+		if !strings.HasSuffix(typePrefix(par.Typ), "*") {
+			p.ws(" ")
+		}
+		p.ws(par.Name)
+	}
+	p.ws(")")
+	if d.Body == nil {
+		p.ws(";")
+		return
+	}
+	p.ws(" ")
+	p.block(d.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *printer) block(b *Block) {
+	p.ws("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.ws("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.block(s)
+	case *DeclStmt:
+		p.varDecl(s.Decl)
+		p.ws(";")
+	case *ExprStmt:
+		p.expr(s.X, 0)
+		p.ws(";")
+	case *Empty:
+		p.ws(";")
+	case *If:
+		p.ws("if (")
+		p.expr(s.Cond, 0)
+		p.ws(") ")
+		p.nested(s.Then)
+		if s.Else != nil {
+			p.ws(" else ")
+			p.nested(s.Else)
+		}
+	case *While:
+		p.ws("while (")
+		p.expr(s.Cond, 0)
+		p.ws(") ")
+		p.nested(s.Body)
+	case *DoWhile:
+		p.ws("do ")
+		p.nested(s.Body)
+		p.ws(" while (")
+		p.expr(s.Cond, 0)
+		p.ws(");")
+	case *For:
+		p.ws("for (")
+		switch init := s.Init.(type) {
+		case nil:
+			p.ws(";")
+		case *DeclStmt:
+			p.varDecl(init.Decl)
+			p.ws(";")
+		case *ExprStmt:
+			p.expr(init.X, 0)
+			p.ws(";")
+		case *Empty:
+			p.ws(";")
+		default:
+			panic(fmt.Sprintf("ast: bad for-init %T", s.Init))
+		}
+		if s.Cond != nil {
+			p.ws(" ")
+			p.expr(s.Cond, 0)
+		}
+		p.ws(";")
+		if s.Post != nil {
+			p.ws(" ")
+			p.expr(s.Post, 0)
+		}
+		p.ws(") ")
+		p.nested(s.Body)
+	case *Return:
+		if s.X == nil {
+			p.ws("return;")
+		} else {
+			p.ws("return ")
+			p.expr(s.X, precAssign)
+			p.ws(";")
+		}
+	case *Break:
+		p.ws("break;")
+	case *Continue:
+		p.ws("continue;")
+	case *Switch:
+		p.ws("switch (")
+		p.expr(s.Tag, 0)
+		p.ws(") {")
+		p.indent++
+		for _, c := range s.Cases {
+			p.nl()
+			if c.IsDefault {
+				p.ws("default:")
+			}
+			for i, v := range c.Vals {
+				if i > 0 {
+					p.nl()
+				}
+				p.ws("case ")
+				p.expr(v, precCond)
+				p.ws(":")
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.nl()
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.nl()
+		p.ws("}")
+	default:
+		panic(fmt.Sprintf("ast: unknown stmt %T", s))
+	}
+}
+
+// nested prints a statement in a context (loop/if body) where a block keeps
+// its braces and any other statement is printed inline.
+func (p *printer) nested(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.indent++
+	p.nl()
+	p.stmt(s)
+	p.indent--
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Operator precedence levels; higher binds tighter. Mirrors C.
+const (
+	precAssign  = 2
+	precCond    = 3
+	precOrOr    = 4
+	precAndAnd  = 5
+	precBitOr   = 6
+	precBitXor  = 7
+	precBitAnd  = 8
+	precEq      = 9
+	precRel     = 10
+	precShift   = 11
+	precAdd     = 12
+	precMul     = 13
+	precUnary   = 15
+	precPostfix = 16
+)
+
+func binPrec(op token.Kind) int {
+	switch op {
+	case token.OrOr:
+		return precOrOr
+	case token.AndAnd:
+		return precAndAnd
+	case token.Pipe:
+		return precBitOr
+	case token.Caret:
+		return precBitXor
+	case token.Amp:
+		return precBitAnd
+	case token.EqEq, token.NotEq:
+		return precEq
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		return precRel
+	case token.Shl, token.Shr:
+		return precShift
+	case token.Plus, token.Minus:
+		return precAdd
+	case token.Star, token.Slash, token.Percent:
+		return precMul
+	}
+	panic(fmt.Sprintf("ast: binPrec(%v)", op))
+}
+
+// expr prints e, parenthesizing when e's precedence is below min.
+func (p *printer) expr(e Expr, min int) {
+	switch e := e.(type) {
+	case *IntLit:
+		p.intLit(e, min)
+	case *VarRef:
+		p.ws(e.Name)
+	case *Cast:
+		p.expr(e.X, min) // implicit conversion: re-derived on reparse
+	case *Unary:
+		p.paren(min > precUnary, func() {
+			p.ws(token.Token{Kind: e.Op}.String())
+			// Avoid token pasting: "--x" when printing -(-y) or -(-5),
+			// and "&&" for &(&v).
+			needSpace := false
+			if inner, ok := e.X.(*Unary); ok && inner.Op == e.Op &&
+				(e.Op == token.Minus || e.Op == token.Amp) {
+				needSpace = true
+			}
+			if lit, ok := e.X.(*IntLit); ok && e.Op == token.Minus && lit.Val < 0 {
+				needSpace = true
+			}
+			if needSpace {
+				p.ws(" ")
+			}
+			p.expr(e.X, precUnary)
+		})
+	case *Binary:
+		prec := binPrec(e.Op)
+		p.paren(min > prec, func() {
+			p.expr(e.X, prec)
+			p.wf(" %s ", token.Token{Kind: e.Op}.String())
+			p.expr(e.Y, prec+1)
+		})
+	case *Assign:
+		p.paren(min > precAssign, func() {
+			p.expr(e.LHS, precUnary)
+			p.wf(" %s ", token.Token{Kind: e.Op}.String())
+			p.expr(e.RHS, precAssign)
+		})
+	case *IncDec:
+		op := token.Token{Kind: e.Op}.String()
+		if e.Prefix {
+			p.paren(min > precUnary, func() {
+				p.ws(op)
+				p.expr(e.X, precUnary)
+			})
+		} else {
+			p.paren(min > precPostfix, func() {
+				p.expr(e.X, precPostfix)
+				p.ws(op)
+			})
+		}
+	case *Cond:
+		p.paren(min > precCond, func() {
+			p.expr(e.CondX, precCond+1)
+			p.ws(" ? ")
+			p.expr(e.Then, precCond)
+			p.ws(" : ")
+			p.expr(e.Else, precCond)
+		})
+	case *Call:
+		p.ws(e.Name)
+		p.ws("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.ws(")")
+	case *Index:
+		p.expr(e.Base, precPostfix)
+		p.ws("[")
+		p.expr(e.Idx, 0)
+		p.ws("]")
+	case *ArrayInit:
+		p.ws("{")
+		for i, el := range e.Elems {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(el, precAssign)
+		}
+		p.ws("}")
+	default:
+		panic(fmt.Sprintf("ast: unknown expr %T", e))
+	}
+}
+
+func (p *printer) paren(need bool, f func()) {
+	if need {
+		p.ws("(")
+	}
+	f()
+	if need {
+		p.ws(")")
+	}
+}
+
+// intLit renders an integer literal so that the reparsed expression has the
+// same value and type-conversion behaviour, and so that printing is a
+// fixpoint: a negative literal prints exactly as the unary-minus expression
+// it reparses to, including parenthesization.
+func (p *printer) intLit(e *IntLit, min int) {
+	t := e.Typ
+	if t == nil {
+		t = types.I32Type
+	}
+	val := e.Val
+	switch t.Kind {
+	case types.U8, types.U16:
+		// Promoted to int in any use; canonical value is non-negative.
+		p.wf("%d", val)
+	case types.U32:
+		p.wf("%dU", uint32(val))
+	case types.U64:
+		p.wf("%dUL", uint64(val))
+	case types.I64:
+		switch {
+		case val == -9223372036854775808:
+			// Reparses as (-MAX) - 1: a precAdd-level binary expression.
+			p.paren(min > precAdd, func() { p.ws("-9223372036854775807L - 1L") })
+		case val < 0:
+			p.paren(min > precUnary, func() { p.wf("-%dL", -val) })
+		default:
+			p.wf("%dL", val)
+		}
+	default: // I8, I16, I32, and anything unannotated
+		switch {
+		case val == -2147483648:
+			p.paren(min > precAdd, func() { p.ws("-2147483647 - 1") })
+		case val < 0:
+			p.paren(min > precUnary, func() { p.wf("-%d", -val) })
+		default:
+			p.wf("%d", val)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package ast
+
+import "fmt"
+
+// Inspect traverses the tree rooted at n in depth-first order, calling f for
+// every node. If f returns false for a node, its children are skipped.
+// Types inside declarations are not visited (they are not Nodes).
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, d := range n.Decls {
+			Inspect(d, f)
+		}
+	case *VarDecl:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+	case *FuncDecl:
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		if n.Body != nil {
+			Inspect(n.Body, f)
+		}
+
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		Inspect(n.Decl, f)
+	case *ExprStmt:
+		Inspect(n.X, f)
+	case *Empty:
+	case *If:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *While:
+		Inspect(n.Cond, f)
+		Inspect(n.Body, f)
+	case *DoWhile:
+		Inspect(n.Body, f)
+		Inspect(n.Cond, f)
+	case *For:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		if n.Cond != nil {
+			Inspect(n.Cond, f)
+		}
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+		Inspect(n.Body, f)
+	case *Return:
+		if n.X != nil {
+			Inspect(n.X, f)
+		}
+	case *Break, *Continue:
+	case *Switch:
+		Inspect(n.Tag, f)
+		for _, c := range n.Cases {
+			for _, v := range c.Vals {
+				Inspect(v, f)
+			}
+			for _, s := range c.Body {
+				Inspect(s, f)
+			}
+		}
+
+	case *IntLit:
+	case *VarRef:
+	case *Unary:
+		Inspect(n.X, f)
+	case *Binary:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *Assign:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *IncDec:
+		Inspect(n.X, f)
+	case *Cond:
+		Inspect(n.CondX, f)
+		Inspect(n.Then, f)
+		Inspect(n.Else, f)
+	case *Call:
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(n.Base, f)
+		Inspect(n.Idx, f)
+	case *Cast:
+		Inspect(n.X, f)
+	case *ArrayInit:
+		for _, e := range n.Elems {
+			Inspect(e, f)
+		}
+	default:
+		panic(fmt.Sprintf("ast: Inspect: unknown node %T", n))
+	}
+}
+
+// CountNodes returns the number of nodes in the tree rooted at n.
+func CountNodes(n Node) int {
+	count := 0
+	Inspect(n, func(Node) bool { count++; return true })
+	return count
+}

@@ -1,0 +1,404 @@
+// Package cgen generates random MiniC programs, playing the role Csmith
+// plays in the paper: a source of deterministic, closed (input-free)
+// programs with abundant dead code for the DCE-based missed-optimization
+// search.
+//
+// Generated programs satisfy by construction the invariants the reproduction
+// relies on:
+//
+//   - Determinism: generation is a pure function of Config (including Seed).
+//   - Termination: every loop iterates a bounded, generator-chosen number of
+//     times (loops run over dedicated counters that the body never writes).
+//   - Definedness: array indices are masked to the (power-of-two) array
+//     length, pointers are always initialized to valid storage and never
+//     advanced out of bounds, and the call graph is acyclic, so programs
+//     never trigger a runtime error in the reference interpreter.
+//
+// Like Csmith-generated code, the output is mostly-dead: conditions over
+// runtime values frequently evaluate one way for the whole execution, so a
+// large fraction of blocks never run (the paper reports 89.59% dead blocks;
+// see BenchmarkDeadBlockPrevalence for our measurement).
+package cgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// Config controls program generation. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Seed int64
+
+	// Functions is the number of helper functions besides main.
+	Functions int
+	// Globals is the number of global integer scalars.
+	Globals int
+	// Arrays is the number of global arrays.
+	Arrays int
+	// Pointers is the number of global pointer variables.
+	Pointers int
+
+	// MaxExprDepth bounds expression nesting.
+	MaxExprDepth int
+	// MaxBlockDepth bounds statement nesting (if/loop/switch).
+	MaxBlockDepth int
+	// MinStmts/MaxStmts bound the number of statements per block.
+	MinStmts, MaxStmts int
+	// MaxLoopIter bounds the trip count of any generated loop.
+	MaxLoopIter int
+}
+
+// DefaultConfig returns the configuration used by the evaluation corpus:
+// programs of roughly 150-400 statements, comparable in block count to the
+// paper's Csmith settings scaled to the simulator.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Functions:     5,
+		Globals:       10,
+		Arrays:        3,
+		Pointers:      4,
+		MaxExprDepth:  4,
+		MaxBlockDepth: 3,
+		MinStmts:      2,
+		MaxStmts:      5,
+		MaxLoopIter:   12,
+	}
+}
+
+// SmallConfig returns a configuration for quick tests: tiny programs that
+// still exercise every statement kind.
+func SmallConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Functions:     2,
+		Globals:       5,
+		Arrays:        2,
+		Pointers:      2,
+		MaxExprDepth:  3,
+		MaxBlockDepth: 2,
+		MinStmts:      1,
+		MaxStmts:      3,
+		MaxLoopIter:   6,
+	}
+}
+
+// Generate produces a random MiniC program. The result is fully checked
+// (sema has run); Generate panics if it ever produces an invalid program,
+// since that is a generator bug, not an input error.
+func Generate(cfg Config) *ast.Program {
+	g := &generator{
+		cfg: cfg,
+		r:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	prog := g.program()
+	if err := sema.Check(prog); err != nil {
+		panic(fmt.Sprintf("cgen: generated invalid program (seed %d): %v\n%s",
+			cfg.Seed, err, ast.Print(prog)))
+	}
+	return prog
+}
+
+// ---------------------------------------------------------------------------
+
+type generator struct {
+	cfg  Config
+	r    *rand.Rand
+	name int
+
+	// Global symbol pools.
+	intGlobals []*ast.VarDecl // integer scalars
+	arrGlobals []*ast.VarDecl // integer arrays
+	ptrGlobals []*ast.VarDecl // *T and **T
+
+	funcs []*ast.FuncDecl // generated helpers, callable DAG-style
+
+	// Per-function state. Scopes track which locals are visible; each entry
+	// is the pool size at scope entry, so popping truncates.
+	intLocals []*ast.VarDecl
+	ptrLocals []*ast.VarDecl
+	arrLocals []*ast.VarDecl
+	roLocals  []*ast.VarDecl // read-only loop counters: readable, never assigned
+	scopeInt  []int
+	scopePtr  []int
+	scopeArr  []int
+	scopeRO   []int
+	fnIndex   int // index of the function being generated; may call funcs[<fnIndex]
+	loopDepth int
+
+	// Execution-cost accounting. loopMult is the product of the trip counts
+	// of the enclosing loops being generated; curCost estimates the dynamic
+	// step count of the current function (own statements plus callee costs);
+	// fnCosts records the final estimate per generated helper. Call sites
+	// and loop nests are only emitted while the estimates stay within the
+	// budgets below, which bounds whole-program execution time regardless
+	// of how the random choices fall.
+	loopMult int64
+	curCost  int64
+	fnCosts  []int64
+}
+
+// Cost budgets (in estimated interpreter steps). maxLoopMult bounds the
+// iteration multiplier of any statement; callBudget bounds the total cost a
+// single call site may contribute; fnBudget stops loop/call generation once
+// a function's estimate is exceeded.
+const (
+	maxLoopMult = 5_000
+	callBudget  = 100_000
+	fnBudget    = 1_500_000
+	stmtCost    = 20 // rough interpreter steps per generated statement
+)
+
+func (g *generator) fresh(prefix string) string {
+	g.name++
+	return fmt.Sprintf("%s_%d", prefix, g.name)
+}
+
+func (g *generator) intn(n int) int { return g.r.Intn(n) }
+
+// chance returns true with probability pct/100.
+func (g *generator) chance(pct int) bool { return g.r.Intn(100) < pct }
+
+func (g *generator) pickType() *types.Type {
+	// Weighted toward int, like Csmith.
+	switch g.intn(10) {
+	case 0:
+		return types.I8Type
+	case 1:
+		return types.U8Type
+	case 2:
+		return types.I16Type
+	case 3:
+		return types.U16Type
+	case 4, 5, 6:
+		return types.I32Type
+	case 7:
+		return types.U32Type
+	case 8:
+		return types.I64Type
+	default:
+		return types.U64Type
+	}
+}
+
+// smallConst returns a literal with a small magnitude, biased toward zero:
+// zero-heavy initial state is what makes many branches dead at runtime.
+func (g *generator) smallConst(t *types.Type) *ast.IntLit {
+	var v int64
+	switch g.intn(10) {
+	case 0, 1, 2, 3:
+		v = 0
+	case 4, 5:
+		v = int64(g.intn(3)) + 1
+	case 6:
+		v = -int64(g.intn(5)) - 1
+	case 7:
+		v = int64(g.intn(100))
+	case 8:
+		v = int64(g.intn(1 << 14))
+	default:
+		v = g.r.Int63n(1 << 31)
+		if g.chance(50) {
+			v = -v
+		}
+	}
+	lt := types.I32Type
+	if t != nil && t.IsInteger() && t.Bits() == 64 {
+		lt = types.I64Type
+	}
+	if t != nil && !t.IsSigned() && v < 0 {
+		v = -v
+	}
+	return &ast.IntLit{Val: lt.WrapValue(v), Typ: lt}
+}
+
+// ---------------------------------------------------------------------------
+// Program structure
+
+func (g *generator) program() *ast.Program {
+	prog := &ast.Program{}
+
+	// Globals: mostly static (internal linkage), as in the paper's test
+	// cases — static is what allows interprocedural constant analysis.
+	for i := 0; i < g.cfg.Globals; i++ {
+		d := &ast.VarDecl{
+			Name:     g.fresh("g"),
+			Typ:      g.pickType(),
+			Storage:  ast.StorageStatic,
+			IsGlobal: true,
+			Init:     g.smallConst(nil),
+		}
+		if g.chance(15) {
+			d.Storage = ast.StorageNone // occasionally external linkage
+		}
+		g.intGlobals = append(g.intGlobals, d)
+		prog.Decls = append(prog.Decls, d)
+	}
+	for i := 0; i < g.cfg.Arrays; i++ {
+		elem := g.pickType()
+		length := 1 << (1 + g.intn(3)) // 2, 4, or 8: power of two for masking
+		init := &ast.ArrayInit{Typ: types.ArrayOf(elem, length)}
+		for j := 0; j < length && g.chance(70); j++ {
+			init.Elems = append(init.Elems, g.smallConst(elem))
+		}
+		d := &ast.VarDecl{
+			Name:     g.fresh("arr"),
+			Typ:      types.ArrayOf(elem, length),
+			Storage:  ast.StorageStatic,
+			IsGlobal: true,
+			Init:     init,
+		}
+		if len(init.Elems) == 0 {
+			d.Init = nil
+		}
+		g.arrGlobals = append(g.arrGlobals, d)
+		prog.Decls = append(prog.Decls, d)
+	}
+	for i := 0; i < g.cfg.Pointers; i++ {
+		d := g.pointerGlobal()
+		if d == nil {
+			break
+		}
+		g.ptrGlobals = append(g.ptrGlobals, d)
+		prog.Decls = append(prog.Decls, d)
+	}
+
+	// Helper functions: funcs[i] may call funcs[j] for j < i, keeping the
+	// call graph acyclic and execution terminating.
+	for i := 0; i < g.cfg.Functions; i++ {
+		g.fnIndex = i
+		f := g.function(i)
+		g.funcs = append(g.funcs, f)
+		prog.Decls = append(prog.Decls, f)
+	}
+
+	g.fnIndex = len(g.funcs)
+	prog.Decls = append(prog.Decls, g.mainFunction())
+	return prog
+}
+
+// pointerGlobal declares a global pointer initialized to the address of an
+// existing global. Returns nil if there is nothing to point at.
+func (g *generator) pointerGlobal() *ast.VarDecl {
+	// Pointer-to-pointer with 25% probability, if a pointer global exists.
+	if len(g.ptrGlobals) > 0 && g.chance(25) {
+		target := g.ptrGlobals[g.intn(len(g.ptrGlobals))]
+		return &ast.VarDecl{
+			Name:     g.fresh("pp"),
+			Typ:      types.PointerTo(target.Typ),
+			Storage:  ast.StorageStatic,
+			IsGlobal: true,
+			Init: &ast.Unary{Op: token.Amp,
+				X: &ast.VarRef{Name: target.Name}},
+		}
+	}
+	switch {
+	case len(g.arrGlobals) > 0 && g.chance(40):
+		target := g.arrGlobals[g.intn(len(g.arrGlobals))]
+		idx := g.intn(target.Typ.Len)
+		return &ast.VarDecl{
+			Name:     g.fresh("p"),
+			Typ:      types.PointerTo(target.Typ.Elem),
+			Storage:  ast.StorageStatic,
+			IsGlobal: true,
+			Init: &ast.Unary{Op: token.Amp, X: &ast.Index{
+				Base: &ast.VarRef{Name: target.Name},
+				Idx:  &ast.IntLit{Val: int64(idx), Typ: types.I32Type},
+			}},
+		}
+	case len(g.intGlobals) > 0:
+		target := g.intGlobals[g.intn(len(g.intGlobals))]
+		return &ast.VarDecl{
+			Name:     g.fresh("p"),
+			Typ:      types.PointerTo(target.Typ),
+			Storage:  ast.StorageStatic,
+			IsGlobal: true,
+			Init: &ast.Unary{Op: token.Amp,
+				X: &ast.VarRef{Name: target.Name}},
+		}
+	}
+	return nil
+}
+
+func (g *generator) function(i int) *ast.FuncDecl {
+	f := &ast.FuncDecl{
+		Name:    fmt.Sprintf("func_%d", i),
+		Ret:     g.pickType(),
+		Storage: ast.StorageStatic,
+	}
+	nparams := g.intn(3)
+	for p := 0; p < nparams; p++ {
+		typ := g.pickType()
+		// Pointer parameters (pointing at global storage) create
+		// interprocedural aliasing for the optimizer to reason about.
+		if g.chance(20) && len(g.intGlobals) > 0 {
+			pointee := g.intGlobals[g.intn(len(g.intGlobals))].Typ
+			typ = types.PointerTo(pointee)
+		}
+		f.Params = append(f.Params, &ast.VarDecl{
+			Name:    g.fresh("a"),
+			Typ:     typ,
+			IsParam: true,
+		})
+	}
+	g.resetFuncState()
+	for _, p := range f.Params {
+		if p.Typ.Kind == types.Pointer {
+			g.ptrLocals = append(g.ptrLocals, p)
+		} else {
+			g.intLocals = append(g.intLocals, p)
+		}
+	}
+	f.Body = g.block(0, true /* needReturn */, f.Ret)
+	g.fnCosts = append(g.fnCosts, g.curCost+stmtCost)
+	return f
+}
+
+func (g *generator) mainFunction() *ast.FuncDecl {
+	f := &ast.FuncDecl{
+		Name: "main",
+		Ret:  types.I32Type,
+	}
+	g.resetFuncState()
+	f.Body = g.block(0, true, types.I32Type)
+	return f
+}
+
+func (g *generator) resetFuncState() {
+	g.intLocals = g.intLocals[:0]
+	g.ptrLocals = g.ptrLocals[:0]
+	g.arrLocals = g.arrLocals[:0]
+	g.roLocals = g.roLocals[:0]
+	g.scopeInt = g.scopeInt[:0]
+	g.scopePtr = g.scopePtr[:0]
+	g.scopeArr = g.scopeArr[:0]
+	g.scopeRO = g.scopeRO[:0]
+	g.loopDepth = 0
+	g.loopMult = 1
+	g.curCost = 0
+}
+
+func (g *generator) pushScope() {
+	g.scopeInt = append(g.scopeInt, len(g.intLocals))
+	g.scopePtr = append(g.scopePtr, len(g.ptrLocals))
+	g.scopeArr = append(g.scopeArr, len(g.arrLocals))
+	g.scopeRO = append(g.scopeRO, len(g.roLocals))
+}
+
+func (g *generator) popScope() {
+	n := len(g.scopeInt) - 1
+	g.intLocals = g.intLocals[:g.scopeInt[n]]
+	g.ptrLocals = g.ptrLocals[:g.scopePtr[n]]
+	g.arrLocals = g.arrLocals[:g.scopeArr[n]]
+	g.roLocals = g.roLocals[:g.scopeRO[n]]
+	g.scopeInt = g.scopeInt[:n]
+	g.scopePtr = g.scopePtr[:n]
+	g.scopeArr = g.scopeArr[:n]
+	g.scopeRO = g.scopeRO[:n]
+}

@@ -1,0 +1,369 @@
+package cgen
+
+import (
+	"dcelens/internal/ast"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// intExpr generates an integer-valued expression. Its exact type is
+// whatever falls out of the operand types; sema inserts the implicit
+// conversions, so the generator only guarantees "integer-typed".
+func (g *generator) intExpr(depth int) ast.Expr {
+	if depth >= g.cfg.MaxExprDepth || g.chance(30) {
+		return g.intLeaf()
+	}
+	switch g.intn(12) {
+	case 0, 1, 2, 3:
+		return &ast.Binary{Op: g.arithOp(), X: g.intExpr(depth + 1), Y: g.intExpr(depth + 1)}
+	case 4, 5:
+		return &ast.Binary{Op: g.bitOp(), X: g.intExpr(depth + 1), Y: g.intExpr(depth + 1)}
+	case 6:
+		return &ast.Binary{Op: g.shiftOp(), X: g.intExpr(depth + 1), Y: g.intExpr(depth + 1)}
+	case 7, 8:
+		return g.condExpr(depth + 1)
+	case 9:
+		op := token.Minus
+		if g.chance(40) {
+			op = token.Tilde
+		}
+		return &ast.Unary{Op: op, X: g.intExpr(depth + 1)}
+	case 10:
+		return &ast.Cond{
+			CondX: g.condExpr(depth + 1),
+			Then:  g.intExpr(depth + 1),
+			Else:  g.intExpr(depth + 1),
+		}
+	default:
+		return g.intLeaf()
+	}
+}
+
+func (g *generator) arithOp() token.Kind {
+	ops := []token.Kind{token.Plus, token.Plus, token.Minus, token.Minus,
+		token.Star, token.Slash, token.Percent}
+	return ops[g.intn(len(ops))]
+}
+
+func (g *generator) bitOp() token.Kind {
+	ops := []token.Kind{token.Amp, token.Pipe, token.Caret}
+	return ops[g.intn(len(ops))]
+}
+
+func (g *generator) shiftOp() token.Kind {
+	if g.chance(50) {
+		return token.Shl
+	}
+	return token.Shr
+}
+
+func (g *generator) cmpOp() token.Kind {
+	ops := []token.Kind{token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge}
+	return ops[g.intn(len(ops))]
+}
+
+// condExpr generates a condition-shaped expression (still integer typed):
+// comparisons, logical connectives, negations, and — the paper's favourite
+// shape — pointer equality tests.
+func (g *generator) condExpr(depth int) ast.Expr {
+	if depth >= g.cfg.MaxExprDepth {
+		return g.intLeaf()
+	}
+	switch g.intn(10) {
+	case 0, 1, 2, 3:
+		return &ast.Binary{Op: g.cmpOp(), X: g.intExpr(depth + 1), Y: g.intExpr(depth + 1)}
+	case 4:
+		op := token.AndAnd
+		if g.chance(50) {
+			op = token.OrOr
+		}
+		return &ast.Binary{Op: op, X: g.condExpr(depth + 1), Y: g.condExpr(depth + 1)}
+	case 5:
+		return &ast.Unary{Op: token.Not, X: g.condExpr(depth + 1)}
+	case 6:
+		if cmp := g.ptrComparison(); cmp != nil {
+			return cmp
+		}
+		fallthrough
+	case 7, 8:
+		return &ast.Binary{Op: g.cmpOp(), X: g.intLeaf(), Y: g.smallConst(nil)}
+	default:
+		return g.intLeaf()
+	}
+}
+
+// ptrComparison compares two pointers of the same type, when available.
+func (g *generator) ptrComparison() ast.Expr {
+	pv := g.pickPtrVar(nil)
+	if pv == nil {
+		return nil
+	}
+	rhs := g.ptrExpr(pv.Typ.Elem)
+	op := token.EqEq
+	if g.chance(50) {
+		op = token.NotEq
+	}
+	return &ast.Binary{Op: op, X: &ast.VarRef{Name: pv.Name}, Y: rhs}
+}
+
+// intLeaf generates a terminal integer expression: a literal, a readable
+// variable, an array element, a dereference, or (rarely) a call.
+func (g *generator) intLeaf() ast.Expr {
+	switch g.intn(12) {
+	case 0, 1, 2:
+		return g.smallConst(nil)
+	case 3:
+		if arr := g.pickArray(); arr != nil {
+			return g.arrayElem(arr)
+		}
+	case 4:
+		if pv := g.pickPtrVar(nil); pv != nil {
+			return g.derefToInt(pv)
+		}
+	case 5:
+		if g.chance(30) {
+			if callee := g.pickCallee(); callee != nil {
+				ok := true
+				call := &ast.Call{Name: callee.Name}
+				for _, p := range callee.Params {
+					if p.Typ.Kind == types.Pointer {
+						if !g.havePtrSource(p.Typ.Elem) {
+							ok = false
+							break
+						}
+						call.Args = append(call.Args, g.ptrExpr(p.Typ.Elem))
+					} else {
+						call.Args = append(call.Args, g.smallConst(nil))
+					}
+				}
+				if ok {
+					return call
+				}
+			}
+		}
+	}
+	if v := g.pickReadableInt(); v != nil {
+		return &ast.VarRef{Name: v.Name}
+	}
+	return g.smallConst(nil)
+}
+
+// intLvalue generates an assignable integer location: a scalar variable, an
+// array element, or a dereferenced integer pointer.
+func (g *generator) intLvalue() ast.Expr {
+	switch g.intn(10) {
+	case 0, 1:
+		if arr := g.pickArray(); arr != nil {
+			return g.arrayElem(arr)
+		}
+	case 2:
+		if pv := g.pickIntPtrVar(); pv != nil {
+			return &ast.Unary{Op: token.Star, X: &ast.VarRef{Name: pv.Name}}
+		}
+	}
+	if v := g.pickAssignableInt(); v != nil {
+		return &ast.VarRef{Name: v.Name}
+	}
+	// Pools can only be empty in degenerate configs; synthesize a global
+	// would be invasive, so fall back to the first global (always present
+	// in supported configs).
+	return &ast.VarRef{Name: g.intGlobals[0].Name}
+}
+
+// arrayElem indexes arr with a masked index, guaranteed in bounds because
+// array lengths are powers of two: (expr & (len-1)) is always in [0, len).
+func (g *generator) arrayElem(arr *ast.VarDecl) ast.Expr {
+	var idx ast.Expr
+	if g.chance(40) {
+		idx = &ast.IntLit{Val: int64(g.intn(arr.Typ.Len)), Typ: types.I32Type}
+	} else {
+		idx = &ast.Binary{
+			Op: token.Amp,
+			X:  g.intExpr(g.cfg.MaxExprDepth - 1),
+			Y:  &ast.IntLit{Val: int64(arr.Typ.Len - 1), Typ: types.I32Type},
+		}
+	}
+	return &ast.Index{Base: &ast.VarRef{Name: arr.Name}, Idx: idx}
+}
+
+// derefToInt applies * to a pointer variable until the result is an
+// integer (pointer depth is at most 2 by construction).
+func (g *generator) derefToInt(pv *ast.VarDecl) ast.Expr {
+	var e ast.Expr = &ast.VarRef{Name: pv.Name}
+	t := pv.Typ
+	for t.Kind == types.Pointer {
+		e = &ast.Unary{Op: token.Star, X: e}
+		t = t.Elem
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Variable selection
+
+func (g *generator) pickReadableInt() *ast.VarDecl {
+	// Loop counters are attractive reads: conditions over them vary per
+	// iteration, which is what creates partially-dead paths.
+	if len(g.roLocals) > 0 && g.chance(35) {
+		return g.roLocals[g.intn(len(g.roLocals))]
+	}
+	return g.pickAssignableInt()
+}
+
+func (g *generator) pickAssignableInt() *ast.VarDecl {
+	nl, ng := len(g.intLocals), len(g.intGlobals)
+	if nl+ng == 0 {
+		return nil
+	}
+	// Slight bias toward globals: global state feeds the checksum and the
+	// interprocedural analyses.
+	if ng > 0 && (nl == 0 || g.chance(55)) {
+		return g.intGlobals[g.intn(ng)]
+	}
+	return g.intLocals[g.intn(nl)]
+}
+
+func (g *generator) pickArray() *ast.VarDecl {
+	na, nl := len(g.arrGlobals), len(g.arrLocals)
+	if na+nl == 0 {
+		return nil
+	}
+	if nl > 0 && g.chance(30) {
+		return g.arrLocals[g.intn(nl)]
+	}
+	if na == 0 {
+		return g.arrLocals[g.intn(nl)]
+	}
+	return g.arrGlobals[g.intn(na)]
+}
+
+// pickPtrVar selects a pointer variable; when pointee is non-nil only
+// pointers to exactly that type qualify.
+func (g *generator) pickPtrVar(pointee *types.Type) *ast.VarDecl {
+	var cands []*ast.VarDecl
+	for _, p := range g.ptrGlobals {
+		if pointee == nil || types.Identical(p.Typ.Elem, pointee) {
+			cands = append(cands, p)
+		}
+	}
+	for _, p := range g.ptrLocals {
+		if pointee == nil || types.Identical(p.Typ.Elem, pointee) {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[g.intn(len(cands))]
+}
+
+// pickIntPtrVar selects a pointer whose pointee is an integer type.
+func (g *generator) pickIntPtrVar() *ast.VarDecl {
+	var cands []*ast.VarDecl
+	for _, p := range append(append([]*ast.VarDecl{}, g.ptrGlobals...), g.ptrLocals...) {
+		if p.Typ.Elem.IsInteger() {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[g.intn(len(cands))]
+}
+
+// pickPointeeType chooses a pointee type for a new pointer such that a
+// valid pointer expression of that type exists.
+func (g *generator) pickPointeeType() *types.Type {
+	var cands []*types.Type
+	for _, v := range g.intGlobals {
+		cands = append(cands, v.Typ)
+	}
+	for _, a := range g.arrGlobals {
+		cands = append(cands, a.Typ.Elem)
+	}
+	for _, p := range g.ptrGlobals {
+		cands = append(cands, p.Typ.Elem)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[g.intn(len(cands))]
+}
+
+// havePtrSource reports whether ptrExpr(pointee) can succeed.
+func (g *generator) havePtrSource(pointee *types.Type) bool {
+	if g.pickPtrVar(pointee) != nil {
+		return true
+	}
+	for _, v := range g.intGlobals {
+		if types.Identical(v.Typ, pointee) {
+			return true
+		}
+	}
+	for _, a := range g.arrGlobals {
+		if types.Identical(a.Typ.Elem, pointee) {
+			return true
+		}
+	}
+	for _, p := range g.ptrGlobals {
+		if types.Identical(p.Typ, pointee) {
+			return true // &ptrGlobal for a pointer-to-pointer
+		}
+	}
+	return false
+}
+
+// ptrExpr generates a valid pointer expression with the given pointee type:
+// an existing pointer variable, the address of a global of that type, the
+// address of an array element, or a load through a pointer-to-pointer.
+// Pointers always target global storage, so they can never dangle.
+func (g *generator) ptrExpr(pointee *types.Type) ast.Expr {
+	type candidate func() ast.Expr
+	var cands []candidate
+
+	if pv := g.pickPtrVar(pointee); pv != nil {
+		cands = append(cands, func() ast.Expr { return &ast.VarRef{Name: pv.Name} })
+	}
+	for _, v := range g.intGlobals {
+		if types.Identical(v.Typ, pointee) {
+			v := v
+			cands = append(cands, func() ast.Expr {
+				return &ast.Unary{Op: token.Amp, X: &ast.VarRef{Name: v.Name}}
+			})
+			break
+		}
+	}
+	for _, a := range g.arrGlobals {
+		if types.Identical(a.Typ.Elem, pointee) {
+			a := a
+			cands = append(cands, func() ast.Expr {
+				return &ast.Unary{Op: token.Amp, X: g.arrayElem(a).(*ast.Index)}
+			})
+			break
+		}
+	}
+	for _, p := range g.ptrGlobals {
+		if types.Identical(p.Typ, pointee) {
+			p := p
+			cands = append(cands, func() ast.Expr {
+				return &ast.Unary{Op: token.Amp, X: &ast.VarRef{Name: p.Name}}
+			})
+			break
+		}
+	}
+	// A pointer-to-pointer can be dereferenced once to yield a pointer.
+	for _, pp := range append(append([]*ast.VarDecl{}, g.ptrGlobals...), g.ptrLocals...) {
+		if pp.Typ.Elem.Kind == types.Pointer && types.Identical(pp.Typ.Elem.Elem, pointee) {
+			pp := pp
+			cands = append(cands, func() ast.Expr {
+				return &ast.Unary{Op: token.Star, X: &ast.VarRef{Name: pp.Name}}
+			})
+			break
+		}
+	}
+
+	if len(cands) == 0 {
+		panic("cgen: ptrExpr called with no available source (generator invariant violated)")
+	}
+	return cands[g.intn(len(cands))]()
+}

@@ -1,0 +1,400 @@
+package cgen
+
+import (
+	"dcelens/internal/ast"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// block generates a statement block. When needReturn is set a return of
+// retType is appended (functions always return explicitly at the end, so
+// MiniC's fall-off-the-end rule is never exercised by generated code).
+func (g *generator) block(depth int, needReturn bool, retType *types.Type) *ast.Block {
+	g.pushScope()
+	b := &ast.Block{}
+	n := g.cfg.MinStmts + g.intn(g.cfg.MaxStmts-g.cfg.MinStmts+1)
+	for i := 0; i < n; i++ {
+		b.Stmts = append(b.Stmts, g.stmt(depth)...)
+	}
+	if needReturn {
+		b.Stmts = append(b.Stmts, &ast.Return{X: g.intExpr(1)})
+	}
+	g.popScope()
+	return b
+}
+
+// stmt generates one statement; loop constructs may expand to a counter
+// declaration plus the loop, hence the slice result.
+func (g *generator) stmt(depth int) []ast.Stmt {
+	g.curCost += g.loopMult * stmtCost
+	// Depth-limited: at max nesting (or once the function's execution-cost
+	// budget is spent) only generate flat statements.
+	nested := depth < g.cfg.MaxBlockDepth && g.curCost < fnBudget
+	for {
+		switch g.intn(20) {
+		case 0, 1, 2:
+			if d := g.localDecl(); d != nil {
+				return []ast.Stmt{d}
+			}
+		case 3, 4, 5, 6, 7:
+			return []ast.Stmt{g.assignStmt()}
+		case 8:
+			return []ast.Stmt{g.incDecStmt()}
+		case 9, 10, 11:
+			if nested {
+				return []ast.Stmt{g.ifStmt(depth)}
+			}
+			return []ast.Stmt{g.assignStmt()}
+		case 12, 13:
+			if nested {
+				return g.forLoop(depth)
+			}
+		case 14:
+			if nested {
+				return g.whileLoop(depth)
+			}
+		case 15:
+			if nested {
+				return g.doWhileLoop(depth)
+			}
+		case 16:
+			if nested && g.chance(60) {
+				return []ast.Stmt{g.switchStmt(depth)}
+			}
+		case 17, 18:
+			if s := g.callStmt(); s != nil {
+				return []ast.Stmt{s}
+			}
+		case 19:
+			if g.loopDepth > 0 && g.chance(35) {
+				if g.chance(50) {
+					return []ast.Stmt{&ast.Break{}}
+				}
+				return []ast.Stmt{&ast.Continue{}}
+			}
+			// Conditional early return: the rest of the enclosing block
+			// becomes its own basic block (the paper's "function bodies
+			// after conditional returns" instrumentation site).
+			if g.chance(25) {
+				return []ast.Stmt{&ast.If{
+					Cond: g.condExpr(1),
+					Then: &ast.Block{Stmts: []ast.Stmt{&ast.Return{X: g.intExpr(1)}}},
+				}}
+			}
+		}
+	}
+}
+
+// localDecl declares a new local: an integer scalar, a pointer (to global
+// storage), or occasionally a static local. Returns nil when a pointer
+// target cannot be found.
+func (g *generator) localDecl() ast.Stmt {
+	if g.chance(25) && len(g.ptrGlobals)+len(g.ptrLocals) > 0 {
+		// Local pointer, always initialized to valid storage.
+		pointee := g.pickPointeeType()
+		if pointee == nil {
+			return nil
+		}
+		d := &ast.VarDecl{
+			Name: g.fresh("lp"),
+			Typ:  types.PointerTo(pointee),
+			Init: g.ptrExpr(pointee),
+		}
+		g.ptrLocals = append(g.ptrLocals, d)
+		return &ast.DeclStmt{Decl: d}
+	}
+	d := &ast.VarDecl{
+		Name: g.fresh("l"),
+		Typ:  g.pickType(),
+	}
+	if g.chance(12) {
+		d.Storage = ast.StorageStatic
+		d.Init = g.smallConst(d.Typ)
+	} else {
+		d.Init = g.intExpr(1)
+	}
+	g.intLocals = append(g.intLocals, d)
+	return &ast.DeclStmt{Decl: d}
+}
+
+// assignStmt writes to an integer lvalue, a pointer variable, or a
+// dereferenced pointer.
+func (g *generator) assignStmt() ast.Stmt {
+	roll := g.intn(10)
+	switch {
+	case roll < 6:
+		lhs := g.intLvalue()
+		op := token.Assign
+		if g.chance(30) {
+			op = g.compoundOp()
+		}
+		return &ast.ExprStmt{X: &ast.Assign{Op: op, LHS: lhs, RHS: g.intExpr(0)}}
+	case roll < 8:
+		// Re-point a pointer variable.
+		if pv := g.pickPtrVar(nil); pv != nil {
+			return &ast.ExprStmt{X: &ast.Assign{
+				Op:  token.Assign,
+				LHS: &ast.VarRef{Name: pv.Name},
+				RHS: g.ptrExpr(pv.Typ.Elem),
+			}}
+		}
+		fallthrough
+	default:
+		// Store through a pointer: *p = e (integer pointee) or
+		// *pp = q (pointer pointee).
+		if pv := g.pickPtrVar(nil); pv != nil {
+			lhs := &ast.Unary{Op: token.Star, X: &ast.VarRef{Name: pv.Name}}
+			if pv.Typ.Elem.Kind == types.Pointer {
+				return &ast.ExprStmt{X: &ast.Assign{
+					Op: token.Assign, LHS: lhs, RHS: g.ptrExpr(pv.Typ.Elem.Elem),
+				}}
+			}
+			return &ast.ExprStmt{X: &ast.Assign{
+				Op: token.Assign, LHS: lhs, RHS: g.intExpr(0),
+			}}
+		}
+		// No pointers at all: fall back to a plain assignment.
+		return &ast.ExprStmt{X: &ast.Assign{
+			Op: token.Assign, LHS: g.intLvalue(), RHS: g.intExpr(0),
+		}}
+	}
+}
+
+func (g *generator) compoundOp() token.Kind {
+	ops := []token.Kind{
+		token.PlusAssign, token.MinusAssign, token.StarAssign,
+		token.SlashAssign, token.PercentAssign, token.AmpAssign,
+		token.PipeAssign, token.CaretAssign, token.ShlAssign, token.ShrAssign,
+	}
+	return ops[g.intn(len(ops))]
+}
+
+func (g *generator) incDecStmt() ast.Stmt {
+	op := token.PlusPlus
+	if g.chance(40) {
+		op = token.MinusMinus
+	}
+	return &ast.ExprStmt{X: &ast.IncDec{
+		Op: op, Prefix: g.chance(50), X: g.intLvalue(),
+	}}
+}
+
+func (g *generator) ifStmt(depth int) ast.Stmt {
+	s := &ast.If{
+		Cond: g.condExpr(0),
+		Then: g.block(depth+1, false, nil),
+	}
+	if g.chance(35) {
+		s.Else = g.block(depth+1, false, nil)
+	}
+	return s
+}
+
+// loopLimit picks a trip count that keeps the enclosing iteration
+// multiplier within budget, then scales the multiplier for the body.
+func (g *generator) loopLimit() int {
+	max := g.cfg.MaxLoopIter
+	if cap := int(maxLoopMult / g.loopMult); cap < max {
+		max = cap
+	}
+	if max < 1 {
+		max = 1
+	}
+	limit := 1 + g.intn(max)
+	g.loopMult *= int64(limit)
+	return limit
+}
+
+// forLoop generates a bounded counting loop over a fresh read-only counter.
+func (g *generator) forLoop(depth int) []ast.Stmt {
+	counter := &ast.VarDecl{Name: g.fresh("i"), Typ: types.I32Type,
+		Init: &ast.IntLit{Val: 0, Typ: types.I32Type}}
+	limit := g.loopLimit()
+	defer func() { g.loopMult /= int64(limit) }()
+
+	g.pushScope()
+	// The counter is readable in the body but never appears in the
+	// assignable pool, so the bound holds by construction.
+	g.roLocal(counter)
+	g.loopDepth++
+	body := g.block(depth+1, false, nil)
+	g.loopDepth--
+	g.popScope()
+
+	return []ast.Stmt{&ast.For{
+		Init: &ast.DeclStmt{Decl: counter},
+		Cond: &ast.Binary{Op: token.Lt,
+			X: &ast.VarRef{Name: counter.Name},
+			Y: &ast.IntLit{Val: int64(limit), Typ: types.I32Type}},
+		Post: &ast.IncDec{Op: token.PlusPlus, X: &ast.VarRef{Name: counter.Name}},
+		Body: body,
+	}}
+}
+
+// whileLoop generates `int c = 0; while (c < K [&& cond]) { c++; ... }`.
+// The increment is the first statement of the body, so continue statements
+// (which can only appear after it) never skip it.
+func (g *generator) whileLoop(depth int) []ast.Stmt {
+	counter := &ast.VarDecl{Name: g.fresh("w"), Typ: types.I32Type,
+		Init: &ast.IntLit{Val: 0, Typ: types.I32Type}}
+	limit := g.loopLimit()
+	defer func() { g.loopMult /= int64(limit) }()
+
+	var cond ast.Expr = &ast.Binary{Op: token.Lt,
+		X: &ast.VarRef{Name: counter.Name},
+		Y: &ast.IntLit{Val: int64(limit), Typ: types.I32Type}}
+	if g.chance(50) {
+		cond = &ast.Binary{Op: token.AndAnd, X: cond, Y: g.condExpr(1)}
+	}
+
+	g.pushScope()
+	g.roLocal(counter)
+	g.loopDepth++
+	body := g.block(depth+1, false, nil)
+	g.loopDepth--
+	g.popScope()
+	body.Stmts = append([]ast.Stmt{
+		&ast.ExprStmt{X: &ast.IncDec{Op: token.PlusPlus, X: &ast.VarRef{Name: counter.Name}}},
+	}, body.Stmts...)
+
+	return []ast.Stmt{
+		&ast.DeclStmt{Decl: counter},
+		&ast.While{Cond: cond, Body: body},
+	}
+}
+
+// doWhileLoop generates `int c = 0; do { c++; ... } while (c < K [&& cond]);`.
+func (g *generator) doWhileLoop(depth int) []ast.Stmt {
+	counter := &ast.VarDecl{Name: g.fresh("d"), Typ: types.I32Type,
+		Init: &ast.IntLit{Val: 0, Typ: types.I32Type}}
+	limit := g.loopLimit()
+	defer func() { g.loopMult /= int64(limit) }()
+
+	g.pushScope()
+	g.roLocal(counter)
+	g.loopDepth++
+	body := g.block(depth+1, false, nil)
+	g.loopDepth--
+	g.popScope()
+	body.Stmts = append([]ast.Stmt{
+		&ast.ExprStmt{X: &ast.IncDec{Op: token.PlusPlus, X: &ast.VarRef{Name: counter.Name}}},
+	}, body.Stmts...)
+
+	var cond ast.Expr = &ast.Binary{Op: token.Lt,
+		X: &ast.VarRef{Name: counter.Name},
+		Y: &ast.IntLit{Val: int64(limit), Typ: types.I32Type}}
+	if g.chance(40) {
+		cond = &ast.Binary{Op: token.AndAnd, X: cond, Y: g.condExpr(1)}
+	}
+
+	return []ast.Stmt{
+		&ast.DeclStmt{Decl: counter},
+		&ast.DoWhile{Body: body, Cond: cond},
+	}
+}
+
+// roLocal registers a read-only local (loop counter): it joins the readable
+// pool consulted by expression generation but is never a target of
+// assignment, so loop bounds hold by construction. The registration is
+// scoped: popScope removes it.
+func (g *generator) roLocal(d *ast.VarDecl) {
+	g.roLocals = append(g.roLocals, d)
+}
+
+func (g *generator) switchStmt(depth int) ast.Stmt {
+	s := &ast.Switch{Tag: g.intExpr(0)}
+	ncases := 2 + g.intn(3)
+	used := map[int64]bool{}
+	for i := 0; i < ncases; i++ {
+		v := int64(g.intn(8))
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		c := &ast.SwitchCase{
+			Vals: []ast.Expr{&ast.IntLit{Val: v, Typ: types.I32Type}},
+		}
+		g.pushScope()
+		nb := 1 + g.intn(2)
+		for j := 0; j < nb; j++ {
+			c.Body = append(c.Body, g.flatStmt(depth)...)
+		}
+		g.popScope()
+		if g.chance(85) {
+			c.Body = append(c.Body, &ast.Break{})
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	if g.chance(60) {
+		c := &ast.SwitchCase{IsDefault: true}
+		g.pushScope()
+		c.Body = append(c.Body, g.assignStmt())
+		g.popScope()
+		s.Cases = append(s.Cases, c)
+	}
+	return s
+}
+
+// flatStmt generates a non-nesting statement for switch-case bodies
+// (avoiding declarations, whose scope inside case groups is subtle in C).
+func (g *generator) flatStmt(depth int) []ast.Stmt {
+	switch g.intn(4) {
+	case 0:
+		return []ast.Stmt{g.incDecStmt()}
+	case 1:
+		if s := g.callStmt(); s != nil {
+			return []ast.Stmt{s}
+		}
+		fallthrough
+	default:
+		return []ast.Stmt{g.assignStmt()}
+	}
+}
+
+// pickCallee chooses an earlier-defined helper (keeping the call graph
+// acyclic) whose estimated cost fits the call budget at the current loop
+// multiplier. Returns nil when no callee is affordable.
+func (g *generator) pickCallee() *ast.FuncDecl {
+	n := g.fnIndex
+	if n > len(g.funcs) {
+		n = len(g.funcs)
+	}
+	if n == 0 || g.curCost >= fnBudget {
+		return nil
+	}
+	var cands []int
+	for i := 0; i < n; i++ {
+		if g.loopMult*g.fnCosts[i] <= callBudget {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	i := cands[g.intn(len(cands))]
+	g.curCost += g.loopMult * g.fnCosts[i]
+	return g.funcs[i]
+}
+
+// callStmt calls an affordable helper, usually assigning the result to an
+// integer lvalue.
+func (g *generator) callStmt() ast.Stmt {
+	callee := g.pickCallee()
+	if callee == nil {
+		return nil
+	}
+	call := &ast.Call{Name: callee.Name}
+	for _, p := range callee.Params {
+		if p.Typ.Kind == types.Pointer {
+			call.Args = append(call.Args, g.ptrExpr(p.Typ.Elem))
+		} else {
+			call.Args = append(call.Args, g.intExpr(1))
+		}
+	}
+	if g.chance(70) {
+		return &ast.ExprStmt{X: &ast.Assign{
+			Op: token.Assign, LHS: g.intLvalue(), RHS: call,
+		}}
+	}
+	return &ast.ExprStmt{X: call}
+}

@@ -1,0 +1,12 @@
+// Paper Listing 3 (LLVM PR49434): EarlyCSE cannot decide &a == &b[1].
+void DCEMarker0(void);
+char a;
+char b[2];
+int main(void) {
+  char *c = &a;
+  char *d = &b[1];
+  if (c == d) {
+    DCEMarker0();
+  }
+  return 0;
+}

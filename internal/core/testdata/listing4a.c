@@ -1,0 +1,10 @@
+// Paper Listing 4a (GCC PR99357): flow-insensitive global value analysis.
+void DCEMarker0(void);
+static int a = 0;
+int main(void) {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 0;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Paper Listing 6a: LLVM >= 3.8 regression (store of a different constant).
+void DCEMarker0(void);
+static int a = 0;
+int main(void) {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 1;
+  return 0;
+}

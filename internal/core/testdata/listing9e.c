@@ -1,0 +1,14 @@
+// Paper Listing 9e (GCC PR99776): vectorized pointer stores lose their
+// type (local loop counter; see DESIGN.md on global counters).
+void DCEMarker0(void);
+static int a[2];
+static int *c[2];
+int main(void) {
+  for (int i = 0; i < 2; i++) {
+    c[i] = &a[1];
+  }
+  if (!c[0]) {
+    DCEMarker0();
+  }
+  return 0;
+}

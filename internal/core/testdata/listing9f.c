@@ -1,0 +1,10 @@
+// Paper Listing 9f (GCC PR99419, rediscovered): constant array load.
+void DCEMarker0(void);
+int a;
+static int b[2] = {0, 0};
+int main(void) {
+  if (b[a]) {
+    DCEMarker0();
+  }
+  return 0;
+}

@@ -1,0 +1,321 @@
+// Package corpus runs campaigns: generate a corpus of instrumented random
+// programs, compute ground truth, compile every program under every
+// (personality, level) configuration, and aggregate the statistics behind
+// the paper's evaluation (§4.1, §4.2, Tables 1/2 and the differential
+// counts). It also collects the individual findings that feed reduction,
+// bisection, and the Table 5 triage model.
+package corpus
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/cgen"
+	"dcelens/internal/core"
+	"dcelens/internal/instrument"
+	"dcelens/internal/pipeline"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// Programs is the corpus size.
+	Programs int
+	// BaseSeed offsets the per-program seeds (seed i = BaseSeed + i).
+	BaseSeed int64
+	// GenConfig builds the generator configuration per seed; nil means
+	// cgen.DefaultConfig.
+	GenConfig func(seed int64) cgen.Config
+	// VerifySemantics additionally executes every compiled module and
+	// compares against ground truth (miscompile detection). Slower.
+	VerifySemantics bool
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Personalities and Levels default to both compilers and all levels.
+	Personalities []pipeline.Personality
+	Levels        []pipeline.Level
+}
+
+func (o *Options) fill() {
+	if o.Programs <= 0 {
+		o.Programs = 20
+	}
+	if o.GenConfig == nil {
+		o.GenConfig = cgen.DefaultConfig
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Personalities) == 0 {
+		o.Personalities = []pipeline.Personality{pipeline.GCC, pipeline.LLVM}
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = pipeline.Levels
+	}
+}
+
+// ConfigKey identifies a compiler configuration in result maps.
+type ConfigKey struct {
+	Personality pipeline.Personality
+	Level       pipeline.Level
+}
+
+// ProgramResult holds everything derived from one corpus program.
+type ProgramResult struct {
+	Seed   int64
+	Ins    *instrument.Program
+	Truth  *core.Truth
+	Graph  *core.MarkerCFG
+	PerCfg map[ConfigKey]*core.Analysis
+	Err    error
+}
+
+// FindingKind classifies how a missed optimization was discovered.
+type FindingKind int
+
+const (
+	// KindCompilerDiff: one compiler eliminates the marker at -O3, the
+	// other keeps it (paper §4.2 "Between GCC and LLVM").
+	KindCompilerDiff FindingKind = iota
+	// KindLevelDiff: eliminated at -O1 or -O2 but missed at -O3 (paper
+	// §4.2 "Between optimization levels").
+	KindLevelDiff
+)
+
+func (k FindingKind) String() string {
+	if k == KindCompilerDiff {
+		return "compiler-diff"
+	}
+	return "level-diff"
+}
+
+// Finding is one discovered missed optimization opportunity.
+type Finding struct {
+	Kind        FindingKind
+	Seed        int64
+	Marker      string
+	Personality pipeline.Personality // the compiler that missed
+	Level       pipeline.Level       // the level at which it missed
+	Primary     bool
+}
+
+// Stats aggregates a campaign.
+type Stats struct {
+	Programs     int
+	TotalMarkers int
+	DeadMarkers  int
+	AliveMarkers int
+
+	// Missed/Primary count dead markers not eliminated, per configuration.
+	Missed  map[ConfigKey]int
+	Primary map[ConfigKey]int
+
+	// DiffMissed[p] counts dead markers p misses at -O3 that the other
+	// personality eliminates at -O3; DiffPrimary restricts to primary.
+	DiffMissed  map[pipeline.Personality]int
+	DiffPrimary map[pipeline.Personality]int
+
+	// LevelMissed[p] counts dead markers p misses at -O3 but eliminates at
+	// -O1 or -O2; LevelPrimary restricts to primary.
+	LevelMissed  map[pipeline.Personality]int
+	LevelPrimary map[pipeline.Personality]int
+
+	Miscompiles int
+	Errors      []string
+}
+
+// Campaign bundles the corpus results.
+type Campaign struct {
+	Opts     Options
+	Programs []*ProgramResult
+	Stats    *Stats
+	Findings []Finding
+}
+
+// Run executes a campaign.
+func Run(o Options) (*Campaign, error) {
+	o.fill()
+	results := make([]*ProgramResult, o.Programs)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for i := 0; i < o.Programs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = analyzeProgram(o, o.BaseSeed+int64(i))
+		}()
+	}
+	wg.Wait()
+
+	c := &Campaign{Opts: o, Programs: results}
+	c.aggregate()
+	return c, nil
+}
+
+func analyzeProgram(o Options, seed int64) *ProgramResult {
+	r := &ProgramResult{Seed: seed, PerCfg: map[ConfigKey]*core.Analysis{}}
+	prog := cgen.Generate(o.GenConfig(seed))
+	ins, err := instrument.Instrument(prog, instrument.Options{})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Ins = ins
+	r.Truth, err = core.GroundTruth(ins)
+	if err != nil {
+		r.Err = fmt.Errorf("seed %d: %w", seed, err)
+		return r
+	}
+	r.Graph, err = core.BuildMarkerCFG(ins)
+	if err != nil {
+		r.Err = fmt.Errorf("seed %d: %w", seed, err)
+		return r
+	}
+	for _, p := range o.Personalities {
+		for _, lvl := range o.Levels {
+			cfg := pipeline.New(p, lvl)
+			an, err := core.Analyze(ins, cfg, r.Truth, r.Graph)
+			if err != nil {
+				r.Err = fmt.Errorf("seed %d %s: %w", seed, cfg.Name(), err)
+				return r
+			}
+			if o.VerifySemantics {
+				if err := an.Compilation.VerifyAgainstTruth(r.Truth); err != nil {
+					r.Err = err
+					return r
+				}
+			}
+			r.PerCfg[ConfigKey{p, lvl}] = an
+		}
+	}
+	return r
+}
+
+func (c *Campaign) aggregate() {
+	s := &Stats{
+		Missed:       map[ConfigKey]int{},
+		Primary:      map[ConfigKey]int{},
+		DiffMissed:   map[pipeline.Personality]int{},
+		DiffPrimary:  map[pipeline.Personality]int{},
+		LevelMissed:  map[pipeline.Personality]int{},
+		LevelPrimary: map[pipeline.Personality]int{},
+	}
+	for _, r := range c.Programs {
+		if r.Err != nil {
+			s.Errors = append(s.Errors, r.Err.Error())
+			continue
+		}
+		s.Programs++
+		s.TotalMarkers += len(r.Ins.Markers)
+		s.DeadMarkers += len(r.Truth.Dead)
+		s.AliveMarkers += len(r.Truth.Alive)
+		for key, an := range r.PerCfg {
+			s.Missed[key] += len(an.Missed)
+			s.Primary[key] += len(an.PrimaryMissed)
+		}
+		c.diffFindings(r, s)
+		c.levelFindings(r, s)
+	}
+	sort.Slice(c.Findings, func(i, j int) bool {
+		a, b := c.Findings[i], c.Findings[j]
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Marker < b.Marker
+	})
+	c.Stats = s
+}
+
+// diffFindings compares the two personalities at -O3 (paper §4.2).
+func (c *Campaign) diffFindings(r *ProgramResult, s *Stats) {
+	if len(c.Opts.Personalities) < 2 {
+		return
+	}
+	a := r.PerCfg[ConfigKey{pipeline.GCC, pipeline.O3}]
+	b := r.PerCfg[ConfigKey{pipeline.LLVM, pipeline.O3}]
+	if a == nil || b == nil {
+		return
+	}
+	record := func(missedBy pipeline.Personality, target, ref *core.Analysis) {
+		missed := core.DiffMissed(target.Compilation, ref.Compilation, r.Truth)
+		s.DiffMissed[missedBy] += len(missed)
+		primary := r.Graph.Primary(r.Truth, missed)
+		s.DiffPrimary[missedBy] += len(primary)
+		prim := map[string]bool{}
+		for _, m := range primary {
+			prim[m] = true
+		}
+		for _, m := range missed {
+			c.Findings = append(c.Findings, Finding{
+				Kind: KindCompilerDiff, Seed: r.Seed, Marker: m,
+				Personality: missedBy, Level: pipeline.O3, Primary: prim[m],
+			})
+		}
+	}
+	record(pipeline.GCC, a, b)
+	record(pipeline.LLVM, b, a)
+}
+
+// levelFindings looks for dead markers eliminated at -O1/-O2 but missed at
+// -O3 (paper §4.2 "Between optimization levels").
+func (c *Campaign) levelFindings(r *ProgramResult, s *Stats) {
+	for _, p := range c.Opts.Personalities {
+		o3 := r.PerCfg[ConfigKey{p, pipeline.O3}]
+		o1 := r.PerCfg[ConfigKey{p, pipeline.O1}]
+		o2 := r.PerCfg[ConfigKey{p, pipeline.O2}]
+		if o3 == nil || (o1 == nil && o2 == nil) {
+			continue
+		}
+		var missed []string
+		for _, m := range o3.Missed {
+			elimO1 := o1 != nil && !o1.Compilation.Alive[m]
+			elimO2 := o2 != nil && !o2.Compilation.Alive[m]
+			if elimO1 || elimO2 {
+				missed = append(missed, m)
+			}
+		}
+		s.LevelMissed[p] += len(missed)
+		primary := r.Graph.Primary(r.Truth, missed)
+		s.LevelPrimary[p] += len(primary)
+		prim := map[string]bool{}
+		for _, m := range primary {
+			prim[m] = true
+		}
+		for _, m := range missed {
+			c.Findings = append(c.Findings, Finding{
+				Kind: KindLevelDiff, Seed: r.Seed, Marker: m,
+				Personality: p, Level: pipeline.O3, Primary: prim[m],
+			})
+		}
+	}
+}
+
+// FindingsOf filters findings.
+func (c *Campaign) FindingsOf(kind FindingKind, p pipeline.Personality, primaryOnly bool) []Finding {
+	var out []Finding
+	for _, f := range c.Findings {
+		if f.Kind == kind && f.Personality == p && (!primaryOnly || f.Primary) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SourceOf returns the instrumented program's source text.
+func SourceOf(r *ProgramResult) string { return ast.Print(r.Ins.Prog) }
+
+// Result returns the per-program result for a seed.
+func (c *Campaign) Result(seed int64) *ProgramResult {
+	for _, r := range c.Programs {
+		if r != nil && r.Seed == seed {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package corpus
+
+import (
+	"testing"
+
+	"dcelens/internal/cgen"
+	"dcelens/internal/parser"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/reduce"
+	"dcelens/internal/sema"
+)
+
+// smallCampaign runs a fast campaign shared by several tests.
+func smallCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := Run(Options{Programs: 8, BaseSeed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stats.Errors) > 0 {
+		t.Fatalf("campaign errors: %v", c.Stats.Errors)
+	}
+	return c
+}
+
+func TestCampaignStatistics(t *testing.T) {
+	c := smallCampaign(t)
+	s := c.Stats
+	if s.Programs != 8 {
+		t.Fatalf("programs: %d", s.Programs)
+	}
+	if s.TotalMarkers != s.DeadMarkers+s.AliveMarkers {
+		t.Error("marker counts inconsistent")
+	}
+	if s.DeadMarkers == 0 || s.AliveMarkers == 0 {
+		t.Error("degenerate corpus")
+	}
+	// Dead-block prevalence should be Csmith-like: most blocks dead.
+	if float64(s.DeadMarkers) < 0.6*float64(s.TotalMarkers) {
+		t.Errorf("dead fraction too low: %d/%d", s.DeadMarkers, s.TotalMarkers)
+	}
+	// Table 1 monotonicity O0 > O1 >= O2 for both personalities.
+	for _, p := range []pipeline.Personality{pipeline.GCC, pipeline.LLVM} {
+		o0 := s.Missed[ConfigKey{p, pipeline.O0}]
+		o1 := s.Missed[ConfigKey{p, pipeline.O1}]
+		o2 := s.Missed[ConfigKey{p, pipeline.O2}]
+		if !(o0 > o1 && o1 >= o2) {
+			t.Errorf("%s: missed counts not monotone O0=%d O1=%d O2=%d", p, o0, o1, o2)
+		}
+		// Primary missed <= missed.
+		for _, lvl := range pipeline.Levels {
+			k := ConfigKey{p, lvl}
+			if s.Primary[k] > s.Missed[k] {
+				t.Errorf("%s %s: primary %d > missed %d", p, lvl, s.Primary[k], s.Missed[k])
+			}
+		}
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	c1, err := Run(Options{Programs: 3, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(Options{Programs: 3, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Findings) != len(c2.Findings) {
+		t.Fatalf("nondeterministic findings: %d vs %d", len(c1.Findings), len(c2.Findings))
+	}
+	for i := range c1.Findings {
+		if c1.Findings[i] != c2.Findings[i] {
+			t.Fatalf("finding %d differs: %+v vs %+v", i, c1.Findings[i], c2.Findings[i])
+		}
+	}
+	if c1.Stats.DeadMarkers != c2.Stats.DeadMarkers ||
+		c1.Stats.DiffMissed[pipeline.GCC] != c2.Stats.DiffMissed[pipeline.GCC] {
+		t.Error("nondeterministic statistics")
+	}
+}
+
+func TestReduceFinding(t *testing.T) {
+	c := smallCampaign(t)
+	if len(c.Findings) == 0 {
+		t.Skip("no findings in this corpus slice")
+	}
+	// Pick a primary finding if available (smaller reductions).
+	f := c.Findings[0]
+	for _, cand := range c.Findings {
+		if cand.Primary {
+			f = cand
+			break
+		}
+	}
+	rc, err := c.ReduceFinding(f, reduce.Options{MaxChecks: 600, MaxRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := c.Result(f.Seed)
+	if rc.Nodes <= 0 {
+		t.Fatal("empty reduction")
+	}
+	// The reduced case must be dramatically smaller than the original
+	// program (the paper's reductions go from hundreds of lines to ~10).
+	if rc.Nodes > origNodes(orig)/2 {
+		t.Errorf("weak reduction: %d of %d nodes", rc.Nodes, origNodes(orig))
+	}
+	// And it must still exhibit the miss under the standard oracle.
+	target := pipeline.New(f.Personality, f.Level)
+	var ref *pipeline.Config
+	if f.Kind == KindCompilerDiff {
+		ref = pipeline.New(other(f.Personality), pipeline.O3)
+	} else {
+		ref = pipeline.New(f.Personality, pipeline.O1)
+	}
+	prog, err := parser.Parse(rc.Source)
+	if err != nil {
+		t.Fatalf("reduced case invalid: %v\n%s", err, rc.Source)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatalf("reduced case fails sema: %v\n%s", err, rc.Source)
+	}
+	if !InterestingnessFor(f.Marker, target, ref)(prog) {
+		t.Errorf("reduced case no longer interesting:\n%s", rc.Source)
+	}
+}
+
+func origNodes(r *ProgramResult) int {
+	n := 0
+	for range r.Ins.Markers {
+		n++
+	}
+	// Use the marker count as a crude size floor and the printed length as
+	// the real comparison basis.
+	return len([]byte(SourceOf(r))) / 4
+}
+
+func TestTriageModel(t *testing.T) {
+	c := smallCampaign(t)
+	var cases []*ReducedCase
+	budget := 3
+	for _, f := range c.FindingsOf(KindCompilerDiff, pipeline.GCC, true) {
+		if budget == 0 {
+			break
+		}
+		budget--
+		rc, err := c.ReduceFinding(f, reduce.Options{MaxChecks: 400, MaxRounds: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, rc)
+	}
+	if len(cases) == 0 {
+		t.Skip("no gcc compiler-diff findings in this slice")
+	}
+	tri, err := TriageCases(pipeline.GCC, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Reported != len(cases) {
+		t.Errorf("reported %d, want %d", tri.Reported, len(cases))
+	}
+	if tri.Confirmed+tri.Duplicate != tri.Reported {
+		t.Errorf("triage counts inconsistent: %+v", tri)
+	}
+	if tri.Fixed > tri.Confirmed {
+		t.Errorf("fixed > confirmed: %+v", tri)
+	}
+}
+
+func TestBisectRegressionsFromCampaign(t *testing.T) {
+	// A corpus slice large enough to very likely contain level regressions
+	// for gcc-sim (widen/alias/sra are common patterns).
+	c, err := Run(Options{Programs: 12, BaseSeed: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, attempted, err := c.BisectRegressions(pipeline.GCC, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempted == 0 {
+		t.Skip("no level-diff findings to bisect in this slice")
+	}
+	for _, o := range outs {
+		if !o.Commit.Regression {
+			t.Errorf("bisected to a non-regression commit: %s (%s)", o.Commit.ID, o.Commit.Desc)
+		}
+	}
+}
+
+func TestSmallGeneratorConfig(t *testing.T) {
+	c, err := Run(Options{
+		Programs:  4,
+		BaseSeed:  9,
+		GenConfig: cgen.SmallConfig,
+		Levels:    []pipeline.Level{pipeline.O1, pipeline.O3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Programs != 4 {
+		t.Fatalf("programs: %d (%v)", c.Stats.Programs, c.Stats.Errors)
+	}
+}
+
+func TestNormalizeForDedup(t *testing.T) {
+	// Two alpha-equivalent reductions must normalize identically.
+	a := `
+void DCEMarker3(void);
+static int foo = 0;
+int main(void) {
+  if (foo) {
+    DCEMarker3();
+  }
+  foo = 0;
+  return 0;
+}`
+	b := `
+void DCEMarker7(void);
+static int bar = 0;
+int main(void) {
+  if (bar) {
+    DCEMarker7();
+  }
+  bar = 0;
+  return 0;
+}`
+	na := normalizeForDedup(a, "DCEMarker3")
+	nb := normalizeForDedup(b, "DCEMarker7")
+	if na != nb {
+		t.Fatalf("alpha-equivalent programs normalize differently:\n%s\n---\n%s", na, nb)
+	}
+	// A structurally different program must not collide.
+	c := `
+void DCEMarker0(void);
+static int x = 1;
+int main(void) {
+  if (x) {
+    DCEMarker0();
+  }
+  return 0;
+}`
+	if normalizeForDedup(c, "DCEMarker0") == na {
+		t.Fatal("different programs collided")
+	}
+}

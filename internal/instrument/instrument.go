@@ -1,0 +1,201 @@
+// Package instrument inserts optimization markers into MiniC programs —
+// step ① of the paper's pipeline.
+//
+// A marker is a call to an external function with no visible body
+// (void DCEMarkerN(void)). A compiler cannot analyze or inline such a call,
+// so the only way to remove it is to prove the surrounding basic block dead;
+// a marker surviving in the generated assembly therefore means the block is
+// (believed) alive. Markers are inserted at every source-level structure
+// that corresponds to a basic block: if-then and else bodies, loop bodies,
+// switch case and default groups, function entries, and the continuation of
+// a block after a conditional return (paper §4, "Implementation").
+package instrument
+
+import (
+	"fmt"
+	"strings"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+	"dcelens/internal/types"
+)
+
+// Prefix is the name prefix of block markers.
+const Prefix = "DCEMarker"
+
+// IsMarker reports whether name is an optimization-marker function —
+// either a block marker or a value-check marker (valuechecks.go).
+func IsMarker(name string) bool {
+	return strings.HasPrefix(name, Prefix) || strings.HasPrefix(name, ValueCheckPrefix)
+}
+
+// Marker identifies one inserted optimization marker.
+type Marker struct {
+	ID   int
+	Name string
+	// Site describes the instrumented construct, for diagnostics:
+	// "if-then", "if-else", "for-body", "while-body", "dowhile-body",
+	// "case", "default", "func-entry", "after-return".
+	Site string
+	// Func is the name of the function containing the marker.
+	Func string
+}
+
+// Program is an instrumented program together with its marker table.
+type Program struct {
+	Prog    *ast.Program
+	Markers []Marker
+}
+
+// MarkerNames returns the names of all markers in ID order.
+func (p *Program) MarkerNames() []string {
+	names := make([]string, len(p.Markers))
+	for i, m := range p.Markers {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Options controls which sites are instrumented. The zero value means
+// "everything", matching the paper.
+type Options struct {
+	SkipFunctionEntries bool
+	SkipAfterReturn     bool
+}
+
+// Instrument returns an instrumented copy of prog (prog itself is not
+// modified). The copy has been re-checked by sema.
+func Instrument(prog *ast.Program, opts Options) (*Program, error) {
+	ins := &instrumenter{opts: opts}
+	clone := ast.Clone(prog)
+	for _, f := range clone.Funcs() {
+		if f.Body == nil {
+			continue
+		}
+		ins.fn = f.Name
+		entryFirst := !opts.SkipFunctionEntries && f.Name != "main"
+		if entryFirst {
+			f.Body.Stmts = append([]ast.Stmt{ins.markerCall("func-entry")}, f.Body.Stmts...)
+		}
+		ins.block(f.Body)
+	}
+	// Declare the marker functions up front.
+	decls := make([]ast.Decl, 0, len(ins.markers)+len(clone.Decls))
+	for _, m := range ins.markers {
+		decls = append(decls, &ast.FuncDecl{
+			Name: m.Name,
+			Ret:  types.VoidType,
+		})
+	}
+	decls = append(decls, clone.Decls...)
+	clone.Decls = decls
+	if err := sema.Check(clone); err != nil {
+		return nil, fmt.Errorf("instrument: instrumented program fails sema: %w", err)
+	}
+	return &Program{Prog: clone, Markers: ins.markers}, nil
+}
+
+type instrumenter struct {
+	opts    Options
+	markers []Marker
+	fn      string
+}
+
+// markerCall allocates the next marker and returns the call statement.
+func (ins *instrumenter) markerCall(site string) ast.Stmt {
+	id := len(ins.markers)
+	m := Marker{ID: id, Name: fmt.Sprintf("%s%d", Prefix, id), Site: site, Func: ins.fn}
+	ins.markers = append(ins.markers, m)
+	return &ast.ExprStmt{X: &ast.Call{Name: m.Name}}
+}
+
+// asBlock wraps s in a block unless it already is one.
+func asBlock(s ast.Stmt) *ast.Block {
+	if b, ok := s.(*ast.Block); ok {
+		return b
+	}
+	return &ast.Block{Stmts: []ast.Stmt{s}}
+}
+
+// block instruments every nested basic block of b and inserts
+// after-conditional-return markers between b's statements.
+func (ins *instrumenter) block(b *ast.Block) {
+	var out []ast.Stmt
+	for i, s := range b.Stmts {
+		ins.stmt(&s)
+		out = append(out, s)
+		// Continuation marker: if this statement conditionally returns,
+		// the rest of the block is a new basic block.
+		if !ins.opts.SkipAfterReturn && i < len(b.Stmts)-1 && conditionallyReturns(s) {
+			out = append(out, ins.markerCall("after-return"))
+		}
+	}
+	b.Stmts = out
+}
+
+// stmt instruments the block-introducing statement kinds in place.
+func (ins *instrumenter) stmt(sp *ast.Stmt) {
+	switch s := (*sp).(type) {
+	case *ast.Block:
+		ins.block(s)
+	case *ast.If:
+		then := asBlock(s.Then)
+		then.Stmts = append([]ast.Stmt{ins.markerCall("if-then")}, then.Stmts...)
+		ins.block(then)
+		s.Then = then
+		if s.Else != nil {
+			if elseIf, ok := s.Else.(*ast.If); ok {
+				// else-if chains: instrument the nested if directly rather
+				// than wrapping it (it has its own then/else markers).
+				var es ast.Stmt = elseIf
+				ins.stmt(&es)
+				s.Else = es
+			} else {
+				els := asBlock(s.Else)
+				els.Stmts = append([]ast.Stmt{ins.markerCall("if-else")}, els.Stmts...)
+				ins.block(els)
+				s.Else = els
+			}
+		}
+	case *ast.While:
+		body := asBlock(s.Body)
+		body.Stmts = append([]ast.Stmt{ins.markerCall("while-body")}, body.Stmts...)
+		ins.block(body)
+		s.Body = body
+	case *ast.DoWhile:
+		body := asBlock(s.Body)
+		body.Stmts = append([]ast.Stmt{ins.markerCall("dowhile-body")}, body.Stmts...)
+		ins.block(body)
+		s.Body = body
+	case *ast.For:
+		body := asBlock(s.Body)
+		body.Stmts = append([]ast.Stmt{ins.markerCall("for-body")}, body.Stmts...)
+		ins.block(body)
+		s.Body = body
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			site := "case"
+			if c.IsDefault {
+				site = "default"
+			}
+			c.Body = append([]ast.Stmt{ins.markerCall(site)}, c.Body...)
+			for j := range c.Body {
+				ins.stmt(&c.Body[j])
+			}
+		}
+	}
+}
+
+// conditionallyReturns reports whether s contains a return statement on
+// some but not necessarily all paths — i.e. executing s might or might not
+// leave the function, so the code after s forms its own basic block.
+func conditionallyReturns(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.Return); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,250 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/cgen"
+	"dcelens/internal/interp"
+	"dcelens/internal/parser"
+	"dcelens/internal/sema"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestInstrumentBasicBlocks(t *testing.T) {
+	prog := mustParse(t, `
+static int c = 0;
+int main(void) {
+  if (c) {
+    c = 1;
+  } else {
+    c = 2;
+  }
+  for (int i = 0; i < 3; i++) c += i;
+  while (c > 100) c--;
+  do { c++; } while (c < 0);
+  switch (c) {
+  case 1:
+    c = 5;
+    break;
+  default:
+    c = 6;
+  }
+  return 0;
+}`)
+	ins, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites: if-then, if-else, for-body, while-body, dowhile-body, case,
+	// default. main has no entry marker.
+	wantSites := map[string]int{
+		"if-then": 1, "if-else": 1, "for-body": 1, "while-body": 1,
+		"dowhile-body": 1, "case": 1, "default": 1,
+	}
+	got := map[string]int{}
+	for _, m := range ins.Markers {
+		got[m.Site]++
+	}
+	for site, n := range wantSites {
+		if got[site] != n {
+			t.Errorf("site %s: got %d markers, want %d\nmarkers: %+v", site, got[site], n, ins.Markers)
+		}
+	}
+	src := ast.Print(ins.Prog)
+	for _, m := range ins.Markers {
+		if !strings.Contains(src, m.Name+"();") {
+			t.Errorf("marker %s not present in instrumented source", m.Name)
+		}
+	}
+}
+
+func TestFunctionEntryMarkers(t *testing.T) {
+	prog := mustParse(t, `
+static int helper(void) { return 1; }
+int main(void) { return helper(); }`)
+	ins, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries int
+	for _, m := range ins.Markers {
+		if m.Site == "func-entry" {
+			entries++
+			if m.Func != "helper" {
+				t.Errorf("entry marker in %s, want helper", m.Func)
+			}
+		}
+	}
+	if entries != 1 {
+		t.Errorf("got %d entry markers, want 1 (main excluded)", entries)
+	}
+
+	ins2, err := Instrument(prog, Options{SkipFunctionEntries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ins2.Markers {
+		if m.Site == "func-entry" {
+			t.Error("entry markers present despite SkipFunctionEntries")
+		}
+	}
+}
+
+func TestAfterReturnMarker(t *testing.T) {
+	prog := mustParse(t, `
+static int a = 0;
+int main(void) {
+  if (a) {
+    return 1;
+  }
+  a = 2;
+  return 0;
+}`)
+	ins, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after int
+	for _, m := range ins.Markers {
+		if m.Site == "after-return" {
+			after++
+		}
+	}
+	if after != 1 {
+		t.Errorf("got %d after-return markers, want 1", after)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	prog := mustParse(t, `
+static int a = 1;
+int main(void) {
+  if (a == 0) {
+    a = 10;
+  } else if (a == 1) {
+    a = 20;
+  } else {
+    a = 30;
+  }
+  return a;
+}`)
+	ins, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ifs: 2 then-markers, 1 else-marker (the final else); the else-if
+	// is instrumented as a nested if, not wrapped as an else block.
+	got := map[string]int{}
+	for _, m := range ins.Markers {
+		got[m.Site]++
+	}
+	if got["if-then"] != 2 || got["if-else"] != 1 {
+		t.Errorf("markers: %+v", got)
+	}
+}
+
+// TestInstrumentationPreservesSemantics is the central soundness property
+// (paper footnote 2): adding markers must not change program behaviour.
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		before, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Logf("seed %d: uninstrumented run failed: %v", seed, err)
+			return false
+		}
+		ins, err := Instrument(prog, Options{})
+		if err != nil {
+			t.Logf("seed %d: instrument failed: %v", seed, err)
+			return false
+		}
+		after, err := interp.Run(ins.Prog, interp.Options{})
+		if err != nil {
+			t.Logf("seed %d: instrumented run failed: %v", seed, err)
+			return false
+		}
+		if before.Checksum != after.Checksum || before.ExitCode != after.ExitCode {
+			t.Logf("seed %d: instrumentation changed behaviour", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroundTruth checks the executed-marker recording that defines
+// alive/dead ground truth (paper §4.1).
+func TestGroundTruth(t *testing.T) {
+	prog := mustParse(t, `
+static int c = 0;
+int main(void) {
+  if (c) {
+    c = 1; // dead: c is 0 here
+  }
+  if (c == 0) {
+    c = 2; // alive
+  }
+  return 0;
+}`)
+	ins, err := Instrument(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(ins.Prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Markers) != 2 {
+		t.Fatalf("want 2 markers, got %d", len(ins.Markers))
+	}
+	if res.Executed(ins.Markers[0].Name) {
+		t.Error("marker in dead block reported alive")
+	}
+	if !res.Executed(ins.Markers[1].Name) {
+		t.Error("marker in alive block reported dead")
+	}
+}
+
+func TestInstrumentDoesNotMutateOriginal(t *testing.T) {
+	prog := mustParse(t, `static int a; int main(void) { if (a) { a = 1; } return 0; }`)
+	before := ast.Print(prog)
+	if _, err := Instrument(prog, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if ast.Print(prog) != before {
+		t.Error("Instrument mutated its input")
+	}
+}
+
+func TestMarkerPrevalence(t *testing.T) {
+	// Generated programs must contain enough instrumentable blocks for the
+	// statistics to be meaningful.
+	total := 0
+	for seed := int64(0); seed < 10; seed++ {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		ins, err := Instrument(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ins.Markers)
+	}
+	if total < 200 {
+		t.Errorf("only %d markers over 10 programs; generator produces too few blocks", total)
+	}
+}

@@ -1,0 +1,111 @@
+package instrument
+
+import (
+	"fmt"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/interp"
+	"dcelens/internal/sema"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// ValueCheckPrefix names value-check markers, distinguishing them from
+// block markers.
+const ValueCheckPrefix = "DCEValueCheck"
+
+// InstrumentValueChecks implements the paper's §4.4 "Future directions"
+// extension: instead of relying on existing dead blocks, synthesize
+// guaranteed-dead blocks of the form
+//
+//	if (g != C) DCEValueCheckN();
+//
+// where C is g's actual value at that program point, recorded by executing
+// the program. The checks are inserted at the end of main (just before its
+// final return), so C is each integer global scalar's exit value: the
+// guard is false by construction and the marker is dead. A compiler
+// eliminates it exactly when its pipeline can prove the global's final
+// value — an end-to-end probe of constant propagation and (with loops in
+// the program) scalar evolution.
+//
+// The input program is not modified; the result carries the combined
+// marker table (block markers absent — value checks only).
+func InstrumentValueChecks(prog *ast.Program) (*Program, error) {
+	// Record exit values on the unmodified program.
+	res, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("instrument: value recording run: %w", err)
+	}
+
+	clone := ast.Clone(prog)
+	out := &Program{Prog: clone}
+	mainFn := clone.Main()
+	if mainFn == nil || mainFn.Body == nil {
+		return nil, fmt.Errorf("instrument: program has no main")
+	}
+
+	// Collect the integer global scalars, in declaration order.
+	var checks []ast.Stmt
+	var declNames []string
+	for _, g := range clone.Globals() {
+		if g.Storage == ast.StorageExtern || !g.Typ.IsInteger() {
+			continue
+		}
+		val, ok := res.FinalGlobals[g.Name]
+		if !ok {
+			continue
+		}
+		id := len(out.Markers)
+		name := fmt.Sprintf("%s%d", ValueCheckPrefix, id)
+		out.Markers = append(out.Markers, Marker{
+			ID: id, Name: name, Site: "value-check", Func: "main",
+		})
+		declNames = append(declNames, name)
+
+		// if (g != C) { DCEValueCheckN(); }
+		lit := &ast.IntLit{Val: val, Typ: litTypeFor(g.Typ)}
+		checks = append(checks, &ast.If{
+			Cond: &ast.Binary{
+				Op: token.NotEq,
+				X:  &ast.VarRef{Name: g.Name},
+				Y:  lit,
+			},
+			Then: &ast.Block{Stmts: []ast.Stmt{
+				&ast.ExprStmt{X: &ast.Call{Name: name}},
+			}},
+		})
+	}
+
+	// Insert the checks just before main's trailing return (or at the end
+	// of the body if main falls off the end).
+	body := mainFn.Body
+	insertAt := len(body.Stmts)
+	if insertAt > 0 {
+		if _, isRet := body.Stmts[insertAt-1].(*ast.Return); isRet {
+			insertAt--
+		}
+	}
+	rest := append([]ast.Stmt{}, body.Stmts[insertAt:]...)
+	body.Stmts = append(body.Stmts[:insertAt], append(checks, rest...)...)
+
+	// Declare the marker functions.
+	decls := make([]ast.Decl, 0, len(declNames)+len(clone.Decls))
+	for _, n := range declNames {
+		decls = append(decls, &ast.FuncDecl{Name: n, Ret: types.VoidType})
+	}
+	clone.Decls = append(decls, clone.Decls...)
+
+	if err := sema.Check(clone); err != nil {
+		return nil, fmt.Errorf("instrument: value-checked program fails sema: %w", err)
+	}
+	return out, nil
+}
+
+// litTypeFor picks a literal type whose canonical values can represent the
+// recorded global's value exactly in a comparison against the global.
+func litTypeFor(t *types.Type) *types.Type {
+	if t.IsSigned() {
+		return types.I64Type
+	}
+	return types.U64Type
+}

@@ -1,0 +1,81 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/cgen"
+	"dcelens/internal/interp"
+)
+
+func TestValueChecksAreDead(t *testing.T) {
+	prog := mustParse(t, `
+static int a = 3;
+static unsigned b = 7U;
+int main(void) {
+  a = a * 2;      // a ends as 6
+  b = b + 1U;     // b ends as 8
+  return 0;
+}`)
+	ins, err := InstrumentValueChecks(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Markers) != 2 {
+		t.Fatalf("want 2 value checks, got %d", len(ins.Markers))
+	}
+	src := ast.Print(ins.Prog)
+	if !strings.Contains(src, "a != 6L") || !strings.Contains(src, "b != 8UL") {
+		t.Errorf("recorded values missing:\n%s", src)
+	}
+	// By construction every value-check marker is dead.
+	res, err := interp.Run(ins.Prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ins.Markers {
+		if res.Executed(m.Name) {
+			t.Errorf("value check %s executed — recording is wrong", m.Name)
+		}
+	}
+	// And the instrumented program behaves like the original.
+	orig, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != orig.Checksum || res.ExitCode != orig.ExitCode {
+		t.Error("value-check instrumentation changed behaviour")
+	}
+}
+
+func TestValueChecksOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		ins, err := InstrumentValueChecks(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(ins.Markers) == 0 {
+			t.Fatalf("seed %d: no value checks", seed)
+		}
+		res, err := interp.Run(ins.Prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, m := range ins.Markers {
+			if res.Executed(m.Name) {
+				t.Fatalf("seed %d: %s executed", seed, m.Name)
+			}
+		}
+	}
+}
+
+func TestValueCheckMarkerNames(t *testing.T) {
+	if !IsMarker("DCEValueCheck3") || !IsMarker("DCEMarker0") {
+		t.Error("IsMarker must accept both marker families")
+	}
+	if IsMarker("printf") {
+		t.Error("IsMarker too permissive")
+	}
+}

@@ -1,0 +1,724 @@
+package interp
+
+import (
+	"fmt"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// frame is one function activation.
+type frame struct {
+	locals map[*ast.VarDecl]*Object
+}
+
+// ctrl describes how a statement finished.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// callFunction executes fn with the given argument values. It returns the
+// return value (zero Value for void or a fall-off-the-end return, which
+// MiniC defines as 0).
+func (in *interp) callFunction(fn *ast.FuncDecl, args []Value) (Value, error) {
+	if fn.Body == nil {
+		// Opaque external: record the call. Externals have no observable
+		// effect on program state (they cannot name internal globals).
+		in.result.ExternCalls[fn.Name]++
+		if fn.Ret.Kind == types.Pointer {
+			return Value{IsPtr: true}, nil
+		}
+		return intV(0), nil
+	}
+	in.depth++
+	if in.depth > in.maxDepth {
+		return Value{}, &RuntimeError{Pos: fn.Pos(), Msg: "call depth exceeded"}
+	}
+	defer func() { in.depth-- }()
+
+	fr := &frame{locals: map[*ast.VarDecl]*Object{}}
+	for i, p := range fn.Params {
+		o := in.newObject(p)
+		o.Vals[0] = args[i]
+		fr.locals[p] = o
+	}
+	defer func() {
+		for _, o := range fr.locals {
+			o.Dead = true
+		}
+	}()
+	c, v, err := in.stmt(fr, fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlReturn {
+		return v, nil
+	}
+	if fn.Ret.Kind == types.Pointer {
+		return Value{IsPtr: true}, nil
+	}
+	return intV(0), nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (in *interp) stmt(fr *frame, s ast.Stmt) (ctrl, Value, error) {
+	if err := in.step(); err != nil {
+		return ctrlNone, Value{}, err
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			c, v, err := in.stmt(fr, st)
+			if err != nil || c != ctrlNone {
+				return c, v, err
+			}
+		}
+		return ctrlNone, Value{}, nil
+
+	case *ast.DeclStmt:
+		return ctrlNone, Value{}, in.declStmt(fr, s.Decl)
+
+	case *ast.ExprStmt:
+		_, err := in.expr(fr, s.X)
+		return ctrlNone, Value{}, err
+
+	case *ast.Empty:
+		return ctrlNone, Value{}, nil
+
+	case *ast.If:
+		cond, err := in.expr(fr, s.Cond)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		if cond.Truthy() {
+			return in.stmt(fr, s.Then)
+		}
+		if s.Else != nil {
+			return in.stmt(fr, s.Else)
+		}
+		return ctrlNone, Value{}, nil
+
+	case *ast.While:
+		for {
+			cond, err := in.expr(fr, s.Cond)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, Value{}, nil
+			}
+			c, v, err := in.stmt(fr, s.Body)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+		}
+
+	case *ast.DoWhile:
+		for {
+			c, v, err := in.stmt(fr, s.Body)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+			cond, err := in.expr(fr, s.Cond)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, Value{}, nil
+			}
+		}
+
+	case *ast.For:
+		if s.Init != nil {
+			if c, v, err := in.stmt(fr, s.Init); err != nil || c != ctrlNone {
+				return c, v, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				cond, err := in.expr(fr, s.Cond)
+				if err != nil {
+					return ctrlNone, Value{}, err
+				}
+				if !cond.Truthy() {
+					return ctrlNone, Value{}, nil
+				}
+			}
+			c, v, err := in.stmt(fr, s.Body)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+			if s.Post != nil {
+				if _, err := in.expr(fr, s.Post); err != nil {
+					return ctrlNone, Value{}, err
+				}
+			}
+		}
+
+	case *ast.Return:
+		if s.X == nil {
+			return ctrlReturn, intV(0), nil
+		}
+		v, err := in.expr(fr, s.X)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		return ctrlReturn, v, nil
+
+	case *ast.Break:
+		return ctrlBreak, Value{}, nil
+
+	case *ast.Continue:
+		return ctrlContinue, Value{}, nil
+
+	case *ast.Switch:
+		return in.switchStmt(fr, s)
+
+	default:
+		panic(fmt.Sprintf("interp: unknown stmt %T", s))
+	}
+}
+
+func (in *interp) declStmt(fr *frame, d *ast.VarDecl) error {
+	if d.Storage == ast.StorageStatic {
+		// Static locals are initialized once, before execution, from a
+		// constant initializer; lazy creation on first encounter is
+		// equivalent because the initializer is constant.
+		if _, ok := in.statics[d]; !ok {
+			o := in.newObject(d)
+			if d.Init != nil {
+				if err := in.initObject(o, d.Init); err != nil {
+					return err
+				}
+			}
+			in.statics[d] = o
+		}
+		return nil
+	}
+	o := in.newObject(d)
+	fr.locals[d] = o
+	if d.Init == nil {
+		return nil
+	}
+	if arr, ok := d.Init.(*ast.ArrayInit); ok {
+		for i, e := range arr.Elems {
+			v, err := in.expr(fr, e)
+			if err != nil {
+				return err
+			}
+			o.Vals[i] = v
+		}
+		return nil
+	}
+	v, err := in.expr(fr, d.Init)
+	if err != nil {
+		return err
+	}
+	o.Vals[0] = v
+	return nil
+}
+
+func (in *interp) switchStmt(fr *frame, s *ast.Switch) (ctrl, Value, error) {
+	tag, err := in.expr(fr, s.Tag)
+	if err != nil {
+		return ctrlNone, Value{}, err
+	}
+	// Find the matching case group (or default); then execute with C
+	// fallthrough until break or the end of the switch.
+	match := -1
+	defaultIdx := -1
+	for i, c := range s.Cases {
+		if c.IsDefault {
+			defaultIdx = i
+		}
+		for _, lbl := range c.Vals {
+			lv, ok := sema.ConstEval(lbl)
+			if !ok {
+				return ctrlNone, Value{}, &RuntimeError{Pos: lbl.Pos(), Msg: "non-constant case label"}
+			}
+			if lv == tag.Int {
+				match = i
+			}
+		}
+		if match == i {
+			break
+		}
+	}
+	if match < 0 {
+		match = defaultIdx
+	}
+	if match < 0 {
+		return ctrlNone, Value{}, nil
+	}
+	for i := match; i < len(s.Cases); i++ {
+		for _, st := range s.Cases[i].Body {
+			c, v, err := in.stmt(fr, st)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn, ctrlContinue:
+				return c, v, nil
+			}
+		}
+	}
+	return ctrlNone, Value{}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// lvalue resolves an assignable expression to its storage location.
+func (in *interp) lvalue(fr *frame, e ast.Expr) (*Object, int64, error) {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		o, err := in.object(fr, e)
+		return o, 0, err
+	case *ast.Index:
+		return in.indexLoc(fr, e)
+	case *ast.Unary:
+		if e.Op != token.Star {
+			break
+		}
+		p, err := in.expr(fr, e.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !p.IsPtr || p.Obj == nil {
+			return nil, 0, &RuntimeError{Pos: e.Pos(), Msg: "null pointer dereference"}
+		}
+		return p.Obj, p.Off, nil
+	}
+	return nil, 0, &RuntimeError{Pos: e.Pos(), Msg: "expression is not an lvalue"}
+}
+
+// object resolves a variable reference to its storage object.
+func (in *interp) object(fr *frame, e *ast.VarRef) (*Object, error) {
+	d := e.Obj
+	if d == nil {
+		return nil, &RuntimeError{Pos: e.Pos(), Msg: "unresolved reference (sema not run?)"}
+	}
+	if d.IsGlobal {
+		if o := in.globals[d]; o != nil {
+			return o, nil
+		}
+		return nil, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("extern global %q has no storage", d.Name)}
+	}
+	if d.Storage == ast.StorageStatic {
+		if o := in.statics[d]; o != nil {
+			return o, nil
+		}
+		// First reference can precede the declaration statement only in
+		// dead code; create it now (constant init).
+		o := in.newObject(d)
+		if d.Init != nil {
+			if err := in.initObject(o, d.Init); err != nil {
+				return nil, err
+			}
+		}
+		in.statics[d] = o
+		return o, nil
+	}
+	if o := fr.locals[d]; o != nil {
+		return o, nil
+	}
+	// A local read before its declaration statement executes (possible in
+	// MiniC only via jumps that skip declarations, which MiniC lacks, or in
+	// dead code); define it as a fresh zero object.
+	o := in.newObject(d)
+	fr.locals[d] = o
+	return o, nil
+}
+
+func (in *interp) indexLoc(fr *frame, e *ast.Index) (*Object, int64, error) {
+	idxV, err := in.expr(fr, e.Idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	bt := e.Base.Type()
+	if bt.Kind == types.Array {
+		ref, ok := e.Base.(*ast.VarRef)
+		if !ok {
+			return nil, 0, &RuntimeError{Pos: e.Pos(), Msg: "unsupported array base"}
+		}
+		o, err := in.object(fr, ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		return o, idxV.Int, nil
+	}
+	p, err := in.expr(fr, e.Base)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !p.IsPtr || p.Obj == nil {
+		return nil, 0, &RuntimeError{Pos: e.Pos(), Msg: "indexing a null pointer"}
+	}
+	return p.Obj, p.Off + idxV.Int, nil
+}
+
+// load reads a slot with bounds and liveness checks.
+func (in *interp) load(pos token.Pos, o *Object, off int64) (Value, error) {
+	if o.Dead {
+		return Value{}, &RuntimeError{Pos: pos, Msg: "use of dead object (dangling pointer)"}
+	}
+	if off < 0 || off >= int64(len(o.Vals)) {
+		return Value{}, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("out-of-bounds access at offset %d of %d", off, len(o.Vals))}
+	}
+	return o.Vals[off], nil
+}
+
+// store writes a slot with bounds and liveness checks.
+func (in *interp) store(pos token.Pos, o *Object, off int64, v Value) error {
+	if o.Dead {
+		return &RuntimeError{Pos: pos, Msg: "store to dead object (dangling pointer)"}
+	}
+	if off < 0 || off >= int64(len(o.Vals)) {
+		return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("out-of-bounds store at offset %d of %d", off, len(o.Vals))}
+	}
+	o.Vals[off] = v
+	return nil
+}
+
+func (in *interp) expr(fr *frame, e ast.Expr) (Value, error) {
+	if err := in.step(); err != nil {
+		return Value{}, err
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return intV(e.Val), nil
+
+	case *ast.VarRef:
+		o, err := in.object(fr, e)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Obj.Typ.Kind == types.Array {
+			// Bare array reference: only legal under a decaying Cast,
+			// which handles it; seeing it here means decay context.
+			return ptrV(o, 0), nil
+		}
+		return in.load(e.Pos(), o, 0)
+
+	case *ast.Cast:
+		if e.To.Kind == types.Pointer {
+			// array-to-pointer decay
+			inner := e.X.Type()
+			if inner != nil && inner.Kind == types.Array {
+				return in.expr(fr, e.X) // VarRef on array yields ptr
+			}
+			return in.expr(fr, e.X)
+		}
+		v, err := in.expr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return intV(e.To.WrapValue(v.Int)), nil
+
+	case *ast.Unary:
+		return in.unary(fr, e)
+
+	case *ast.Binary:
+		return in.binary(fr, e)
+
+	case *ast.Assign:
+		return in.assign(fr, e)
+
+	case *ast.IncDec:
+		return in.incDec(fr, e)
+
+	case *ast.Cond:
+		c, err := in.expr(fr, e.CondX)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.Truthy() {
+			return in.expr(fr, e.Then)
+		}
+		return in.expr(fr, e.Else)
+
+	case *ast.Call:
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := in.expr(fr, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		if e.Fn == nil {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "unresolved call (sema not run?)"}
+		}
+		return in.callFunction(e.Fn, args)
+
+	case *ast.Index:
+		o, off, err := in.indexLoc(fr, e)
+		if err != nil {
+			return Value{}, err
+		}
+		return in.load(e.Pos(), o, off)
+
+	default:
+		panic(fmt.Sprintf("interp: unknown expr %T", e))
+	}
+}
+
+func (in *interp) unary(fr *frame, e *ast.Unary) (Value, error) {
+	switch e.Op {
+	case token.Amp:
+		o, off, err := in.lvalueForAddr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return ptrV(o, off), nil
+	case token.Star:
+		p, err := in.expr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if !p.IsPtr || p.Obj == nil {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "null pointer dereference"}
+		}
+		return in.load(e.Pos(), p.Obj, p.Off)
+	}
+	x, err := in.expr(fr, e.X)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case token.Minus:
+		return intV(e.Typ.WrapValue(-x.Int)), nil
+	case token.Tilde:
+		return intV(e.Typ.WrapValue(^x.Int)), nil
+	case token.Not:
+		if x.Truthy() {
+			return intV(0), nil
+		}
+		return intV(1), nil
+	}
+	panic(fmt.Sprintf("interp: unary %v", e.Op))
+}
+
+// lvalueForAddr is like lvalue but also accepts whole arrays (&arr).
+func (in *interp) lvalueForAddr(fr *frame, e ast.Expr) (*Object, int64, error) {
+	if ref, ok := e.(*ast.VarRef); ok {
+		o, err := in.object(fr, ref)
+		return o, 0, err
+	}
+	return in.lvalue(fr, e)
+}
+
+func (in *interp) binary(fr *frame, e *ast.Binary) (Value, error) {
+	// Short-circuit operators evaluate the right side conditionally.
+	if e.Op == token.AndAnd || e.Op == token.OrOr {
+		x, err := in.expr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == token.AndAnd && !x.Truthy() {
+			return intV(0), nil
+		}
+		if e.Op == token.OrOr && x.Truthy() {
+			return intV(1), nil
+		}
+		y, err := in.expr(fr, e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		if y.Truthy() {
+			return intV(1), nil
+		}
+		return intV(0), nil
+	}
+
+	x, err := in.expr(fr, e.X)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := in.expr(fr, e.Y)
+	if err != nil {
+		return Value{}, err
+	}
+
+	// Pointer operations.
+	if x.IsPtr || y.IsPtr {
+		return in.pointerOp(e, x, y)
+	}
+
+	opTy := e.X.Type()
+	v, ok := sema.EvalBinop(e.Op, x.Int, y.Int, opTy, e.Typ)
+	if !ok {
+		return Value{}, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported operator %v", e.Op)}
+	}
+	return intV(v), nil
+}
+
+// pointerOp implements pointer comparison and pointer +- integer.
+// Pointer ordering compares (object ID, offset), which is deterministic
+// because object IDs are assigned in creation order.
+func (in *interp) pointerOp(e *ast.Binary, x, y Value) (Value, error) {
+	b := func(c bool) (Value, error) {
+		if c {
+			return intV(1), nil
+		}
+		return intV(0), nil
+	}
+	key := func(v Value) (int64, int64) {
+		if v.Obj == nil {
+			return -1, 0
+		}
+		return v.Obj.ID, v.Off
+	}
+	switch e.Op {
+	case token.EqEq:
+		return b(x.Equal(y))
+	case token.NotEq:
+		return b(!x.Equal(y))
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		xi, xo := key(x)
+		yi, yo := key(y)
+		less := xi < yi || (xi == yi && xo < yo)
+		eq := xi == yi && xo == yo
+		switch e.Op {
+		case token.Lt:
+			return b(less)
+		case token.Gt:
+			return b(!less && !eq)
+		case token.Le:
+			return b(less || eq)
+		case token.Ge:
+			return b(!less)
+		}
+	case token.Plus:
+		// sema normalized to ptr + int
+		if !x.IsPtr {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "malformed pointer addition"}
+		}
+		return ptrV(x.Obj, x.Off+y.Int), nil
+	case token.Minus:
+		if x.IsPtr && !y.IsPtr {
+			return ptrV(x.Obj, x.Off-y.Int), nil
+		}
+	}
+	return Value{}, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported pointer operation %v", e.Op)}
+}
+
+func (in *interp) assign(fr *frame, e *ast.Assign) (Value, error) {
+	obj, off, err := in.lvalue(fr, e.LHS)
+	if err != nil {
+		return Value{}, err
+	}
+	rhs, err := in.expr(fr, e.RHS)
+	if err != nil {
+		return Value{}, err
+	}
+	lt := e.LHS.Type()
+	if e.Op == token.Assign {
+		if err := in.store(e.Pos(), obj, off, rhs); err != nil {
+			return Value{}, err
+		}
+		return rhs, nil
+	}
+	// Compound assignment: load, operate in the promoted type, store back.
+	old, err := in.load(e.Pos(), obj, off)
+	if err != nil {
+		return Value{}, err
+	}
+	base := e.Op.BaseOf()
+	var result Value
+	switch {
+	case lt.Kind == types.Pointer:
+		// ptr += int / ptr -= int
+		if old.Obj == nil {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "arithmetic on null pointer"}
+		}
+		delta := rhs.Int
+		if base == token.Minus {
+			delta = -delta
+		}
+		result = ptrV(old.Obj, old.Off+delta)
+	case base == token.Shl || base == token.Shr:
+		opL := types.PromoteOne(lt)
+		lv := opL.WrapValue(old.Int)
+		v, _ := sema.EvalBinop(base, lv, rhs.Int, opL, opL)
+		result = intV(lt.WrapValue(v))
+	default:
+		opT := types.Promote(lt, e.RHS.Type())
+		lv := opT.WrapValue(old.Int)
+		rv := opT.WrapValue(rhs.Int)
+		v, ok := sema.EvalBinop(base, lv, rv, opT, opT)
+		if !ok {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported compound op %v", e.Op)}
+		}
+		result = intV(lt.WrapValue(v))
+	}
+	if err := in.store(e.Pos(), obj, off, result); err != nil {
+		return Value{}, err
+	}
+	return result, nil
+}
+
+func (in *interp) incDec(fr *frame, e *ast.IncDec) (Value, error) {
+	obj, off, err := in.lvalue(fr, e.X)
+	if err != nil {
+		return Value{}, err
+	}
+	old, err := in.load(e.Pos(), obj, off)
+	if err != nil {
+		return Value{}, err
+	}
+	t := e.X.Type()
+	var next Value
+	if t.Kind == types.Pointer {
+		if old.Obj == nil {
+			return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "arithmetic on null pointer"}
+		}
+		d := int64(1)
+		if e.Op == token.MinusMinus {
+			d = -1
+		}
+		next = ptrV(old.Obj, old.Off+d)
+	} else {
+		d := int64(1)
+		if e.Op == token.MinusMinus {
+			d = -1
+		}
+		next = intV(t.WrapValue(old.Int + d))
+	}
+	if err := in.store(e.Pos(), obj, off, next); err != nil {
+		return Value{}, err
+	}
+	if e.Prefix {
+		return next, nil
+	}
+	return old, nil
+}

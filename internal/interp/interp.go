@@ -1,0 +1,366 @@
+// Package interp is the reference interpreter for MiniC and the ground-truth
+// oracle of the reproduction.
+//
+// MiniC programs are deterministic and closed (no inputs), so the set of
+// optimization markers that execute in one run is exactly the set of alive
+// markers — everything else is dead (paper §4.1). Run executes main(),
+// records every call to an external (bodyless) function, and returns the
+// program's exit code plus a checksum of all integer-typed global state
+// (Csmith-style). The checksum is compared against the independent IR-level
+// executor to validate that every optimization pipeline preserves semantics.
+//
+// The interpreter implements the defined-everything semantics of MiniC
+// (wrapping arithmetic, masked shifts, total division) via the single shared
+// sema.EvalBinop, so that the front end, both executors, and the constant
+// folders agree bit-for-bit.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// ErrFuel is returned when execution exceeds the configured step budget.
+var ErrFuel = errors.New("interp: fuel exhausted")
+
+// RuntimeError is an execution error (out-of-bounds access, null
+// dereference, missing main, call-depth overflow).
+type RuntimeError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// Result is the outcome of executing a program.
+type Result struct {
+	ExitCode int64
+	Checksum uint64
+	// ExternCalls maps each external function name to the number of times
+	// it was called. Keys are the alive markers (plus any other opaque
+	// externals the program calls).
+	ExternCalls map[string]int
+	Steps       int64
+	// FinalGlobals holds the exit-time values of integer-typed global
+	// scalars by name — the observations behind the value-check
+	// instrumentation (paper §4.4 "Future directions": inserting
+	// `if (v != C) DCECheck();` with recorded values).
+	FinalGlobals map[string]int64
+}
+
+// Executed reports whether the external function name was called.
+func (r *Result) Executed(name string) bool { return r.ExternCalls[name] > 0 }
+
+// Options configures execution.
+type Options struct {
+	// Fuel bounds the number of interpreter steps; <= 0 means the default.
+	Fuel int64
+	// MaxCallDepth bounds recursion; <= 0 means the default.
+	MaxCallDepth int
+}
+
+// DefaultFuel is the default step budget. Generated programs terminate well
+// under this bound; the budget exists to reject pathological hand-written
+// inputs deterministically.
+const DefaultFuel = 50_000_000
+
+// DefaultMaxCallDepth bounds the call stack.
+const DefaultMaxCallDepth = 512
+
+// Run executes prog's main function. prog must have been checked by sema.
+func Run(prog *ast.Program, opts Options) (*Result, error) {
+	if opts.Fuel <= 0 {
+		opts.Fuel = DefaultFuel
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = DefaultMaxCallDepth
+	}
+	in := &interp{
+		prog:     prog,
+		fuel:     opts.Fuel,
+		maxDepth: opts.MaxCallDepth,
+		globals:  map[*ast.VarDecl]*Object{},
+		statics:  map[*ast.VarDecl]*Object{},
+		result:   &Result{ExternCalls: map[string]int{}},
+	}
+	if err := in.initGlobals(); err != nil {
+		return nil, err
+	}
+	mainFn := prog.Main()
+	if mainFn == nil || mainFn.Body == nil {
+		return nil, &RuntimeError{Msg: "program has no main function"}
+	}
+	ret, err := in.callFunction(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	in.result.ExitCode = ret.Int
+	in.result.Checksum = in.checksum()
+	in.result.Steps = opts.Fuel - in.fuel
+	in.result.FinalGlobals = map[string]int64{}
+	for _, g := range prog.Globals() {
+		o := in.globals[g]
+		if o == nil || o.Elem.Kind == types.Pointer || len(o.Vals) != 1 {
+			continue
+		}
+		in.result.FinalGlobals[g.Name] = o.Vals[0].Int
+	}
+	return in.result, nil
+}
+
+// Checksum computes the Csmith-style checksum over the integer-typed global
+// slots of values. Exported so that the IR executor produces an identical
+// hash for identical final state. Values are mixed in the order given.
+func Checksum(values []int64) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for _, v := range values {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Values and objects
+
+// Object is a storage cell: a scalar variable (one slot) or an array
+// (Len slots). Objects have deterministic creation IDs so pointer ordering
+// is reproducible.
+type Object struct {
+	Decl *ast.VarDecl
+	Elem *types.Type // element type (the variable type for scalars)
+	Vals []Value
+	ID   int64
+	Dead bool // set when the owning frame is popped
+}
+
+// Value is a runtime value: an integer (canonical int64 for its type) or a
+// pointer (object + element offset). The null pointer has IsPtr set and a
+// nil Obj. MiniC's type system forbids pointer<->integer conversion, so a
+// slot is always read at the kind it was written.
+type Value struct {
+	Int   int64
+	Obj   *Object
+	Off   int64
+	IsPtr bool
+}
+
+func intV(v int64) Value              { return Value{Int: v} }
+func ptrV(o *Object, off int64) Value { return Value{Obj: o, Off: off, IsPtr: true} }
+
+// Equal reports value equality (pointer identity for pointers).
+func (v Value) Equal(w Value) bool {
+	if v.IsPtr != w.IsPtr {
+		return false
+	}
+	if v.IsPtr {
+		return v.Obj == w.Obj && v.Off == w.Off
+	}
+	return v.Int == w.Int
+}
+
+// Truthy reports whether v is nonzero / non-null.
+func (v Value) Truthy() bool {
+	if v.IsPtr {
+		return v.Obj != nil
+	}
+	return v.Int != 0
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter state
+
+type interp struct {
+	prog     *ast.Program
+	fuel     int64
+	maxDepth int
+	depth    int
+	nextID   int64
+	globals  map[*ast.VarDecl]*Object
+	statics  map[*ast.VarDecl]*Object // static locals, persistent
+	result   *Result
+}
+
+func (in *interp) newObject(d *ast.VarDecl) *Object {
+	o := &Object{Decl: d, ID: in.nextID}
+	in.nextID++
+	if d.Typ.Kind == types.Array {
+		o.Elem = d.Typ.Elem
+		o.Vals = make([]Value, d.Typ.Len)
+	} else {
+		o.Elem = d.Typ
+		o.Vals = make([]Value, 1)
+	}
+	// Pointer-typed slots start as null pointers, not integer zero.
+	if o.Elem.Kind == types.Pointer {
+		for i := range o.Vals {
+			o.Vals[i] = Value{IsPtr: true}
+		}
+	}
+	return o
+}
+
+func (in *interp) step() error {
+	in.fuel--
+	if in.fuel <= 0 {
+		return ErrFuel
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+
+func (in *interp) initGlobals() error {
+	// Create all objects first so address-constant initializers can refer
+	// to globals declared later in the file.
+	for _, g := range in.prog.Globals() {
+		if g.Storage == ast.StorageExtern {
+			continue
+		}
+		in.globals[g] = in.newObject(g)
+	}
+	for _, g := range in.prog.Globals() {
+		obj := in.globals[g]
+		if obj == nil || g.Init == nil {
+			continue
+		}
+		if err := in.initObject(obj, g.Init); err != nil {
+			return err
+		}
+	}
+	// Static locals are initialized before execution, like C. Creating them
+	// eagerly (in the same deterministic order the lowering hoists them)
+	// also makes them part of the checksum in a stable order.
+	var err error
+	for _, d := range in.staticLocalDecls() {
+		o := in.newObject(d)
+		if d.Init != nil {
+			if e := in.initObject(o, d.Init); e != nil && err == nil {
+				err = e
+			}
+		}
+		in.statics[d] = o
+	}
+	return err
+}
+
+// staticLocalDecls returns all static local declarations in the order the
+// lowering hoists them: per function in declaration order, depth first.
+func (in *interp) staticLocalDecls() []*ast.VarDecl {
+	var out []*ast.VarDecl
+	for _, f := range in.prog.Funcs() {
+		if f.Body == nil {
+			continue
+		}
+		ast.Inspect(f.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeclStmt); ok && ds.Decl.Storage == ast.StorageStatic {
+				out = append(out, ds.Decl)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// initObject evaluates a constant initializer into obj.
+func (in *interp) initObject(obj *Object, init ast.Expr) error {
+	if arr, ok := init.(*ast.ArrayInit); ok {
+		for i, e := range arr.Elems {
+			v, err := in.constValue(e)
+			if err != nil {
+				return err
+			}
+			obj.Vals[i] = v
+		}
+		return nil
+	}
+	v, err := in.constValue(init)
+	if err != nil {
+		return err
+	}
+	obj.Vals[0] = v
+	return nil
+}
+
+// constValue evaluates a constant initializer expression: integer constant
+// expressions, &global, &global[k], and decayed global arrays.
+func (in *interp) constValue(e ast.Expr) (Value, error) {
+	if v, ok := sema.ConstEval(e); ok {
+		return intV(v), nil
+	}
+	switch e := e.(type) {
+	case *ast.Cast:
+		if e.To.Kind == types.Pointer {
+			// array decay of a global
+			if ref, ok := e.X.(*ast.VarRef); ok {
+				if o := in.globals[ref.Obj]; o != nil {
+					return ptrV(o, 0), nil
+				}
+			}
+		}
+		v, err := in.constValue(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsPtr {
+			return v, nil
+		}
+		return intV(e.To.WrapValue(v.Int)), nil
+	case *ast.Unary:
+		if e.Op == token.Amp {
+			switch x := e.X.(type) {
+			case *ast.VarRef:
+				if o := in.globals[x.Obj]; o != nil {
+					return ptrV(o, 0), nil
+				}
+			case *ast.Index:
+				base, ok := x.Base.(*ast.VarRef)
+				if !ok {
+					break
+				}
+				o := in.globals[base.Obj]
+				idx, okI := sema.ConstEval(x.Idx)
+				if o != nil && okI {
+					return ptrV(o, idx), nil
+				}
+			}
+		}
+	case *ast.VarRef:
+		// decayed array without explicit cast
+		if o := in.globals[e.Obj]; o != nil && e.Obj.Typ.Kind == types.Array {
+			return ptrV(o, 0), nil
+		}
+	}
+	return Value{}, &RuntimeError{Pos: e.Pos(), Msg: "unsupported constant initializer"}
+}
+
+// checksum mixes the final value of every integer-typed global scalar and
+// array element (including static locals, which have global storage), in
+// declaration order. Pointer-typed globals are skipped (their bit patterns
+// are representation-dependent), exactly as Csmith's checksum skips
+// pointers. The order matches the lowered module's global order so that the
+// IR executor computes the identical hash.
+func (in *interp) checksum() uint64 {
+	var vals []int64
+	add := func(o *Object) {
+		if o == nil || o.Elem.Kind == types.Pointer {
+			return
+		}
+		for _, v := range o.Vals {
+			vals = append(vals, v.Int)
+		}
+	}
+	for _, g := range in.prog.Globals() {
+		add(in.globals[g])
+	}
+	for _, d := range in.staticLocalDecls() {
+		add(in.statics[d])
+	}
+	return Checksum(vals)
+}

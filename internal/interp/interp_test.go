@@ -1,0 +1,448 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/parser"
+	"dcelens/internal/sema"
+)
+
+// run parses, checks, and executes src, failing the test on any error.
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	prog := parse(t, src)
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return res
+}
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return prog
+}
+
+func expectExit(t *testing.T, src string, want int64) {
+	t.Helper()
+	res := run(t, src)
+	if res.ExitCode != want {
+		t.Errorf("exit code %d, want %d\nsource:\n%s", res.ExitCode, want, src)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]int64{
+		"return 2 + 3 * 4;":        14,
+		"return (2 + 3) * 4;":      20,
+		"return 7 / 2;":            3,
+		"return -7 / 2;":           -3, // C truncating division
+		"return 7 % 3;":            1,
+		"return -7 % 3;":           -1,
+		"return 7 / 0;":            0, // MiniC total division
+		"return 7 % 0;":            7, // MiniC total remainder
+		"return 1 << 5;":           32,
+		"return 256 >> 4;":         16,
+		"return -16 >> 2;":         -4, // arithmetic shift
+		"return 1 << 33;":          2,  // masked shift: 33 & 31 == 1
+		"return 5 & 3;":            1,
+		"return 5 | 3;":            7,
+		"return 5 ^ 3;":            6,
+		"return ~0;":               -1,
+		"return !5;":               0,
+		"return !0;":               1,
+		"return 3 < 4;":            1,
+		"return 4 <= 4;":           1,
+		"return 5 == 5 && 6 != 7;": 1,
+		"return 0 || 2;":           1,
+		"return 1 ? 10 : 20;":      10,
+		"return 0 ? 10 : 20;":      20,
+		"return -(-5);":            5,
+	}
+	for body, want := range cases {
+		expectExit(t, "int main(void) { "+body+" }", want)
+	}
+}
+
+func TestWrapping(t *testing.T) {
+	cases := map[string]int64{
+		// int overflow wraps
+		"int a = 2147483647; a = a + 1; return a == (-2147483647 - 1);": 1,
+		// char wraps at 8 bits
+		"char c = 127; c = c + 1; return c;": -128,
+		// unsigned comparison
+		"unsigned u = 0; u = u - 1; return u > 100U;": 1,
+		// unsigned division
+		"unsigned u = 0; u = u - 1; return u / 2U == 2147483647U;": 1,
+		// unsigned right shift is logical
+		"unsigned u = 0; u = u - 1; return (u >> 31) == 1U;": 1,
+		// mixed signed/unsigned comparison is unsigned (C semantics)
+		"int a = -1; unsigned b = 1U; return a > b;": 1,
+	}
+	for body, want := range cases {
+		expectExit(t, "int main(void) { "+body+" }", want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	expectExit(t, `
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  return s;
+}`, 25)
+
+	expectExit(t, `
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (1) {
+    if (i >= 5) break;
+    s += i;
+    i++;
+  }
+  return s;
+}`, 10)
+
+	expectExit(t, `
+int main(void) {
+  int n = 0;
+  do { n++; } while (n < 3);
+  return n;
+}`, 3)
+}
+
+func TestSwitch(t *testing.T) {
+	src := `
+int classify(int x) {
+  int r = 0;
+  switch (x) {
+  case 0:
+  case 1:
+    r = 10;
+    break;
+  case 2:
+    r = 20;
+    // fallthrough
+  case 3:
+    r += 1;
+    break;
+  default:
+    r = 99;
+  }
+  return r;
+}
+int main(void) {
+  return classify(0) * 1000000 + classify(2) * 10000 + classify(3) * 100 + classify(7);
+}`
+	expectExit(t, src, 10*1000000+21*10000+1*100+99)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10); }`, 55)
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	expectExit(t, `
+static int a[5] = {1, 2, 3, 4, 5};
+int main(void) {
+  int *p = &a[1];
+  p[2] = 100;        // a[3] = 100
+  *p = *p + 1;       // a[1] = 3
+  int *q = p + 2;    // &a[3]
+  return a[3] + a[1] + *q; // 100 + 3 + 100
+}`, 203)
+
+	expectExit(t, `
+int main(void) {
+  int x = 5;
+  int *p = &x;
+  *p = 7;
+  return x;
+}`, 7)
+
+	expectExit(t, `
+char a;
+char b[2];
+int main(void) {
+  char *d = &a;
+  char *e = &b[1];
+  return d == e; // distinct objects never compare equal
+}`, 0)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectExit(t, `
+static int a = 3 + 4;
+static int b[3] = {10, 20};
+static int *p = &a;
+static int *q = &b[1];
+int main(void) { return a + b[0] + b[1] + b[2] + *p + *q; }`, 7+10+20+0+7+20)
+}
+
+func TestStaticLocals(t *testing.T) {
+	expectExit(t, `
+int counter(void) {
+  static int n = 100;
+  n++;
+  return n;
+}
+int main(void) {
+  counter();
+  counter();
+  return counter();
+}`, 103)
+}
+
+func TestIncDec(t *testing.T) {
+	expectExit(t, `
+int main(void) {
+  int i = 5;
+  int a = i++; // a=5 i=6
+  int b = ++i; // b=7 i=7
+  int c = i--; // c=7 i=6
+  int d = --i; // d=5 i=5
+  return a * 1000 + b * 100 + c * 10 + d + i;
+}`, 5*1000+7*100+7*10+5+5)
+}
+
+func TestCompoundAssign(t *testing.T) {
+	expectExit(t, `
+int main(void) {
+  int x = 10;
+  x += 5;   // 15
+  x -= 3;   // 12
+  x *= 2;   // 24
+  x /= 5;   // 4
+  x %= 3;   // 1
+  x <<= 4;  // 16
+  x >>= 1;  // 8
+  x |= 3;   // 11
+  x &= 14;  // 10
+  x ^= 6;   // 12
+  return x;
+}`, 12)
+
+	// Compound assignment on a narrow type operates in int and wraps back.
+	expectExit(t, `
+int main(void) {
+  char c = 100;
+  c += 100; // 200 wraps to -56
+  return c == -56;
+}`, 1)
+}
+
+func TestExternCallsRecorded(t *testing.T) {
+	res := run(t, `
+void marker0(void);
+void marker1(void);
+static int c = 0;
+int main(void) {
+  if (c) {
+    marker0(); // dead
+  }
+  marker1();
+  marker1();
+  return 0;
+}`)
+	if res.Executed("marker0") {
+		t.Error("marker0 should be dead")
+	}
+	if res.ExternCalls["marker1"] != 2 {
+		t.Errorf("marker1 called %d times, want 2", res.ExternCalls["marker1"])
+	}
+}
+
+func TestChecksumReflectsGlobals(t *testing.T) {
+	r1 := run(t, `static int g = 0; int main(void) { g = 1; return 0; }`)
+	r2 := run(t, `static int g = 0; int main(void) { g = 2; return 0; }`)
+	if r1.Checksum == r2.Checksum {
+		t.Error("different final states should produce different checksums")
+	}
+	r3 := run(t, `static int g = 0; int main(void) { g = 1; return 0; }`)
+	if r1.Checksum != r3.Checksum {
+		t.Error("identical programs must produce identical checksums")
+	}
+}
+
+func TestChecksumSkipsPointers(t *testing.T) {
+	// Pointer-typed globals must not affect the checksum.
+	r1 := run(t, `static int a; static int *p; int main(void) { p = &a; return 0; }`)
+	r2 := run(t, `static int a; static int *p; int main(void) { return 0; }`)
+	if r1.Checksum != r2.Checksum {
+		t.Error("pointer-typed globals should be excluded from the checksum")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	prog := parse(t, `int main(void) { while (1) {} return 0; }`)
+	_, err := Run(prog, Options{Fuel: 10_000})
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`static int a[3]; int main(void) { int *p = &a[0]; return p[5]; }`, // OOB read
+		`static int a[3]; int main(void) { a[3] = 1; return 0; }`,          // OOB write
+		`int main(void) { int *p; return *p; }`,                            // null deref
+	}
+	for _, src := range cases {
+		prog := parse(t, src)
+		if _, err := Run(prog, Options{}); err == nil {
+			t.Errorf("expected runtime error for %q", src)
+		}
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	prog := parse(t, `
+int f(int n) { return f(n + 1); }
+int main(void) { return f(0); }`)
+	_, err := Run(prog, Options{Fuel: 100_000_000})
+	var rte *RuntimeError
+	if !errors.As(err, &rte) {
+		t.Fatalf("want RuntimeError, got %v", err)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectExit(t, `
+static int calls = 0;
+int bump(void) { calls++; return 1; }
+int main(void) {
+  int r = 0 && bump(); // bump not called
+  r = 1 || bump();     // bump not called
+  r = 1 && bump();     // called
+  return calls;
+}`, 1)
+}
+
+func TestPointerOrdering(t *testing.T) {
+	expectExit(t, `
+static int a[4];
+int main(void) {
+  int *p = &a[1];
+  int *q = &a[3];
+  return (p < q) + (q > p) + (p <= p) + (p >= q);
+}`, 3)
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+static int g[4] = {3, 1, 4, 1};
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 4; i++) s = s * 31 + g[i];
+  g[0] = s;
+  return s & 255;
+}`
+	r1, r2 := run(t, src), run(t, src)
+	if r1.ExitCode != r2.ExitCode || r1.Checksum != r2.Checksum || r1.Steps != r2.Steps {
+		t.Error("execution must be deterministic")
+	}
+}
+
+func TestUnsigned64Arithmetic(t *testing.T) {
+	cases := map[string]int64{
+		// u64 wraps at 2^64; comparisons are unsigned.
+		"unsigned long u = 0UL; u = u - 1UL; return u > 1000UL;":                  1,
+		"unsigned long u = 18446744073709551615UL; u = u + 1UL; return u == 0UL;": 1,
+		"unsigned long u = 1UL << 63; return (u >> 63) == 1UL;":                   1,
+		"unsigned long a = 10UL; unsigned long b = 3UL; return a % b == 1UL;":     1,
+	}
+	for body, want := range cases {
+		expectExit(t, "int main(void) { "+body+" }", want)
+	}
+}
+
+func TestPointerParameters(t *testing.T) {
+	expectExit(t, `
+static int g = 10;
+static int h = 20;
+static int sum(int *a, int *b) { return *a + *b; }
+static void swap(int *a, int *b) {
+  int t = *a;
+  *a = *b;
+  *b = t;
+}
+int main(void) {
+  swap(&g, &h);
+  return sum(&g, &h) + g; // 30 + 20
+}`, 50)
+}
+
+func TestContinueInsideSwitchInsideLoop(t *testing.T) {
+	// continue inside a switch must continue the enclosing loop.
+	expectExit(t, `
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 6; i++) {
+    switch (i & 1) {
+    case 1:
+      continue;
+    default:
+      s += i;
+    }
+    s += 100;
+  }
+  return s; // even i: 0+2+4 plus 3*100
+}`, 306)
+}
+
+func TestBreakInsideSwitchBreaksSwitchOnly(t *testing.T) {
+	expectExit(t, `
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 3; i++) {
+    switch (i) {
+    case 0:
+      break; // leaves the switch, not the loop
+    default:
+      s += 10;
+    }
+    s += 1;
+  }
+  return s; // 3 iterations: +1 each, two defaults: +20
+}`, 23)
+}
+
+func TestDoWhileRunsBodyFirst(t *testing.T) {
+	expectExit(t, `
+int main(void) {
+  int n = 0;
+  do { n = 42; } while (0);
+  return n;
+}`, 42)
+}
+
+func TestArrayOfPointers(t *testing.T) {
+	expectExit(t, `
+static int a = 1;
+static int b = 2;
+static int *arr[2];
+int main(void) {
+  arr[0] = &b;
+  arr[1] = &a;
+  *arr[0] = 5;
+  return b * 10 + *arr[1]; // 50 + 1
+}`, 51)
+}

@@ -1,0 +1,241 @@
+package ir
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder of a depth-first search.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make([]bool, f.nextBlockID)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs() {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of blocks reachable from entry.
+func (f *Func) Reachable() map[*Block]bool {
+	r := map[*Block]bool{}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if r[b] {
+			return
+		}
+		r[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry())
+	return r
+}
+
+// DomTree is the dominator tree of a function.
+type DomTree struct {
+	fn    *Func
+	idom  map[*Block]*Block   // immediate dominator; entry maps to nil
+	kids  map[*Block][]*Block // dominator-tree children
+	order map[*Block]int      // reverse postorder index
+	rpo   []*Block
+}
+
+// Dominators computes the dominator tree with the Cooper-Harvey-Kennedy
+// iterative algorithm over reverse postorder.
+func Dominators(f *Func) *DomTree {
+	t := &DomTree{
+		fn:    f,
+		idom:  map[*Block]*Block{},
+		kids:  map[*Block][]*Block{},
+		order: map[*Block]int{},
+	}
+	t.rpo = f.ReversePostorder()
+	for i, b := range t.rpo {
+		t.order[b] = i
+	}
+	entry := f.Entry()
+	t.idom[entry] = entry // sentinel during iteration
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, processed := t.idom[p]; !processed {
+					continue
+				}
+				if _, inRPO := t.order[p]; !inRPO {
+					continue // unreachable predecessor
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.idom[entry] = nil
+	for b, d := range t.idom {
+		if d != nil {
+			t.kids[d] = append(t.kids[d], b)
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.order[a] > t.order[b] {
+			a = t.idom[a]
+			if a == nil {
+				return b
+			}
+		}
+		for t.order[b] > t.order[a] {
+			b = t.idom[b]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (nil for the entry block and
+// unreachable blocks).
+func (t *DomTree) Idom(b *Block) *Block { return t.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *Block) []*Block { return t.kids[b] }
+
+// RPO returns the reachable blocks in reverse postorder.
+func (t *DomTree) RPO() []*Block { return t.rpo }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.idom[b]
+	}
+	return false
+}
+
+// Frontiers computes the dominance frontier of every reachable block
+// (Cytron et al.), used by mem2reg's phi placement.
+func (t *DomTree) Frontiers() map[*Block][]*Block {
+	df := map[*Block][]*Block{}
+	for _, b := range t.rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if _, reach := t.order[p]; !reach {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != t.idom[b] {
+				if !contains(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				runner = t.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func contains(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	// Latches are the in-loop predecessors of the header.
+	Latches []*Block
+}
+
+// Exits returns the out-of-loop successor edges as (from, to) pairs.
+func (l *Loop) Exits() [][2]*Block {
+	var out [][2]*Block
+	for b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				out = append(out, [2]*Block{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// NaturalLoops finds all natural loops via back edges (an edge u->h where h
+// dominates u). Loops sharing a header are merged, as is conventional.
+func NaturalLoops(f *Func, t *DomTree) []*Loop {
+	byHeader := map[*Block]*Loop{}
+	for _, b := range t.rpo {
+		for _, s := range b.Succs() {
+			if t.Dominates(s, b) {
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the loop body: blocks that reach the latch
+				// without passing through the header.
+				var stack []*Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range x.Preds {
+						if _, reach := t.order[p]; !reach {
+							continue
+						}
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for _, b := range t.rpo { // deterministic order
+		if l, ok := byHeader[b]; ok {
+			loops = append(loops, l)
+		}
+	}
+	return loops
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural SSA invariants of every function in the module:
+// blocks end in exactly one terminator, edges and Preds agree, phi inputs
+// match predecessor sets, definitions dominate uses, and operand/owner
+// bookkeeping is intact. Passes run the verifier after themselves in tests;
+// the pipeline can run it after every pass in a debug mode.
+func Verify(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if f.External {
+			if len(f.Blocks) != 0 {
+				errs = append(errs, fmt.Errorf("%s: external function has blocks", f.Name))
+			}
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", f.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// VerifyFunc checks one function.
+func VerifyFunc(f *Func) error { return verifyFunc(f) }
+
+func verifyFunc(f *Func) error {
+	var errs []error
+	bail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+
+	inFunc := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			bail("b%d: empty block", b.ID)
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.Block != b {
+				bail("b%d: instruction v%d has wrong owner", b.ID, in.ID)
+			}
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				bail("b%d: terminator placement wrong at v%d (%v)", b.ID, in.ID, in.Op)
+			}
+			if in.Op == OpPhi {
+				if len(in.Args) != len(in.PhiPreds) {
+					bail("b%d: phi v%d has %d args, %d preds", b.ID, in.ID, len(in.Args), len(in.PhiPreds))
+					continue
+				}
+				// Phis must be grouped at the top of the block.
+				if i > 0 && b.Instrs[i-1].Op != OpPhi {
+					bail("b%d: phi v%d not at block head", b.ID, in.ID)
+				}
+				if len(in.Args) != len(b.Preds) {
+					bail("b%d: phi v%d has %d entries for %d preds", b.ID, in.ID, len(in.Args), len(b.Preds))
+				}
+				for _, pb := range in.PhiPreds {
+					if !blockListContains(b.Preds, pb) {
+						bail("b%d: phi v%d references non-pred b%d", b.ID, in.ID, pb.ID)
+					}
+				}
+			}
+			for _, t := range in.Targets {
+				if !inFunc[t] {
+					bail("b%d: v%d targets foreign block", b.ID, in.ID)
+				}
+			}
+			for _, a := range in.Args {
+				if a == nil {
+					bail("b%d: v%d has nil operand", b.ID, in.ID)
+					continue
+				}
+				if a.Block == nil || a.Block.Func != f {
+					bail("b%d: v%d uses value from another function", b.ID, in.ID)
+				}
+				if a.Typ == nil && a.Op != OpCall {
+					bail("b%d: v%d uses void value v%d (%v)", b.ID, in.ID, a.ID, a.Op)
+				}
+			}
+		}
+	}
+
+	// Edge consistency: preds must mirror successor edges exactly
+	// (as multisets).
+	edgeCount := map[[2]*Block]int{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			edgeCount[[2]*Block{b, s}]++
+		}
+	}
+	predCount := map[[2]*Block]int{}
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			predCount[[2]*Block{p, b}]++
+		}
+	}
+	for e, n := range edgeCount {
+		if predCount[e] != n {
+			bail("edge b%d->b%d: %d terminator edges, %d pred entries", e[0].ID, e[1].ID, n, predCount[e])
+		}
+	}
+	for e, n := range predCount {
+		if edgeCount[e] != n {
+			bail("edge b%d->b%d: %d pred entries, %d terminator edges", e[0].ID, e[1].ID, n, edgeCount[e])
+		}
+	}
+
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	// Defs dominate uses (reachable blocks only).
+	dt := Dominators(f)
+	reach := f.Reachable()
+	defBlock := map[*Instr]*Block{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			defBlock[in] = b
+		}
+	}
+	pos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op == OpPhi {
+				for i, a := range in.Args {
+					pb := in.PhiPreds[i]
+					if !reach[pb] {
+						continue
+					}
+					db := defBlock[a]
+					if db == nil {
+						bail("phi v%d arg not in function", in.ID)
+						continue
+					}
+					if !dt.Dominates(db, pb) {
+						bail("phi v%d: def b%d does not dominate incoming edge from b%d", in.ID, db.ID, pb.ID)
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				db := defBlock[a]
+				if db == nil {
+					bail("v%d: operand v%d not in function body", in.ID, a.ID)
+					continue
+				}
+				if db == b {
+					if pos[a] >= pos[in] {
+						bail("b%d: v%d used before defined (v%d)", b.ID, a.ID, in.ID)
+					}
+				} else if !dt.Dominates(db, b) {
+					bail("v%d: def in b%d does not dominate use in b%d", a.ID, db.ID, b.ID)
+				}
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func blockListContains(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,313 @@
+// Package lexer implements the MiniC scanner.
+//
+// The scanner is a straightforward hand-written lexer over a byte slice.
+// It supports line (//) and block (/* */) comments, decimal and hexadecimal
+// integer literals with optional U/L suffixes, and the full MiniC operator
+// set defined in internal/token.
+package lexer
+
+import (
+	"fmt"
+
+	"dcelens/internal/token"
+)
+
+// Error describes a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source text into tokens.
+type Lexer struct {
+	src  []byte
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a Lexer over src.
+func New(src []byte) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipTrivia consumes whitespace and comments.
+func (l *Lexer) skipTrivia() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token and
+// keeps returning it on subsequent calls.
+func (l *Lexer) Next() token.Token {
+	l.skipTrivia()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Pos: pos, Text: text}
+		}
+		return token.Token{Kind: token.Ident, Pos: pos, Text: text}
+
+	case isDigit(c):
+		start := l.off - 1
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			if !isHexDigit(l.peek()) {
+				l.errorf(pos, "malformed hexadecimal literal")
+			}
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		// Optional integer suffixes (any order, at most one U, up to two L).
+		for l.off < len(l.src) {
+			switch l.peek() {
+			case 'u', 'U', 'l', 'L':
+				l.advance()
+				continue
+			}
+			break
+		}
+		return token.Token{Kind: token.IntLit, Pos: pos, Text: string(l.src[start:l.off])}
+	}
+
+	// two- and three-character operators
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch c {
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semicolon)
+	case ':':
+		return mk(token.Colon)
+	case '?':
+		return mk(token.Question)
+	case '~':
+		return mk(token.Tilde)
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return mk(token.PlusPlus)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.PlusAssign)
+		}
+		return mk(token.Plus)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return mk(token.MinusMinus)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.MinusAssign)
+		}
+		return mk(token.Minus)
+	case '*':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.StarAssign)
+		}
+		return mk(token.Star)
+	case '/':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.SlashAssign)
+		}
+		return mk(token.Slash)
+	case '%':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.PercentAssign)
+		}
+		return mk(token.Percent)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.AndAnd)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.AmpAssign)
+		}
+		return mk(token.Amp)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.OrOr)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.PipeAssign)
+		}
+		return mk(token.Pipe)
+	case '^':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.CaretAssign)
+		}
+		return mk(token.Caret)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NotEq)
+		}
+		return mk(token.Not)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EqEq)
+		}
+		return mk(token.Assign)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return mk(token.ShlAssign)
+			}
+			return mk(token.Shl)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Le)
+		}
+		return mk(token.Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return mk(token.ShrAssign)
+			}
+			return mk(token.Shr)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Ge)
+		}
+		return mk(token.Gt)
+	}
+
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.Invalid, Pos: pos, Text: string(c)}
+}
+
+// Scan tokenizes src completely and returns all tokens including the final
+// EOF token, together with any lexical errors.
+func Scan(src []byte) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	return toks, l.Errors()
+}

@@ -1,0 +1,125 @@
+package lexer
+
+import (
+	"testing"
+
+	"dcelens/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := Scan([]byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "static int main while0 unsigned")
+	want := []token.Kind{token.KwStatic, token.KwInt, token.Ident, token.Ident, token.KwUnsigned, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+":   token.Plus,
+		"++":  token.PlusPlus,
+		"+=":  token.PlusAssign,
+		"-":   token.Minus,
+		"--":  token.MinusMinus,
+		"-=":  token.MinusAssign,
+		"<<":  token.Shl,
+		"<<=": token.ShlAssign,
+		">>":  token.Shr,
+		">>=": token.ShrAssign,
+		"<=":  token.Le,
+		">=":  token.Ge,
+		"==":  token.EqEq,
+		"!=":  token.NotEq,
+		"&&":  token.AndAnd,
+		"||":  token.OrOr,
+		"&":   token.Amp,
+		"&=":  token.AmpAssign,
+		"|":   token.Pipe,
+		"^=":  token.CaretAssign,
+		"%":   token.Percent,
+		"%=":  token.PercentAssign,
+		"~":   token.Tilde,
+		"!":   token.Not,
+		"?":   token.Question,
+		":":   token.Colon,
+	}
+	for src, want := range cases {
+		got := kinds(t, src)
+		if got[0] != want {
+			t.Errorf("%q: got %v want %v", src, got[0], want)
+		}
+	}
+}
+
+func TestOperatorSequences(t *testing.T) {
+	// Ensure maximal munch: a+++b lexes as a ++ + b (like C).
+	got := kinds(t, "a+++b")
+	want := []token.Kind{token.Ident, token.PlusPlus, token.Plus, token.Ident, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("a+++b: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	for _, src := range []string{"0", "42", "0x7fffffff", "123u", "77UL", "5L", "9223372036854775807L"} {
+		toks, errs := Scan([]byte(src))
+		if len(errs) > 0 {
+			t.Fatalf("lex %q: %v", src, errs[0])
+		}
+		if toks[0].Kind != token.IntLit || toks[0].Text != src {
+			t.Errorf("%q: got %v %q", src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // comment\n b /* block\n comment */ c")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := Scan([]byte("a /* never closed"))
+	if len(errs) == 0 {
+		t.Fatal("expected an error for unterminated comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := Scan([]byte("a\n  b"))
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	_, errs := Scan([]byte("a @ b"))
+	if len(errs) == 0 {
+		t.Fatal("expected an error for @")
+	}
+}

@@ -1,0 +1,413 @@
+package lower
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/cgen"
+	"dcelens/internal/instrument"
+	"dcelens/internal/interp"
+	"dcelens/internal/ir"
+	"dcelens/internal/parser"
+	"dcelens/internal/sema"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// lowerAndRun lowers, verifies, and executes the module.
+func lowerAndRun(t *testing.T, prog *ast.Program) *ir.ExecResult {
+	t.Helper()
+	m, err := Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+	res, err := ir.Execute(m, ir.ExecOptions{})
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, m)
+	}
+	return res
+}
+
+// agree checks that IR execution matches the reference interpreter.
+func agree(t *testing.T, prog *ast.Program) {
+	t.Helper()
+	want, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	got := lowerAndRun(t, prog)
+	if got.ExitCode != want.ExitCode {
+		t.Errorf("exit: IR %d, interp %d", got.ExitCode, want.ExitCode)
+	}
+	if got.Checksum != want.Checksum {
+		t.Errorf("checksum mismatch: IR %x, interp %x", got.Checksum, want.Checksum)
+	}
+	for name, n := range want.ExternCalls {
+		if got.ExternCalls[name] != n {
+			t.Errorf("extern %s: IR %d calls, interp %d", name, got.ExternCalls[name], n)
+		}
+	}
+	for name, n := range got.ExternCalls {
+		if want.ExternCalls[name] != n {
+			t.Errorf("extern %s: IR %d calls, interp %d", name, n, want.ExternCalls[name])
+		}
+	}
+}
+
+func TestLowerBasics(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g = 7;
+int main(void) {
+  int x = g * 2 + 1;
+  g = x - 3;
+  return x;
+}`))
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g;
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 3 == 0) continue;
+    if (i == 8) break;
+    s += i;
+  }
+  int w = 0;
+  while (w < 5) { w++; s += w; }
+  do { s -= 1; } while (s > 40);
+  g = s;
+  return s;
+}`))
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int calls = 0;
+static int bump(void) { calls++; return 1; }
+int main(void) {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  int c = 1 && bump();
+  int d = (calls == 1) || (a == 0);
+  return a + b * 10 + c * 100 + d * 1000 + calls * 10000;
+}`))
+}
+
+func TestLowerTernaryAndSwitch(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g = 3;
+int main(void) {
+  int r = g > 2 ? g * 10 : -g;
+  switch (g) {
+  case 1:
+    r += 1;
+    break;
+  case 3:
+    r += 3;
+  case 4:
+    r += 4;
+    break;
+  default:
+    r += 100;
+  }
+  return r;
+}`))
+}
+
+func TestLowerPointers(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int a[4] = {1, 2, 3, 4};
+static int b;
+static int *p = &a[1];
+static int **pp = &p;
+int main(void) {
+  *p = 10;
+  **pp = **pp + 5;
+  int *q = &b;
+  *q = a[1];
+  p = p + 2;
+  b += *p;
+  return b + (p == &a[3]) + (q != p);
+}`))
+}
+
+func TestLowerCompoundAndIncDec(t *testing.T) {
+	agree(t, mustProgram(t, `
+static unsigned char c = 250;
+static long g = 1;
+int main(void) {
+  c += 10;   // wraps at 8 bits
+  g <<= 3;
+  g |= c;
+  int i = 5;
+  int a = i++ + ++i; // 5 + 7
+  i--;
+  --i;
+  return a + i + c;
+}`))
+}
+
+func TestLowerFunctions(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+static void set(int *p, int v) { *p = v; }
+static int g;
+int main(void) {
+  set(&g, fib(10));
+  return g;
+}`))
+}
+
+func TestLowerStaticLocals(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int next(void) {
+  static int n = 40;
+  n += 1;
+  return n;
+}
+int main(void) {
+  next();
+  next();
+  return next();
+}`))
+}
+
+func TestLowerDeadCodeMarkers(t *testing.T) {
+	// Markers in dead blocks must not execute at the IR level either.
+	prog := mustProgram(t, `
+void DCEMarker0(void);
+void DCEMarker1(void);
+static int c = 0;
+int main(void) {
+  if (c) {
+    DCEMarker0();
+  }
+  if (c == 0) {
+    DCEMarker1();
+  }
+  return 0;
+}`)
+	res := lowerAndRun(t, prog)
+	if res.Executed("DCEMarker0") {
+		t.Error("dead marker executed")
+	}
+	if !res.Executed("DCEMarker1") {
+		t.Error("alive marker not executed")
+	}
+}
+
+func TestLowerLocalArrays(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g;
+int main(void) {
+  int a[4] = {5, 6};
+  a[2] = a[0] + a[1];
+  for (int i = 0; i < 4; i++) g += a[i];
+  return g;
+}`))
+}
+
+func TestLowerLoopLocalReinit(t *testing.T) {
+	// A declaration inside a loop re-initializes each iteration.
+	agree(t, mustProgram(t, `
+static int g;
+int main(void) {
+  for (int i = 0; i < 3; i++) {
+    int x = 0;
+    x += i;
+    g += x;
+  }
+  return g; // 0+1+2 = 3
+}`))
+}
+
+// TestLowerAgreesOnGeneratedPrograms is the keystone property: for random
+// instrumented programs, the unoptimized IR must agree with the reference
+// interpreter on exit code, global checksum, and the exact multiset of
+// external (marker) calls.
+func TestLowerAgreesOnGeneratedPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		ins, err := instrument.Instrument(prog, instrument.Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, err := interp.Run(ins.Prog, interp.Options{})
+		if err != nil {
+			t.Logf("seed %d: interp: %v", seed, err)
+			return false
+		}
+		m, err := Lower(ins.Prog)
+		if err != nil {
+			t.Logf("seed %d: lower: %v", seed, err)
+			return false
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		got, err := ir.Execute(m, ir.ExecOptions{})
+		if err != nil {
+			t.Logf("seed %d: exec: %v", seed, err)
+			return false
+		}
+		if got.ExitCode != want.ExitCode || got.Checksum != want.Checksum {
+			t.Logf("seed %d: behaviour mismatch (exit %d vs %d)", seed, got.ExitCode, want.ExitCode)
+			return false
+		}
+		for name, n := range want.ExternCalls {
+			if got.ExternCalls[name] != n {
+				t.Logf("seed %d: extern %s: %d vs %d", seed, name, got.ExternCalls[name], n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerSwitchEdgeCases(t *testing.T) {
+	// No default and no match: fall through the switch.
+	agree(t, mustProgram(t, `
+static int g = 9;
+int main(void) {
+  switch (g) {
+  case 1:
+    g = 100;
+    break;
+  case 2:
+    g = 200;
+    break;
+  }
+  return g;
+}`))
+
+	// Default in the middle, with fallthrough across it.
+	agree(t, mustProgram(t, `
+static int g = 7;
+int main(void) {
+  switch (g) {
+  case 1:
+    g += 1;
+  default:
+    g += 10;
+  case 2:
+    g += 100;
+  }
+  return g; // 7 -> default -> +10 -> fallthrough -> +110 total
+}`))
+
+	// Switch over a narrow type promotes the tag.
+	agree(t, mustProgram(t, `
+static char c = 2;
+int main(void) {
+  switch (c) {
+  case 2:
+    c = 50;
+    break;
+  default:
+    c = 60;
+  }
+  return c;
+}`))
+}
+
+func TestLowerWhileWithBreakOnly(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g;
+int main(void) {
+  while (1) {
+    g++;
+    if (g > 4) break;
+  }
+  return g;
+}`))
+}
+
+func TestLowerNestedTernary(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g = 5;
+int main(void) {
+  int r = g > 3 ? (g > 4 ? 1 : 2) : (g > 1 ? 3 : 4);
+  return r;
+}`))
+}
+
+func TestLowerShortCircuitInCondition(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int calls;
+static int side(int v) { calls++; return v; }
+int main(void) {
+  if (side(0) && side(1)) {
+    calls += 100;
+  }
+  if (side(1) || side(0)) {
+    calls += 1000;
+  }
+  return calls; // 1 + 1 + 1000
+}`))
+}
+
+// TestCompoundAssignRHSOrder pins MiniC's defined evaluation order for
+// compound assignment: address, then RHS, then the load of the old value.
+// A campaign caught the lowering loading before an RHS call that rewrote
+// the target (interp/IR divergence).
+func TestCompoundAssignRHSOrder(t *testing.T) {
+	agree(t, mustProgram(t, `
+static int g = 3;
+static int clobber(void) {
+  g = 100;
+  return 2;
+}
+int main(void) {
+  g *= clobber(); // MiniC: g = 100 * 2, not 3 * 2
+  return g;
+}`))
+	res := lowerAndRun(t, mustProgram(t, `
+static int g = 3;
+static int clobber(void) {
+  g = 100;
+  return 2;
+}
+int main(void) {
+  g *= clobber();
+  return g;
+}`))
+	if res.ExitCode != 200 {
+		t.Fatalf("exit %d, want 200 (RHS evaluated before the old-value load)", res.ExitCode)
+	}
+}
+
+func TestLowerArrayDecayInitializer(t *testing.T) {
+	// A global array used as a pointer initializer decays to &arr[0], both
+	// at global scope and locally.
+	agree(t, mustProgram(t, `
+static int arr[3] = {7, 8, 9};
+static int *p = arr;
+int main(void) {
+  int *q = arr;
+  return *p + q[2]; // 7 + 9
+}`))
+}

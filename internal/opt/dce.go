@@ -1,0 +1,78 @@
+package opt
+
+import (
+	"dcelens/internal/ir"
+)
+
+// DCE removes instructions whose results are unused and that have no side
+// effects (including loads — MiniC loads cannot trap at the IR level).
+// This is the sink transformation of the whole reproduction: every other
+// pass exists to make more code eligible for this one and for SimplifyCFG's
+// unreachable-block removal.
+var DCE = Pass{Name: "dce", Run: dce}
+
+func dce(m *ir.Module, o Options) bool {
+	return forEachDefined(m, dceFunc)
+}
+
+func dceFunc(f *ir.Func) bool {
+	// Use counts over the whole function.
+	uses := map[*ir.Instr]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		}
+	}
+	deletable := func(in *ir.Instr) bool {
+		if in.HasSideEffects() {
+			return false
+		}
+		if in.Op == ir.OpLoad || in.Op == ir.OpFreeze {
+			return true // loads are pure in MiniC; freeze is a value copy
+		}
+		return in.IsPure()
+	}
+
+	changed := false
+	// Worklist to cascade: removing an instruction may zero its operands'
+	// use counts.
+	var work []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if uses[in] == 0 && in.Typ != nil && deletable(in) {
+				work = append(work, in)
+			}
+		}
+	}
+	dead := map[*ir.Instr]bool{}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		if dead[in] {
+			continue
+		}
+		dead[in] = true
+		changed = true
+		for _, a := range in.Args {
+			uses[a]--
+			if uses[a] == 0 && a.Typ != nil && deletable(a) {
+				work = append(work, a)
+			}
+		}
+	}
+	if !changed {
+		return false
+	}
+	for _, b := range f.Blocks {
+		var keep []*ir.Instr
+		for _, in := range b.Instrs {
+			if !dead[in] {
+				keep = append(keep, in)
+			}
+		}
+		b.Instrs = keep
+	}
+	return true
+}

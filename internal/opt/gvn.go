@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcelens/internal/ir"
+	"dcelens/internal/types"
+)
+
+// GVN is dominator-scoped global value numbering plus block-local
+// store-to-load forwarding and load CSE.
+//
+// Forwarding consults the alias analysis and the escape analysis: a call to
+// an external (marker) function only clobbers escaping globals, so values
+// of static, non-escaping globals forward straight across marker calls —
+// the enabling property of the paper's instrumentation. Stores marked
+// Widened by the store-widening pass never forward, reproducing the
+// type-mismatch blockage of paper Listing 9e.
+var GVN = Pass{Name: "gvn", Run: gvn}
+
+func gvn(m *ir.Module, o Options) bool {
+	ComputeEscapesOpt(m, o)
+	changed := forEachDefined(m, func(f *ir.Func) bool {
+		return gvnFunc(f, o)
+	})
+	if o.LoadForwarding && singleStoreForward(m) {
+		changed = true
+	}
+	return changed
+}
+
+// singleStoreForward is the cross-block forwarding rule: for a non-exposed
+// internal scalar global with exactly one store in the whole module,
+// nothing else can ever write it (no pointer to it exists and no other
+// store does), so any load dominated by the store reads the stored value —
+// regardless of loops or intervening calls. This models the part of
+// GVN/FRE both real compilers get right that the block-local pass above
+// would miss.
+func singleStoreForward(m *ir.Module) bool {
+	changed := false
+	for _, g := range m.Globals {
+		if g.Escapes || g.AddrExposed || g.Len != 1 {
+			continue
+		}
+		loads, stores, ok := globalAccesses(m, g, false)
+		if !ok || len(stores) != 1 || len(loads) == 0 {
+			continue
+		}
+		s := stores[0]
+		if s.Widened {
+			continue // the "vectorized" type-erased store never forwards
+		}
+		v := s.Args[1]
+		f := s.Block.Func
+		// Loop hazard: if the store sits in a cycle, a partial iteration
+		// could recompute v without re-running the store, making the SSA
+		// value at a later load newer than memory. Safe cases: v is an
+		// execution-invariant producer, v is computed in the store's own
+		// block (a basic block runs atomically, so recomputing v implies
+		// re-storing), or the store is not in any cycle.
+		valueStable := v.Op == ir.OpConst || v.Op == ir.OpNull || v.Op == ir.OpGlobalAddr ||
+			v.Block == s.Block || !blockInCycle(f, s.Block)
+		if !valueStable {
+			continue
+		}
+		dt := ir.Dominators(f)
+		pos := map[*ir.Instr]int{}
+		for i, in := range s.Block.Instrs {
+			pos[in] = i
+		}
+		for _, l := range loads {
+			if l.Block.Func != f {
+				continue
+			}
+			if l.Block == s.Block {
+				if pos[l] < pos[s] {
+					continue // load precedes the store in its own block
+				}
+			} else if !dt.Dominates(s.Block, l.Block) {
+				continue
+			}
+			if !types.Identical(l.Typ, v.Typ) {
+				continue
+			}
+			ir.ReplaceAllUses(l, v)
+			l.Remove()
+			changed = true
+		}
+	}
+	return changed
+}
+
+func gvnFunc(f *ir.Func, o Options) bool {
+	dt := ir.Dominators(f)
+	ac := NewAliasCtx(f, o.Alias)
+	g := &gvnState{
+		o:     o,
+		ac:    ac,
+		table: map[string]*ir.Instr{},
+	}
+	return g.walk(f.Entry(), dt)
+}
+
+type gvnState struct {
+	o     Options
+	ac    *AliasCtx
+	table map[string]*ir.Instr
+}
+
+// walk performs a preorder dominator-tree traversal with a scoped table.
+func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
+	changed := false
+	var added []string
+
+	// Block-local memory state for forwarding.
+	type memEntry struct {
+		loc Loc
+		val *ir.Instr
+	}
+	var avail []memEntry
+	invalidate := func(pred func(Loc) bool) {
+		kept := avail[:0]
+		for _, e := range avail {
+			if !pred(e.loc) {
+				kept = append(kept, e)
+			}
+		}
+		avail = kept
+	}
+
+	var keep []*ir.Instr
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			loc := ResolveLoc(in.Args[0])
+			forwarded := false
+			for _, e := range avail {
+				if MustAlias(e.loc, loc) && e.val.Typ != nil && types.Identical(e.val.Typ, in.Typ) {
+					ir.ReplaceAllUses(in, e.val)
+					forwarded = true
+					changed = true
+					break
+				}
+			}
+			if forwarded {
+				continue // drop the load
+			}
+			avail = append(avail, memEntry{loc, in})
+
+		case ir.OpStore:
+			loc := ResolveLoc(in.Args[0])
+			invalidate(func(l Loc) bool { return g.ac.MayAlias(l, loc) })
+			if !in.Widened && g.o.LoadForwarding {
+				avail = append(avail, memEntry{loc, in.Args[1]})
+			}
+
+		case ir.OpCall:
+			if in.Callee != nil && in.Callee.External {
+				// Opaque externals can only touch escaping/exposed storage.
+				invalidate(func(l Loc) bool {
+					switch {
+					case l.G != nil:
+						return l.G.Escapes
+					case l.A != nil:
+						return g.ac.exposed[l.A]
+					default:
+						return true
+					}
+				})
+			} else {
+				avail = avail[:0] // internal call: no mod/ref summary
+			}
+
+		default:
+			if in.Typ != nil && in.IsPure() && in.Op != ir.OpPhi && in.Op != ir.OpAlloca && in.Op != ir.OpParam {
+				key := g.key(in)
+				if rep, ok := g.table[key]; ok {
+					ir.ReplaceAllUses(in, rep)
+					changed = true
+					continue // drop the duplicate
+				}
+				g.table[key] = in
+				added = append(added, key)
+			}
+		}
+		keep = append(keep, in)
+	}
+	b.Instrs = keep
+
+	for _, kid := range dt.Children(b) {
+		if g.walk(kid, dt) {
+			changed = true
+		}
+	}
+	for _, k := range added {
+		delete(g.table, k)
+	}
+	return changed
+}
+
+// key builds a structural hash key for a pure instruction.
+func (g *gvnState) key(in *ir.Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|", int(in.Op), in.Typ)
+	switch in.Op {
+	case ir.OpConst:
+		fmt.Fprintf(&sb, "c%d", in.IntVal)
+		return sb.String()
+	case ir.OpNull:
+		return sb.String()
+	case ir.OpGlobalAddr:
+		fmt.Fprintf(&sb, "g%s", in.Global.Name)
+		return sb.String()
+	case ir.OpBin:
+		ids := []int{in.Args[0].ID, in.Args[1].ID}
+		if isCommutative(in.BinOp) {
+			sort.Ints(ids)
+		}
+		fmt.Fprintf(&sb, "b%v|%d,%d", in.BinOp, ids[0], ids[1])
+		return sb.String()
+	default:
+		for _, a := range in.Args {
+			fmt.Fprintf(&sb, "%d,", a.ID)
+		}
+		return sb.String()
+	}
+}

@@ -1,0 +1,437 @@
+package opt
+
+import (
+	"testing"
+
+	"dcelens/internal/ir"
+)
+
+// fullOpts is a strong configuration used by tests that just want the
+// optimizer at full power.
+func fullOpts() Options {
+	return Options{
+		GlobalProp:              GlobalPropFlowAware,
+		Alias:                   AliasBaseObject,
+		FoldPtrCmpNonzeroOffset: true,
+		ConstArrayLoadFold:      true,
+		LoadForwarding:          true,
+		RedundantStoreElim:      true,
+		InlineBudget:            60,
+	}
+}
+
+// stdPasses is a realistic schedule using all interprocedural passes.
+func stdPasses() []Pass {
+	return []Pass{
+		Mem2Reg, IPSCCP, SCCP, InstCombine, SimplifyCFG,
+		Inline, GVN, DSE, DCE, SimplifyCFG, GlobalDCE,
+	}
+}
+
+func TestEscapeAnalysis(t *testing.T) {
+	m := buildIR(t, `
+void ext(int *p);
+static int a;      // address passed to an external: escapes
+static int b;      // address stored into memory: exposed and escapes conservatively? stored only into internal storage: exposed, not escaping
+static int *pb;
+static int c;      // only direct loads/stores: neither
+int d;             // external linkage: escapes
+int main(void) {
+  ext(&a);
+  pb = &b;
+  c = c + 1;
+  return 0;
+}`)
+	ComputeEscapes(m)
+	g := func(name string) *ir.Global { return m.LookupGlobal(name) }
+	if !g("a").Escapes {
+		t.Error("a should escape (passed to external)")
+	}
+	if !g("b").AddrExposed {
+		t.Error("b should be address-exposed (stored)")
+	}
+	if g("c").Escapes || g("c").AddrExposed {
+		t.Error("c should be private")
+	}
+	if !g("d").Escapes {
+		t.Error("d has external linkage and must escape")
+	}
+}
+
+func TestEscapeThroughInternalCall(t *testing.T) {
+	m := buildIR(t, `
+void ext(int *p);
+static void leak(int *p) { ext(p); }
+static void hold(int *p) { *p = 1; }
+static int a;
+static int b;
+int main(void) {
+  leak(&a);
+  hold(&b);
+  return 0;
+}`)
+	// Escape analysis runs after mem2reg in every pipeline: before
+	// promotion the parameter spill slots make every pointer parameter
+	// look stored-to-memory.
+	runPasses(t, m, Options{}, Mem2Reg)
+	ComputeEscapes(m)
+	if !m.LookupGlobal("a").Escapes {
+		t.Error("a escapes transitively through leak()")
+	}
+	if m.LookupGlobal("b").Escapes {
+		t.Error("b does not escape: hold() only dereferences")
+	}
+}
+
+// TestIPSCCPLevels reproduces the paper's Listing 4a / 6a matrix: a static
+// global read before being stored a constant.
+func TestIPSCCPLevels(t *testing.T) {
+	// `a = 0` after the check: the store writes the initial value.
+	sameConstSrc := `
+void DCEMarker0(void);
+static int a = 0;
+int main(void) {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 0;
+  return 0;
+}`
+	// `a = 1` after the check: only flow-aware analysis sees the load
+	// cannot observe the store.
+	flowSrc := `
+void DCEMarker0(void);
+static int a = 0;
+int main(void) {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 1;
+  return 0;
+}`
+	cases := []struct {
+		name   string
+		src    string
+		level  GlobalPropLevel
+		folded bool
+	}{
+		{"NoStores misses same-const store", sameConstSrc, GlobalPropNoStores, false},
+		{"SameConst folds same-const store", sameConstSrc, GlobalPropSameConst, true},
+		{"SameConst misses different store", flowSrc, GlobalPropSameConst, false},
+		{"FlowAware folds unreachable store", flowSrc, GlobalPropFlowAware, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildIR(t, tc.src)
+			o := fullOpts()
+			o.GlobalProp = tc.level
+			runPasses(t, m, o, stdPasses()...)
+			if got := !markerSurvives(m, "DCEMarker0"); got != tc.folded {
+				t.Errorf("marker eliminated = %v, want %v\n%s", got, tc.folded, m)
+			}
+			res := exec(t, m)
+			if res.ExitCode != 0 {
+				t.Errorf("exit %d", res.ExitCode)
+			}
+		})
+	}
+}
+
+func TestIPSCCPRedundantStoreElim(t *testing.T) {
+	src := `
+static int a = 0;
+int main(void) {
+  a = 0;
+  return 0;
+}`
+	// With redundant-store elimination the no-op store disappears.
+	m := buildIR(t, src)
+	o := fullOpts()
+	o.GlobalProp = GlobalPropSameConst
+	runPasses(t, m, o, stdPasses()...)
+	if countStores(m) != 0 {
+		t.Errorf("redundant store survived:\n%s", m)
+	}
+	// Without it (GCC, paper Listing 4b: movl $0, a(%rip)) it stays.
+	m2 := buildIR(t, src)
+	o.RedundantStoreElim = false
+	runPasses(t, m2, o, stdPasses()...)
+	if countStores(m2) == 0 {
+		t.Errorf("store should survive without RedundantStoreElim")
+	}
+}
+
+func countStores(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestConstArrayLoadFold(t *testing.T) {
+	// Paper Listing 9f: same constant regardless of index.
+	src := `
+void DCEMarker0(void);
+int a;
+static int b[2] = {0, 0};
+int main(void) {
+  if (b[a]) {
+    DCEMarker0();
+  }
+  return 0;
+}`
+	m := buildIR(t, src)
+	o := fullOpts()
+	runPasses(t, m, o, stdPasses()...)
+	if markerSurvives(m, "DCEMarker0") {
+		t.Errorf("const-array load not folded:\n%s", m)
+	}
+	m2 := buildIR(t, src)
+	o.ConstArrayLoadFold = false
+	runPasses(t, m2, o, stdPasses()...)
+	if !markerSurvives(m2, "DCEMarker0") {
+		t.Errorf("marker should survive without ConstArrayLoadFold (the GCC miss)")
+	}
+}
+
+func TestGVNForwardsAcrossMarkerCalls(t *testing.T) {
+	// A static non-escaping global keeps its value across an opaque call:
+	// the call cannot name it.
+	m := buildIR(t, `
+void DCEMarker0(void);
+void DCEMarker1(void);
+static int g;
+int main(void) {
+  g = 5;
+  DCEMarker0();
+  if (g != 5) {
+    DCEMarker1();
+  }
+  return 0;
+}`)
+	runPasses(t, m, fullOpts(), stdPasses()...)
+	if markerSurvives(m, "DCEMarker1") {
+		t.Errorf("store-to-load forwarding across an opaque call failed:\n%s", m)
+	}
+	if !markerSurvives(m, "DCEMarker0") {
+		t.Errorf("live marker must survive")
+	}
+}
+
+func TestGVNRespectsEscapingGlobals(t *testing.T) {
+	// g escapes (external linkage): the opaque call may rewrite it, so the
+	// second if cannot be folded.
+	m := buildIR(t, `
+void DCEMarker0(void);
+void opaque(void);
+int g;
+int main(void) {
+  g = 5;
+  opaque();
+  if (g != 5) {
+    DCEMarker0();
+  }
+  return 0;
+}`)
+	runPasses(t, m, fullOpts(), stdPasses()...)
+	if !markerSurvives(m, "DCEMarker0") {
+		t.Errorf("folded a load across an opaque call of an escaping global:\n%s", m)
+	}
+}
+
+func TestDSEKillsOverwrittenStores(t *testing.T) {
+	m := buildIR(t, `
+static int g;
+int main(void) {
+  g = 1;
+  g = 2;
+  return g;
+}`)
+	runPasses(t, m, fullOpts(), Mem2Reg, DSE, GVN, SCCP, InstCombine, SimplifyCFG, DCE)
+	if n := countStores(m); n != 1 {
+		t.Errorf("got %d stores, want 1:\n%s", n, m)
+	}
+	if got := exec(t, m); got.ExitCode != 2 {
+		t.Errorf("exit %d, want 2", got.ExitCode)
+	}
+}
+
+func TestDSEKeepsObservableStores(t *testing.T) {
+	// A load between the stores keeps the first store alive.
+	m := buildIR(t, `
+static int g;
+static int h;
+int main(void) {
+  g = 1;
+  h = g;
+  g = 2;
+  return 0;
+}`)
+	runPasses(t, m, fullOpts(), DSE)
+	if n := countStores(m); n != 3 {
+		t.Errorf("got %d stores, want 3:\n%s", n, m)
+	}
+}
+
+func TestInlineSimple(t *testing.T) {
+	m := buildIR(t, `
+static int add(int a, int b) { return a + b; }
+int main(void) {
+  return add(2, 3) + add(4, 5);
+}`)
+	o := fullOpts()
+	runPasses(t, m, o, stdPasses()...)
+	if got := exec(t, m); got.ExitCode != 14 {
+		t.Fatalf("exit %d, want 14", got.ExitCode)
+	}
+	// After inlining + globaldce, add should be gone and main call-free.
+	if m.LookupFunc("add") != nil {
+		t.Errorf("add should be removed by globaldce after inlining")
+	}
+	for _, b := range m.LookupFunc("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				t.Errorf("call survived inlining:\n%s", m)
+			}
+		}
+	}
+}
+
+func TestInlineEnablesConstantFolding(t *testing.T) {
+	m := buildIR(t, `
+void DCEMarker0(void);
+static int id(int x) { return x; }
+int main(void) {
+  if (id(0)) {
+    DCEMarker0();
+  }
+  return 0;
+}`)
+	runPasses(t, m, fullOpts(), stdPasses()...)
+	if markerSurvives(m, "DCEMarker0") {
+		t.Errorf("inlining failed to expose the constant:\n%s", m)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	m := buildIR(t, `
+static int fac(int n) {
+  if (n < 2) return 1;
+  return n * fac(n - 1);
+}
+int main(void) { return fac(5); }`)
+	runPasses(t, m, fullOpts(), stdPasses()...)
+	if got := exec(t, m); got.ExitCode != 120 {
+		t.Fatalf("exit %d, want 120", got.ExitCode)
+	}
+}
+
+func TestGlobalDCERemovesUncalledStatics(t *testing.T) {
+	m := buildIR(t, `
+void DCEMarker0(void);
+static void never(void) { DCEMarker0(); }
+int main(void) { return 0; }`)
+	runPasses(t, m, Options{}, GlobalDCE)
+	if m.LookupFunc("never") != nil {
+		t.Error("uncalled static function should be removed")
+	}
+	if markerSurvives(m, "DCEMarker0") {
+		t.Error("marker in removed function should be gone")
+	}
+}
+
+func TestGlobalDCEKeepSRAClones(t *testing.T) {
+	// The clone-retention knob applies to pointer-parameter functions the
+	// inliner substituted away: after inlining into a dead call site, the
+	// function is unreferenced but its specialized copy survives (paper
+	// Listing 9b). A never-called helper is removed regardless.
+	src := `
+void DCEMarker0(void);
+static int cond = 0;
+static void touch(int *p) { DCEMarker0(); *p = 1; }
+static void orphan(int *p) { *p = 2; }
+int main(void) {
+  int x = 0;
+  if (cond) {
+    touch(&x);
+  }
+  return 0;
+}`
+	// Schedule the inliner before the constant folding so the (actually
+	// dead) call site is still present when it runs — in the real -O3
+	// pipeline this happens when the deadness is only provable by
+	// post-inline passes (unrolling, VRP).
+	sraSchedule := []Pass{Mem2Reg, Inline, IPSCCP, SCCP, InstCombine, SimplifyCFG, GVN, DCE, SimplifyCFG, GlobalDCE}
+
+	m := buildIR(t, src)
+	o := fullOpts()
+	o.KeepSRAClones = true
+	runPasses(t, m, o, sraSchedule...)
+	if m.LookupFunc("touch") == nil {
+		t.Errorf("inlined-away pointer-param function should be retained with KeepSRAClones:\n%s", m)
+	}
+	if !markerSurvives(m, "DCEMarker0") {
+		t.Error("marker should survive in the retained clone (the paper's Listing 9b shape)")
+	}
+	if m.LookupFunc("orphan") != nil {
+		t.Error("never-called helper should still be removed")
+	}
+
+	// Without the knob everything dead disappears.
+	m2 := buildIR(t, src)
+	o.KeepSRAClones = false
+	runPasses(t, m2, o, sraSchedule...)
+	if m2.LookupFunc("touch") != nil || markerSurvives(m2, "DCEMarker0") {
+		t.Errorf("without the knob the dead function and marker should go:\n%s", m2)
+	}
+}
+
+// TestInterprocPassesPreserveSemantics extends the semantics property to
+// the full interprocedural schedule.
+func TestInterprocPassesPreserveSemantics(t *testing.T) {
+	checkSemanticsPreserved(t, fullOpts(), stdPasses(), 35)
+}
+
+// TestWeakOptionsPreserveSemantics: the degraded configurations must be
+// just as correct — they only optimize less.
+func TestWeakOptionsPreserveSemantics(t *testing.T) {
+	o := Options{
+		GlobalProp: GlobalPropNoStores,
+		Alias:      AliasConservative,
+	}
+	checkSemanticsPreserved(t, o, stdPasses(), 20)
+}
+
+// TestInlineReturnValueFromLateBlock pins an inliner bug: a return whose
+// value is defined in a block that appears later in the callee's block
+// list (list order is not topological) must still be remapped into the
+// caller's continuation.
+func TestInlineReturnValueFromLateBlock(t *testing.T) {
+	m := buildIR(t, `
+static int g;
+static int helper(int x) {
+  int r = 0;
+  // The loop structure puts value-defining blocks after the block layout
+  // of the return path in the lowered IR.
+  for (int i = 0; i < 3; i++) {
+    r += x + i;
+  }
+  return r;
+}
+int main(void) {
+  g = helper(4);
+  return g;
+}`)
+	o := fullOpts()
+	runPasses(t, m, o, Mem2Reg, Inline, Mem2Reg, SCCP, InstCombine, SimplifyCFG, DCE)
+	if got := exec(t, m); got.ExitCode != 15 {
+		t.Fatalf("exit %d, want 15", got.ExitCode)
+	}
+}

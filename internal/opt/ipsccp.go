@@ -1,0 +1,371 @@
+package opt
+
+import (
+	"dcelens/internal/ir"
+	"dcelens/internal/types"
+)
+
+// IPSCCP is the interprocedural global value analysis — the pass whose
+// precision differences drive the paper's flagship examples:
+//
+//   - GlobalPropNoStores is GCC's flow-insensitive analysis: a static
+//     global is a constant only if nothing in the module ever stores to it
+//     (Listing 4a: GCC cannot see that `a` is 0 at `if (a)` because a
+//     store `a = 0` exists *somewhere*).
+//   - GlobalPropSameConst is LLVM >= 3.8: stores that write the same
+//     constant as the initializer keep the global constant.
+//   - GlobalPropFlowAware restores LLVM <= 3.7 behaviour: a load that no
+//     store can reach on any control-flow path observes the initializer
+//     (losing this was the regression in Listing 6a: `a = 1` at the end of
+//     main stopped `if (a)` at the top from folding).
+//
+// With RedundantStoreElim, stores that provably write the value the global
+// already holds are deleted; without it they survive to the assembly — the
+// `movl $0, a(%rip)` dead store GCC keeps in Listing 4b.
+//
+// ConstArrayLoadFold additionally folds loads (with arbitrary indices) from
+// never-written arrays whose elements are all the same constant (Listing
+// 9f: `b[a]` where b = {0, 0}).
+var IPSCCP = Pass{Name: "ipsccp", Run: ipsccp}
+
+func ipsccp(m *ir.Module, o Options) bool {
+	if o.GlobalProp == GlobalPropNone {
+		return false
+	}
+	ComputeEscapesOpt(m, o)
+	changed := false
+	for _, g := range m.Globals {
+		if g.Escapes || g.AddrExposed {
+			continue // other code can touch it: no module-wide view
+		}
+		if g.Len == 1 {
+			if propagateScalar(m, g, o) {
+				changed = true
+			}
+		} else if o.ConstArrayLoadFold {
+			if propagateConstArray(m, g) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// globalAccesses collects all direct loads and stores of g. ok is false if
+// g's address is used in any other way (e.g. behind non-constant GEPs for
+// scalars — cannot happen for in-bounds MiniC scalars, but be safe).
+func globalAccesses(m *ir.Module, g *ir.Global, allowGEP bool) (loads, stores []*ir.Instr, ok bool) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				var addrs []*ir.Instr
+				switch in.Op {
+				case ir.OpGlobalAddr:
+					if in.Global == g {
+						addrs = []*ir.Instr{in}
+					}
+				}
+				if len(addrs) == 0 {
+					continue
+				}
+				// Check every use of this address.
+				for _, b2 := range f.Blocks {
+					for _, u := range b2.Instrs {
+						for i, a := range u.Args {
+							if a != addrs[0] {
+								continue
+							}
+							switch {
+							case u.Op == ir.OpLoad:
+								loads = append(loads, u)
+							case u.Op == ir.OpStore && i == 0:
+								stores = append(stores, u)
+							case u.Op == ir.OpBin:
+								// comparison: fine, no access
+							case u.Op == ir.OpGEP && allowGEP:
+								ls, ss, gok := gepAccesses(f, u)
+								if !gok {
+									return nil, nil, false
+								}
+								loads = append(loads, ls...)
+								stores = append(stores, ss...)
+							default:
+								return nil, nil, false
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return loads, stores, true
+}
+
+// gepAccesses collects loads/stores through a GEP of a known base.
+func gepAccesses(f *ir.Func, gep *ir.Instr) (loads, stores []*ir.Instr, ok bool) {
+	for _, b := range f.Blocks {
+		for _, u := range b.Instrs {
+			for i, a := range u.Args {
+				if a != gep {
+					continue
+				}
+				switch {
+				case u.Op == ir.OpLoad:
+					loads = append(loads, u)
+				case u.Op == ir.OpStore && i == 0:
+					stores = append(stores, u)
+				case u.Op == ir.OpBin:
+					// comparisons are fine
+				case u.Op == ir.OpGEP:
+					ls, ss, gok := gepAccesses(f, u)
+					if !gok {
+						return nil, nil, false
+					}
+					loads = append(loads, ls...)
+					stores = append(stores, ss...)
+				default:
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	return loads, stores, true
+}
+
+func initConst(g *ir.Global, idx int) (int64, bool) {
+	if g.Elem.Kind == types.Pointer {
+		return 0, false // pointer globals: address constants, not handled here
+	}
+	if idx < len(g.Init) {
+		if g.Init[idx].IsAddr {
+			return 0, false
+		}
+		return g.Init[idx].Int, true
+	}
+	return 0, true // zero-initialized tail
+}
+
+func propagateScalar(m *ir.Module, g *ir.Global, o Options) bool {
+	if g.Elem.Kind == types.Pointer {
+		// Address-constant propagation for pointer globals requires the
+		// stronger analysis tiers: GCC's flow-insensitive global value
+		// analysis does not track pointer-valued initializers, which is a
+		// large share of what it misses against LLVM on pointer-heavy
+		// Csmith code (paper §4.2: LLVM eliminates an order of magnitude
+		// more of GCC's misses than vice versa).
+		if o.GlobalProp < GlobalPropSameConst {
+			return false
+		}
+		return propagatePointerGlobal(m, g)
+	}
+	loads, stores, ok := globalAccesses(m, g, false)
+	if !ok || (len(loads) == 0 && len(stores) == 0) {
+		return false
+	}
+	init, ok := initConst(g, 0)
+	if !ok {
+		return false
+	}
+
+	// Which loads observe the initializer?
+	var foldable []*ir.Instr
+	deleteStores := false
+	switch {
+	case len(stores) == 0:
+		// Flow-insensitive: no stores at all (GlobalPropNoStores and up).
+		foldable = loads
+	case o.GlobalProp >= GlobalPropSameConst && allStoresWrite(stores, init):
+		// Every store rewrites the initial value: the global is invariant.
+		foldable = loads
+		deleteStores = o.RedundantStoreElim
+	case o.GlobalProp >= GlobalPropFlowAware:
+		// Loads that no store reaches observe the initializer.
+		mainFn := m.LookupFunc("main")
+		if mainIsCalled(m) {
+			mainFn = nil // someone calls main: it may run more than once
+		}
+		for _, l := range loads {
+			reachable := false
+			for _, s := range stores {
+				if storeReachesLoad(s, l, mainFn) {
+					reachable = true
+					break
+				}
+			}
+			if !reachable {
+				foldable = append(foldable, l)
+			}
+		}
+	}
+	if len(foldable) == 0 && !deleteStores {
+		return false
+	}
+	for _, l := range foldable {
+		c := l.Block.NewInstr(ir.OpConst, l.Typ)
+		c.IntVal = l.Typ.WrapValue(init)
+		l.Block.InsertBefore(c, l)
+		ir.ReplaceAllUses(l, c)
+		l.Remove()
+	}
+	if deleteStores {
+		for _, s := range stores {
+			s.Remove()
+		}
+	}
+	return len(foldable) > 0 || deleteStores
+}
+
+func allStoresWrite(stores []*ir.Instr, v int64) bool {
+	for _, s := range stores {
+		c, ok := isConst(s.Args[1])
+		if !ok || c != v {
+			return false
+		}
+	}
+	return true
+}
+
+// storeReachesLoad reports whether any control path can execute s and then
+// l. CFG reachability within a single activation is only meaningful for a
+// function that runs at most once — main. For every other function (or for
+// accesses split across functions) a store in one call can precede a load
+// in a later call, so the answer is conservatively "reachable". Within
+// main, plain CFG reachability is used (s's block reaches l's block, or
+// they share a block with s first — a block inside a loop reaches itself).
+func storeReachesLoad(s, l *ir.Instr, mainFn *ir.Func) bool {
+	if s.Block.Func != l.Block.Func || s.Block.Func != mainFn || mainFn == nil {
+		return true
+	}
+	f := s.Block.Func
+	if s.Block == l.Block {
+		// Same block: reachable if s comes first, or the block is in a
+		// cycle (the path wraps around).
+		for _, in := range s.Block.Instrs {
+			if in == s {
+				return true
+			}
+			if in == l {
+				return blockInCycle(f, s.Block)
+			}
+		}
+	}
+	return blockReaches(f, s.Block, l.Block)
+}
+
+func blockReaches(f *ir.Func, from, to *ir.Block) bool {
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block) bool
+	dfs = func(b *ir.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if s == to || dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func blockInCycle(f *ir.Func, b *ir.Block) bool {
+	return blockReaches(f, b, b)
+}
+
+// mainIsCalled reports whether any call site targets main (legal in C, and
+// it would invalidate main-runs-once reasoning).
+func mainIsCalled(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == "main" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// propagatePointerGlobal folds loads of a never-stored internal pointer
+// global to its initializer's address constant (GlobalOpt does the same).
+// The materialized &g+off values are what the pointer-comparison folders
+// (and their precision knobs, paper Listing 3) subsequently act on.
+func propagatePointerGlobal(m *ir.Module, g *ir.Global) bool {
+	loads, stores, ok := globalAccesses(m, g, false)
+	if !ok || len(stores) > 0 || len(loads) == 0 {
+		return false
+	}
+	var target *ir.Global
+	var off int64
+	if len(g.Init) > 0 {
+		if !g.Init[0].IsAddr {
+			return false
+		}
+		target = g.Init[0].Global
+		off = g.Init[0].Off
+	}
+	for _, l := range loads {
+		b := l.Block
+		var repl *ir.Instr
+		if target == nil {
+			repl = b.NewInstr(ir.OpNull, l.Typ)
+			b.InsertBefore(repl, l)
+		} else {
+			ga := b.NewInstr(ir.OpGlobalAddr, types.PointerTo(target.Elem))
+			ga.Global = target
+			b.InsertBefore(ga, l)
+			repl = ga
+			if off != 0 {
+				idx := b.NewInstr(ir.OpConst, types.I64Type)
+				idx.IntVal = off
+				b.InsertBefore(idx, l)
+				gep := b.NewInstr(ir.OpGEP, ga.Typ, ga, idx)
+				b.InsertBefore(gep, l)
+				repl = gep
+			}
+		}
+		ir.ReplaceAllUses(l, repl)
+		l.Remove()
+	}
+	return true
+}
+
+// propagateConstArray folds loads from a never-written array whose
+// initialized elements are all the same constant (with the
+// zero-initialized tail, that means: all inits equal, and equal to 0 if
+// the initializer does not cover the whole array).
+func propagateConstArray(m *ir.Module, g *ir.Global) bool {
+	if g.Elem.Kind == types.Pointer {
+		return false
+	}
+	var val int64
+	if len(g.Init) > 0 {
+		if g.Init[0].IsAddr {
+			return false
+		}
+		val = g.Init[0].Int
+	}
+	for _, c := range g.Init {
+		if c.IsAddr || c.Int != val {
+			return false
+		}
+	}
+	if len(g.Init) < g.Len && val != 0 {
+		return false
+	}
+	loads, stores, ok := globalAccesses(m, g, true)
+	if !ok || len(stores) > 0 || len(loads) == 0 {
+		return false
+	}
+	for _, l := range loads {
+		c := l.Block.NewInstr(ir.OpConst, l.Typ)
+		c.IntVal = l.Typ.WrapValue(val)
+		l.Block.InsertBefore(c, l)
+		ir.ReplaceAllUses(l, c)
+		l.Remove()
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"dcelens/internal/ir"
+	"dcelens/internal/types"
+)
+
+// Mem2Reg promotes scalar stack slots to SSA registers: the classic
+// SSA-construction pass (phi placement at dominance frontiers, then a
+// rename walk over the dominator tree). Only allocas whose every use is a
+// direct load or store qualify — arrays (accessed through GEP) and
+// address-taken slots stay in memory.
+//
+// Almost everything the rest of the pipeline achieves depends on this pass:
+// without promotion, SCCP and GVN see only opaque memory traffic. The
+// ablation benchmark BenchmarkAblationNoMem2Reg quantifies exactly that.
+var Mem2Reg = Pass{Name: "mem2reg", Run: mem2reg}
+
+func mem2reg(m *ir.Module, o Options) bool {
+	return forEachDefined(m, mem2regFunc)
+}
+
+func mem2regFunc(f *ir.Func) bool {
+	var cands []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && in.Count == 1 && promotable(f, in) {
+				cands = append(cands, in)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+
+	dt := ir.Dominators(f)
+	df := dt.Frontiers()
+	reach := f.Reachable()
+
+	for _, a := range cands {
+		promote(f, a, dt, df, reach)
+	}
+	return true
+}
+
+// promotable reports whether every use of a is a direct load or a store
+// *address* (not a stored value, argument, or address computation).
+func promotable(f *ir.Func, a *ir.Instr) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, arg := range in.Args {
+				if arg != a {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad:
+					// address operand; fine
+				case in.Op == ir.OpStore && i == 0:
+					// address operand; fine (storing the alloca's address
+					// itself is i == 1 and disqualifies)
+				default:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// promote rewrites all loads/stores of alloca a into SSA values.
+func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Block, reach map[*ir.Block]bool) {
+	elem := a.Typ.Elem
+
+	// Blocks containing stores.
+	storeBlocks := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && in.Args[0] == a {
+				storeBlocks[b] = true
+			}
+		}
+	}
+
+	// Phi placement: iterated dominance frontier of the store blocks.
+	phiAt := map[*ir.Block]*ir.Instr{}
+	work := make([]*ir.Block, 0, len(storeBlocks))
+	for b := range storeBlocks {
+		work = append(work, b)
+	}
+	inWork := map[*ir.Block]bool{}
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range df[b] {
+			if !reach[fb] {
+				continue
+			}
+			if _, ok := phiAt[fb]; ok {
+				continue
+			}
+			phi := fb.NewInstr(ir.OpPhi, elem)
+			fb.Instrs = append([]*ir.Instr{phi}, fb.Instrs...)
+			phiAt[fb] = phi
+			if !inWork[fb] {
+				inWork[fb] = true
+				work = append(work, fb)
+			}
+		}
+	}
+
+	// Default value for reads before any store: zero / null, materialized
+	// in the entry block.
+	var zero *ir.Instr
+	mkZero := func() *ir.Instr {
+		if zero != nil {
+			return zero
+		}
+		entry := f.Entry()
+		if elem.Kind == types.Pointer {
+			zero = entry.NewInstr(ir.OpNull, elem)
+		} else {
+			zero = entry.NewInstr(ir.OpConst, elem)
+		}
+		entry.Instrs = append([]*ir.Instr{zero}, entry.Instrs...)
+		return zero
+	}
+
+	// Rename walk over the dominator tree.
+	var walk func(b *ir.Block, cur *ir.Instr)
+	walk = func(b *ir.Block, cur *ir.Instr) {
+		if phi, ok := phiAt[b]; ok {
+			cur = phi
+		}
+		var keep []*ir.Instr
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpLoad && in.Args[0] == a:
+				v := cur
+				if v == nil {
+					v = mkZero()
+				}
+				ir.ReplaceAllUses(in, v)
+				continue // drop the load
+			case in.Op == ir.OpStore && in.Args[0] == a:
+				cur = in.Args[1]
+				continue // drop the store
+			}
+			keep = append(keep, in)
+		}
+		b.Instrs = keep
+		// Fill phi operands of successors.
+		for _, s := range b.Succs() {
+			phi, ok := phiAt[s]
+			if !ok {
+				continue
+			}
+			v := cur
+			if v == nil {
+				v = mkZero()
+			}
+			phi.Args = append(phi.Args, v)
+			phi.PhiPreds = append(phi.PhiPreds, b)
+		}
+		for _, kid := range dt.Children(b) {
+			walk(kid, cur)
+		}
+	}
+	walk(f.Entry(), nil)
+
+	// Unreachable blocks may still reference the alloca; replace those
+	// accesses with the zero value so the alloca can be deleted.
+	for _, b := range f.Blocks {
+		if reach[b] {
+			continue
+		}
+		var keep []*ir.Instr
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpLoad && in.Args[0] == a:
+				ir.ReplaceAllUses(in, mkZero())
+				continue
+			case in.Op == ir.OpStore && in.Args[0] == a:
+				continue
+			}
+			keep = append(keep, in)
+		}
+		b.Instrs = keep
+	}
+
+	// The rename walk only visits reachable blocks, but a reachable block
+	// can have unreachable predecessors (e.g. the orphan blocks lowering
+	// creates after a return). Their phi entries are arbitrary; use zero.
+	for b, phi := range phiAt {
+		for _, p := range b.Preds {
+			covered := 0
+			for _, pp := range phi.PhiPreds {
+				if pp == p {
+					covered++
+				}
+			}
+			occurs := 0
+			for _, q := range b.Preds {
+				if q == p {
+					occurs++
+				}
+			}
+			for ; covered < occurs; covered++ {
+				phi.Args = append(phi.Args, mkZero())
+				phi.PhiPreds = append(phi.PhiPreds, p)
+			}
+		}
+	}
+
+	a.Remove()
+}

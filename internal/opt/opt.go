@@ -1,0 +1,171 @@
+// Package opt implements the optimization passes shared by both compiler
+// personalities.
+//
+// Every pass is a function from (module, options) to a changed-flag. The
+// two personalities (gcc-sim, llvm-sim) differ only in which passes run, in
+// what order, and with which Options knobs — exactly the axes along which
+// the paper's bisected regressions vary (pass management, analysis
+// precision, pass interactions). See internal/pipeline for the pass
+// schedules and DESIGN.md for the mapping from knobs to paper findings.
+package opt
+
+import (
+	"fmt"
+
+	"dcelens/internal/ir"
+)
+
+// GlobalPropLevel selects the precision of the interprocedural global value
+// analysis (the paper's central example of diverging compiler strength:
+// GCC's analysis is flow-insensitive, Listing 4a/6a).
+type GlobalPropLevel int
+
+const (
+	// GlobalPropNone disables the analysis.
+	GlobalPropNone GlobalPropLevel = iota
+	// GlobalPropNoStores folds loads of a non-escaping internal global only
+	// when the module contains no store to it at all (GCC-like,
+	// flow-insensitive).
+	GlobalPropNoStores
+	// GlobalPropSameConst additionally folds when every store writes the
+	// same constant the initializer set (LLVM >= 3.8 behaviour).
+	GlobalPropSameConst
+	// GlobalPropFlowAware additionally lets loads that no store can reach
+	// (on any CFG path) observe the initializer (LLVM <= 3.7 behaviour —
+	// its loss is the regression in paper Listing 6a).
+	GlobalPropFlowAware
+)
+
+// AliasLevel selects pointer-analysis precision.
+type AliasLevel int
+
+const (
+	// AliasConservative: only identical-global and distinct-direct-global
+	// queries are answered; anything involving loaded pointers may alias.
+	AliasConservative AliasLevel = iota
+	// AliasBaseObject: distinct base objects (globals, allocas) never
+	// alias; loaded pointers may alias only address-taken objects.
+	AliasBaseObject
+)
+
+// Options are the tunable knobs of the middle-end. Each personality/version
+// is a distinct Options value; commits in the version history mutate single
+// fields (see internal/pipeline/history.go).
+type Options struct {
+	GlobalProp GlobalPropLevel
+	Alias      AliasLevel
+
+	// FoldPtrCmpNonzeroOffset folds &a == &b+k for k != 0 (distinct
+	// objects never compare equal). LLVM's EarlyCSE historically folded
+	// only the k == 0 case — paper Listing 3.
+	FoldPtrCmpNonzeroOffset bool
+
+	// ShiftNonzeroRelation enables the VRP relation
+	// "x<<y != 0 when x != 0 and the shift provably loses no bits"
+	// (paper Listing 9a, fixed in GCC by 5f9ccf17de7).
+	ShiftNonzeroRelation bool
+
+	// ConstArrayLoadFold folds loads with unknown index from a never-written
+	// array whose elements are all the same constant (paper Listing 9f).
+	ConstArrayLoadFold bool
+
+	// LoadForwarding enables store-to-load forwarding in GVN.
+	LoadForwarding bool
+
+	// WidenPointerLoopStores re-types pointer stores in loops (the
+	// "vectorize pointer data as unsigned long" artifact of paper Listing
+	// 9e); widened stores defeat store-to-load forwarding.
+	WidenPointerLoopStores bool
+
+	// AggressiveUnswitch unswitches loops even when the resulting select
+	// pattern blocks later constant propagation (the LLVM loop-unswitching
+	// regression of paper Listings 7/8a).
+	AggressiveUnswitch bool
+
+	// KeepSRAClones retains specialized argument-promotion clones that are
+	// never called (the interprocedural-SRA leftover of paper Listing 9b).
+	KeepSRAClones bool
+
+	// InlineBudget is the maximum instruction count of an inlinee; 0
+	// disables inlining.
+	InlineBudget int
+
+	// UnrollMaxTrip fully unrolls counted loops with trip count <= this;
+	// 0 disables unrolling.
+	UnrollMaxTrip int
+
+	// RedundantStoreElim removes stores that provably rewrite the value a
+	// location already holds (GCC misses this in paper Listings 1c/4a).
+	RedundantStoreElim bool
+
+	// GlobalLocalize demotes non-escaping internal globals whose accesses
+	// are confined to main into stack slots (LLVM GlobalOpt's localization;
+	// see LocalizeGlobals). The decisive llvm-sim advantage on Csmith-style
+	// corpora.
+	GlobalLocalize bool
+
+	// PessimisticEscape makes the escape analysis assume every global
+	// escapes (ablation hook: quantifies how much of the oracle's power
+	// rests on knowing that opaque marker calls cannot clobber private
+	// statics — see BenchmarkAblationNoEscapeAnalysis).
+	PessimisticEscape bool
+
+	// VerifyEachPass runs the SSA verifier after every pass instead of
+	// once per Pipeline call — what an assertions-enabled compiler build
+	// does. Tests enable it; production-style campaigns rely on the final
+	// verification plus the semantic execution checks.
+	VerifyEachPass bool
+}
+
+// Pass is one transformation or analysis over a module.
+type Pass struct {
+	Name string
+	Run  func(m *ir.Module, o Options) bool
+}
+
+// Pipeline runs passes in order until a fixpoint or maxIters repetitions of
+// the whole schedule, whichever comes first. Real pass managers run fixed
+// schedules; iterating the schedule a couple of times approximates the
+// repeated pass groups (e.g. instcombine/simplifycfg interleavings) that
+// production pipelines contain.
+func Pipeline(m *ir.Module, o Options, passes []Pass, maxIters int) error {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for _, p := range passes {
+			if p.Run(m, o) {
+				changed = true
+			}
+			if o.VerifyEachPass {
+				if err := ir.Verify(m); err != nil {
+					return fmt.Errorf("opt: after pass %s (iteration %d): %w", p.Name, iter, err)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !o.VerifyEachPass {
+		if err := ir.Verify(m); err != nil {
+			return fmt.Errorf("opt: after pipeline: %w", err)
+		}
+	}
+	return nil
+}
+
+// forEachDefined applies f to every function with a body.
+func forEachDefined(m *ir.Module, f func(*ir.Func) bool) bool {
+	changed := false
+	for _, fn := range m.Funcs {
+		if fn.External {
+			continue
+		}
+		if f(fn) {
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,45 @@
+package opt
+
+import (
+	"dcelens/internal/ir"
+	"dcelens/internal/types"
+)
+
+// WidenStores models the GCC artifact of paper Listing 9e: when -O3
+// vectorizes a loop that stores pointers, the stored data is re-typed as
+// unsigned long, and the type mismatch later blocks constant folding and
+// store-to-load forwarding. Here, stores of pointer-typed values inside
+// loops are marked Widened; GVN refuses to forward widened stores, so a
+// later load of the location stays a load — and everything downstream of
+// it (including DCE of blocks guarded by comparisons on the loaded value)
+// is lost.
+//
+// The transformation itself is semantics-preserving: only the forwarding
+// metadata changes.
+var WidenStores = Pass{Name: "widen-stores", Run: widenStores}
+
+func widenStores(m *ir.Module, o Options) bool {
+	if !o.WidenPointerLoopStores {
+		return false
+	}
+	return forEachDefined(m, func(f *ir.Func) bool {
+		dt := ir.Dominators(f)
+		loops := ir.NaturalLoops(f, dt)
+		changed := false
+		for _, l := range loops {
+			for _, b := range f.Blocks {
+				if !l.Blocks[b] {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpStore && !in.Widened &&
+						in.Args[1].Typ != nil && in.Args[1].Typ.Kind == types.Pointer {
+						in.Widened = true
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	})
+}

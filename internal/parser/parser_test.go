@@ -1,0 +1,306 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+)
+
+// checkedRoundTrip parses src, runs sema, prints, reparses, rechecks, and
+// reprints; the two printed forms must be identical (print/parse fixpoint).
+func checkedRoundTrip(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatalf("sema: %v\nsource:\n%s", err, src)
+	}
+	printed := ast.Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\nprinted:\n%s", err, printed)
+	}
+	if err := sema.Check(prog2); err != nil {
+		t.Fatalf("recheck: %v\nprinted:\n%s", err, printed)
+	}
+	printed2 := ast.Print(prog2)
+	if printed != printed2 {
+		t.Fatalf("print not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+	}
+	return prog
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := checkedRoundTrip(t, `
+static int a = 3;
+unsigned long b;
+char arr[4] = {1, 2};
+static int *p = &a;
+int main(void) { return a; }
+`)
+	if len(prog.Globals()) != 4 {
+		t.Fatalf("want 4 globals, got %d", len(prog.Globals()))
+	}
+	if prog.Main() == nil {
+		t.Fatal("main not found")
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	prog := checkedRoundTrip(t, `
+void marker(void);
+static short helper(int x, unsigned char y) { return x + y; }
+int main(void) {
+  marker();
+  return helper(1, 2);
+}
+`)
+	fns := prog.Funcs()
+	if len(fns) != 3 {
+		t.Fatalf("want 3 functions, got %d", len(fns))
+	}
+	if fns[0].Body != nil {
+		t.Error("marker should be a declaration only")
+	}
+	if fns[1].Storage != ast.StorageStatic {
+		t.Error("helper should be static")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	checkedRoundTrip(t, `
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  while (s > 100) s -= 7;
+  do { s++; } while (s < 0);
+  switch (s & 3) {
+  case 0:
+  case 1:
+    s = 1;
+    break;
+  case 2:
+    s = 2;
+  default:
+    s = 3;
+  }
+  return s;
+}
+`)
+}
+
+func TestParseExpressions(t *testing.T) {
+	checkedRoundTrip(t, `
+static int g = 5;
+static int arr[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main(void) {
+  int x = (g + 2) * 3 - ~g;
+  int *p = &arr[2];
+  x = p[1] + *p;
+  x = x > 0 ? arr[x & 7] : -x;
+  x ^= 0x1f;
+  x <<= 2;
+  unsigned u = 3000000000U;
+  long big = 9000000000L;
+  x = 0 != 0;
+  u = u + 1;
+  big = big * 2;
+  return x;
+}
+`)
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := MustParse(`int main(void) { return 1 + 2 * 3 == 7 && 4 < 5 | 1; }`)
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Main().Body.Stmts[0].(*ast.Return)
+	printed := ast.PrintExpr(ret.X)
+	// && binds loosest here; | binds tighter than &&, so no parens appear.
+	if printed != "1 + 2 * 3 == 7 && 4 < 5 | 1" {
+		t.Fatalf("got %q", printed)
+	}
+	outer := ret.X.(*ast.Binary)
+	if outer.Op.String() != "&&" {
+		t.Fatalf("top operator is %v, want &&", outer.Op)
+	}
+}
+
+func TestRightAssociativeAssignment(t *testing.T) {
+	prog := MustParse(`int main(void) { int a; int b; a = b = 3; return a; }`)
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Main().Body.Stmts[2].(*ast.ExprStmt)
+	outer := stmt.X.(*ast.Assign)
+	if _, ok := outer.RHS.(*ast.Assign); !ok {
+		t.Fatalf("a = b = 3 should nest to the right, got RHS %T", outer.RHS)
+	}
+}
+
+func TestTernaryNesting(t *testing.T) {
+	checkedRoundTrip(t, `int main(void) { int a = 1; return a ? a ? 1 : 2 : 3; }`)
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"int main(void) { return 1 }",        // missing semicolon
+		"int main(void) { if 1) return 0; }", // missing paren
+		"int main(void) { int x = ; }",       // missing expression
+		"int 3x;",                            // bad identifier
+		"int main(void) { goto end; }",       // goto rejected
+		"int a[0];",                          // zero-length array
+		"int main(void) {",                   // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected syntax error for %q", src)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"int main(void) { return x; }":                                  "undeclared",
+		"int main(void) { int a; int a; return 0; }":                    "redeclaration",
+		"int main(void) { f(); return 0; }":                             "undeclared function",
+		"void f(void); int main(void) { return f(1); }":                 "arguments",
+		"int main(void) { 3 = 4; return 0; }":                           "not assignable",
+		"int main(void) { break; }":                                     "break outside",
+		"int main(void) { continue; }":                                  "continue outside",
+		"int a; int a;":                                                 "redefinition",
+		"int main(void) { int *p; return p + p; }":                      "invalid operands",
+		"int main(void) { switch (1) { case 1: case 1: ; } return 0; }": "duplicate case",
+		"void f(void) { return 3; }":                                    "void function",
+	}
+	for src, frag := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: unexpected parse error %v", src, err)
+			continue
+		}
+		err = sema.Check(prog)
+		if err == nil {
+			t.Errorf("%q: expected sema error containing %q", src, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("%q: error %q does not contain %q", src, err, frag)
+		}
+	}
+}
+
+func TestIntLiteralTyping(t *testing.T) {
+	cases := map[string]string{
+		"5":           "int",
+		"5U":          "unsigned int",
+		"5L":          "long",
+		"5UL":         "unsigned long",
+		"5LU":         "unsigned long",
+		"2147483647":  "int",
+		"2147483648":  "long",
+		"0x80000000":  "long",
+		"4294967295U": "unsigned int",
+		"4294967296U": "unsigned long",
+	}
+	for lit, wantType := range cases {
+		n, err := parseIntText(lit)
+		if err != nil {
+			t.Fatalf("%s: %v", lit, err)
+		}
+		if got := n.typ.String(); got != wantType {
+			t.Errorf("%s: literal typed %s, want %s", lit, got, wantType)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	prog := checkedRoundTrip(t, `
+static int g = 1;
+int main(void) { g = 2; return g; }
+`)
+	clone := ast.Clone(prog)
+	if ast.Print(clone) != ast.Print(prog) {
+		t.Fatal("clone prints differently")
+	}
+	// Mutating the clone must not affect the original.
+	clone.Decls = clone.Decls[:1]
+	if len(prog.Decls) != 2 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	// Resolved references in the clone must point at cloned decls.
+	clone2 := ast.Clone(prog)
+	origG := prog.Globals()[0]
+	var cloneRefObj *ast.VarDecl
+	ast.Inspect(clone2, func(n ast.Node) bool {
+		if r, ok := n.(*ast.VarRef); ok && r.Name == "g" {
+			cloneRefObj = r.Obj
+		}
+		return true
+	})
+	if cloneRefObj == origG {
+		t.Fatal("clone still references original declaration")
+	}
+}
+
+// TestParserNeverPanics: arbitrary input must produce a value or an error,
+// never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				t.FailNow()
+			}
+		}()
+		prog, err := Parse(src)
+		if err == nil && prog != nil {
+			// If it parses, sema must also not panic.
+			_ = sema.Check(prog)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserOnCLikeFragments stresses the parser with inputs that look
+// like MiniC but are subtly malformed.
+func TestParserOnCLikeFragments(t *testing.T) {
+	fragments := []string{
+		"int main(void) { return 0; } }",
+		"int main(void) { (1 ? 2); }",
+		"int main(void) { a[; }",
+		"static static int x;",
+		"int f(int, int);",
+		"int main(void) { switch (1) { foo: ; } }",
+		"int main(void) { for (;;;) {} }",
+		"int x = ;",
+		"void f(void) { do {} while; }",
+		"int main(void) { 1 +; }",
+		"unsigned unsigned x;",
+		"int a[999999999999];",
+	}
+	for _, src := range fragments {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", src, r)
+				}
+			}()
+			if prog, err := Parse(src); err == nil && prog != nil {
+				_ = sema.Check(prog)
+			}
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+package pipeline
+
+import "dcelens/internal/opt"
+
+// Commit is one entry in a personality's synthetic version history. The
+// history plays the role of the compilers' git logs in the paper: level
+// regressions are bisected to the commit that introduced them (§4.2), and
+// the touched component/files drive the Table 3/4 categorization.
+type Commit struct {
+	ID        string
+	Component string
+	Files     []string
+	Desc      string
+	// Regression marks commits that intentionally lose optimization power
+	// (ground truth for evaluating the bisector; the bisector itself never
+	// reads this).
+	Regression bool
+	Apply      func(b *Build)
+}
+
+// baseBuild is each personality's pre-history state.
+func baseBuild(p Personality) Build {
+	switch p {
+	case GCC:
+		return Build{
+			Opts: opt.Options{
+				// GCC's global value analysis is flow-insensitive
+				// (paper §2, Listing 4a).
+				GlobalProp: opt.GlobalPropNoStores,
+				Alias:      opt.AliasBaseObject,
+				// Missing relations GCC bugs 102546/99419/99357 track:
+				ShiftNonzeroRelation: false,
+				ConstArrayLoadFold:   false,
+				RedundantStoreElim:   false,
+			},
+			InlineBudget: 40,
+		}
+	case LLVM:
+		return Build{
+			Opts: opt.Options{
+				// LLVM <= 3.7 could propagate initial values of globals
+				// whose stores are unreachable from the load.
+				GlobalProp: opt.GlobalPropFlowAware,
+				Alias:      opt.AliasBaseObject,
+				// EarlyCSE folded pointer compares from the start...
+				FoldPtrCmpNonzeroOffset: true,
+				ConstArrayLoadFold:      true,
+				RedundantStoreElim:      true,
+			},
+			InlineBudget: 40,
+		}
+	}
+	panic("pipeline: unknown personality " + string(p))
+}
+
+// History returns the personality's commit list, oldest first. The tested
+// "current" version is the full list; FutureFixes extends beyond it.
+func History(p Personality) []Commit {
+	switch p {
+	case GCC:
+		return gccHistory
+	case LLVM:
+		return llvmHistory
+	}
+	panic("pipeline: unknown personality " + string(p))
+}
+
+// FutureFixes lists fixes landed after the tested version; the triage model
+// uses them to decide which reported bugs count as "fixed" (Table 5).
+func FutureFixes(p Personality) []Commit {
+	switch p {
+	case GCC:
+		return gccFutureFixes
+	case LLVM:
+		return llvmFutureFixes
+	}
+	panic("pipeline: unknown personality " + string(p))
+}
+
+func noop(*Build) {}
+
+var gccHistory = []Commit{
+	{ID: "a1f02cc381d0", Component: "Value Numbering",
+		Files: []string{"gcc/tree-ssa-sccvn.c", "gcc/tree-ssa-pre.c"},
+		Desc:  "FRE: forward stored values to dominated loads",
+		Apply: func(b *Build) { b.Opts.LoadForwarding = true }},
+	{ID: "b8812a04c5fe", Component: "C-family Frontend",
+		Files: []string{"gcc/c/c-typeck.c", "gcc/c-family/c-common.c", "gcc/c/c-decl.c", "gcc/c/c-parser.c"},
+		Desc:  "c: fold more constant expressions during parsing",
+		Apply: noop},
+	{ID: "c93d11f27a40", Component: "Inlining",
+		Files: []string{"gcc/ipa-inline.c", "gcc/ipa-inline-analysis.c"},
+		Desc:  "ipa: raise early-inline size limits",
+		Apply: func(b *Build) { b.InlineBudget = 60 }},
+	{ID: "d0aa5b7e3391", Component: "Peephole Optimizations",
+		Files: []string{"gcc/match.pd"},
+		Desc:  "match.pd: decide &a OP &b+CST address comparisons",
+		Apply: func(b *Build) { b.Opts.FoldPtrCmpNonzeroOffset = true }},
+	{ID: "e5c4903fd812", Component: "Loop Transformations",
+		Files: []string{"gcc/tree-ssa-loop-ivcanon.c", "gcc/cfgloopmanip.c"},
+		Desc:  "cunroll: enable complete unrolling of small loops at -O3",
+		Apply: func(b *Build) { b.UnrollTrips = 8 }},
+	{ID: "f7be190442ac", Component: "Copy Propagation",
+		Files: []string{"gcc/tree-ssa-copy.c"},
+		Desc:  "copy-prop: iterate to a fixed point",
+		Apply: noop},
+	{ID: "0d2ce83b17f5", Component: "Alias Analysis",
+		Files:      []string{"gcc/tree-ssa-alias.c"},
+		Desc:       "alias: rework points-to for pointers reloaded at -O3",
+		Regression: true,
+		Apply:      func(b *Build) { b.AliasO3Conservative = true }},
+	{ID: "13c9e2ab06d4", Component: "Constant Propagation",
+		Files: []string{"gcc/tree-ssa-ccp.c", "gcc/tree-ssa-propagate.c"},
+		Desc:  "ccp: track constant lattice through casts",
+		Apply: noop},
+	{ID: "27d50f318e9b", Component: "Loop Transformations",
+		Files:      []string{"gcc/tree-vect-stmts.c", "gcc/tree-vect-data-refs.c"},
+		Desc:       "vect: treat pointer data as unsigned long when vectorizing stores",
+		Regression: true,
+		Apply:      func(b *Build) { b.WidenAtO3 = true }},
+	{ID: "31ab7cd9254e", Component: "Control Flow Graph Analysis",
+		Files: []string{"gcc/cfgcleanup.c", "gcc/cfganal.c"},
+		Desc:  "cfg: refine unreachable block removal after threading",
+		Apply: noop},
+	{ID: "4450cbd1e7a9", Component: "Interprocedural SRoA",
+		Files:      []string{"gcc/ipa-sra.c"},
+		Desc:       "ipa-sra: keep specialized parameter copies for late passes",
+		Regression: true,
+		Apply:      func(b *Build) { b.KeepSRAAtO3 = true }},
+	{ID: "58ef33027b1c", Component: "Jump Threading",
+		Files: []string{"gcc/tree-ssa-threadedge.c", "gcc/tree-ssa-threadupdate.c", "gcc/tree-ssa-threadbackward.c"},
+		Desc:  "threader: enable backward threading at -O2 and above",
+		Apply: func(b *Build) { b.JumpThreadAtO2 = true }},
+	{ID: "6b1fd4072c8e", Component: "Pass Management",
+		Files: []string{"gcc/passes.def", "gcc/passes.c"},
+		Desc:  "passes: schedule a second forwprop instance",
+		Apply: noop},
+	{ID: "7fa2bb5d9103", Component: "Interprocedural Analyses",
+		Files: []string{"gcc/ipa-prop.c"},
+		Desc:  "ipa: propagate argument constness across calls",
+		Apply: noop},
+	{ID: "8cd30e6f41b2", Component: "Value Propagation",
+		Files: []string{"gcc/tree-vrp.c", "gcc/vr-values.c", "gcc/range-op.cc", "gcc/gimple-range.cc", "gcc/gimple-range-cache.cc", "gcc/gimple-range-edge.cc", "gcc/value-range.cc"},
+		Desc:  "ranger: switch VRP to the new range infrastructure",
+		Apply: noop},
+	{ID: "9e80cf25a634", Component: "Common Subexpression Elimination",
+		Files: []string{"gcc/cse.c", "gcc/gcse.c"},
+		Desc:  "cse: hash memory operands by canonical address",
+		Apply: noop},
+	{ID: "af61d70b2934", Component: "Target Info",
+		Files: []string{"gcc/config/i386/i386.c"},
+		Desc:  "x86: update rtx costs for shifts",
+		Apply: noop},
+	{ID: "92acae5047e1", Component: "Pass Management",
+		Files: []string{"gcc/passes.def"},
+		Desc:  "passes: move late threading after VRP2",
+		Apply: noop},
+}
+
+var gccFutureFixes = []Commit{
+	{ID: "5f9ccf17de7b", Component: "Value Propagation",
+		Files: []string{"gcc/range-op.cc"},
+		Desc:  "range-op: X << Y is nonzero when X is nonzero and no bits are lost (PR102546)",
+		Apply: func(b *Build) { b.Opts.ShiftNonzeroRelation = true }},
+	{ID: "d1d01a66012e", Component: "Alias Analysis",
+		Files: []string{"gcc/tree-ssa-alias.c"},
+		Desc:  "alias: restore points-to precision for reloaded pointers (PR100051)",
+		Apply: func(b *Build) { b.AliasO3Conservative = false }},
+	{ID: "113860301f4a", Component: "Jump Threading",
+		Files: []string{"gcc/tree-ssa-threadupdate.c"},
+		Desc:  "threader: clean up IR after threading through dead stores (PR102703)",
+		Apply: noop},
+	{ID: "7d6bb80931bd", Component: "Loop Transformations",
+		Files: []string{"gcc/tree-vect-stmts.c"},
+		Desc:  "vect: keep pointer types on vectorized pointer stores (PR99776)",
+		Apply: func(b *Build) { b.WidenAtO3 = false }},
+}
+
+var llvmHistory = []Commit{
+	{ID: "2c7e30ab41d9", Component: "Value Propagation",
+		Files: []string{"llvm/lib/Transforms/Scalar/GVN.cpp"},
+		Desc:  "GVN: forward stores to loads across non-clobbering calls",
+		Apply: func(b *Build) { b.Opts.LoadForwarding = true }},
+	{ID: "3b90f21dd6a7", Component: "Pass Management",
+		Files: []string{"llvm/lib/Passes/PassBuilder.cpp"},
+		Desc:  "NewPM: make the new pass manager the default",
+		Apply: noop},
+	{ID: "1be4f2a08c3d", Component: "Value Propagation",
+		Files: []string{"llvm/lib/Transforms/IPO/GlobalOpt.cpp"},
+		Desc:  "GlobalOpt: localize non-escaping internal globals used in one function",
+		Apply: func(b *Build) { b.Opts.GlobalLocalize = true }},
+	{ID: "4e3a8cd05b12", Component: "Value Propagation",
+		Files:      []string{"llvm/lib/Transforms/IPO/GlobalOpt.cpp"},
+		Desc:       "GlobalOpt: drop the legacy flow-aware initializer propagation",
+		Regression: true,
+		Apply:      func(b *Build) { b.Opts.GlobalProp = opt.GlobalPropSameConst }},
+	{ID: "5fd19e60c2b3", Component: "Loop Transformations",
+		Files: []string{"llvm/lib/Transforms/Scalar/LoopUnrollPass.cpp"},
+		Desc:  "LoopUnroll: full unrolling of small trip-count loops at -O3",
+		Apply: func(b *Build) { b.UnrollTrips = 8 }},
+	{ID: "60cf42aa91de", Component: "Loop Transformations",
+		Files: []string{"llvm/lib/Transforms/Scalar/SimpleLoopUnswitch.cpp"},
+		Desc:  "SimpleLoopUnswitch: enable non-trivial unswitching at -O3",
+		Apply: func(b *Build) { b.UnswitchAtO3 = true }},
+	{ID: "71da5e30b4f8", Component: "Pass Management",
+		Files:      []string{"llvm/lib/Passes/PassBuilderPipelines.cpp", "llvm/lib/Passes/PassBuilder.cpp"},
+		Desc:       "NewPM: run non-trivial unswitching (with freeze) in the early loop pipeline",
+		Regression: true,
+		Apply:      func(b *Build) { b.UnswitchEarly = true }},
+	{ID: "82eb06f1c5a3", Component: "Peephole Optimizations",
+		Files: []string{"llvm/lib/Transforms/InstCombine/InstCombineCasts.cpp", "llvm/lib/Transforms/InstCombine/InstCombineCompares.cpp"},
+		Desc:  "InstCombine: canonicalize cast-of-cast chains",
+		Apply: noop},
+	{ID: "93fc17de02b4", Component: "Value Constraint Analysis",
+		Files: []string{"llvm/lib/Analysis/LazyValueInfo.cpp"},
+		Desc:  "LVI: compute ranges for shifts with bounded operands",
+		Apply: func(b *Build) { b.Opts.ShiftNonzeroRelation = true }},
+	{ID: "a4d028eb71c5", Component: "Instruction Operand Folding",
+		Files:      []string{"llvm/lib/Transforms/Scalar/EarlyCSE.cpp"},
+		Desc:       "EarlyCSE: only fold pointer compares with zero offsets",
+		Regression: true,
+		Apply:      func(b *Build) { b.Opts.FoldPtrCmpNonzeroOffset = false }},
+	{ID: "b5e1392fd0c6", Component: "SSA Memory Analysis",
+		Files: []string{"llvm/lib/Analysis/MemorySSA.cpp"},
+		Desc:  "MemorySSA: cache walker results",
+		Apply: noop},
+	{ID: "c6fa04d18e27", Component: "Jump Threading",
+		Files: []string{"llvm/lib/Transforms/Scalar/JumpThreading.cpp"},
+		Desc:  "JumpThreading: enable at -O2 with tuned duplication threshold",
+		Apply: func(b *Build) { b.JumpThreadAtO2 = true }},
+	{ID: "d70b15ce92a4", Component: "Target Info",
+		Files: []string{"llvm/lib/Target/X86/X86ISelLowering.cpp", "llvm/lib/Target/X86/X86TargetTransformInfo.cpp"},
+		Desc:  "X86: update TTI costs for vector shifts",
+		Apply: noop},
+	{ID: "e82f4ad106b9", Component: "Alias Analysis",
+		Files: []string{"llvm/lib/Analysis/BasicAliasAnalysis.cpp"},
+		Desc:  "BasicAA: decompose GEPs through phis",
+		Apply: noop},
+	{ID: "f93c05be216a", Component: "Value Tracking",
+		Files: []string{"llvm/lib/Analysis/ValueTracking.cpp"},
+		Desc:  "ValueTracking: improve known-bits for or-disjoint",
+		Apply: noop},
+	{ID: "3cc38703d5ab", Component: "Inlining",
+		Files: []string{"llvm/lib/Analysis/InlineCost.cpp"},
+		Desc:  "Inliner: big bonus for internal functions, raise the default threshold",
+		Apply: func(b *Build) { b.InlineBudget = 320 }},
+}
+
+var llvmFutureFixes = []Commit{
+	{ID: "611a02cce509", Component: "Value Constraint Analysis",
+		Files: []string{"llvm/lib/IR/ConstantRange.cpp"},
+		Desc:  "ConstantRange: implement urem/srem for singleton ranges (PR49731)",
+		Apply: noop},
+	{ID: "0f2ab2f54ea3", Component: "Instruction Operand Folding",
+		Files: []string{"llvm/lib/Transforms/Scalar/EarlyCSE.cpp"},
+		Desc:  "EarlyCSE: fold pointer compares with constant offsets (PR49434)",
+		Apply: func(b *Build) { b.Opts.FoldPtrCmpNonzeroOffset = true }},
+	{ID: "9a4b77ef0d25", Component: "Pass Management",
+		Files: []string{"llvm/lib/Passes/PassBuilderPipelines.cpp"},
+		Desc:  "NewPM: move non-trivial unswitching back after simplification (PR49773)",
+		Apply: func(b *Build) { b.UnswitchEarly = false }},
+}

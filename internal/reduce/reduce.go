@@ -1,0 +1,493 @@
+// Package reduce implements a fixed-point delta-debugging test-case
+// reducer for MiniC programs — the role C-Reduce plays in the paper (§4.3).
+//
+// The reducer repeatedly proposes source-level simplifications (drop a
+// declaration, drop a statement, replace an expression by a constant or an
+// operand, unwrap a control-flow construct), keeps a candidate whenever it
+// still typechecks and the caller's interestingness test holds, and stops
+// at a fixed point. The interestingness test for the paper's use case —
+// "the marker is still dead in ground truth, the target compiler still
+// keeps it, and the reference compiler still eliminates it" — lives in
+// internal/corpus, which drives reduction during campaigns.
+package reduce
+
+import (
+	"dcelens/internal/ast"
+	"dcelens/internal/sema"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// Interestingness decides whether a candidate still exhibits the behaviour
+// being reduced. The candidate has passed sema when the test is invoked.
+type Interestingness func(*ast.Program) bool
+
+// Options bounds the reduction effort.
+type Options struct {
+	// MaxRounds bounds full fixed-point rounds; <= 0 means the default.
+	MaxRounds int
+	// MaxChecks bounds the total number of interestingness invocations;
+	// <= 0 means the default.
+	MaxChecks int
+}
+
+const (
+	defaultMaxRounds = 12
+	defaultMaxChecks = 4000
+)
+
+// Result describes a finished reduction.
+type Result struct {
+	Program *ast.Program
+	// NodesBefore/NodesAfter measure the reduction.
+	NodesBefore, NodesAfter int
+	Rounds                  int
+	Checks                  int
+}
+
+// Reduce shrinks prog as far as the interestingness test allows. prog is
+// not modified; the result is a fresh program. Reduce assumes
+// interesting(prog) holds (it re-verifies and returns prog unchanged if
+// not).
+func Reduce(prog *ast.Program, interesting Interestingness, opts Options) *Result {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = defaultMaxRounds
+	}
+	if opts.MaxChecks <= 0 {
+		opts.MaxChecks = defaultMaxChecks
+	}
+	r := &reducer{test: interesting, maxChecks: opts.MaxChecks}
+
+	best := reclone(prog)
+	res := &Result{NodesBefore: ast.CountNodes(prog)}
+	if best == nil || !interesting(best) {
+		res.Program = prog
+		res.NodesAfter = res.NodesBefore
+		return res
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds = round + 1
+		improved := false
+		for _, pass := range passes {
+			var ok bool
+			best, ok = r.sweep(best, pass)
+			if ok {
+				improved = true
+			}
+			if r.checks >= r.maxChecks {
+				break
+			}
+		}
+		if !improved || r.checks >= r.maxChecks {
+			break
+		}
+	}
+	res.Program = best
+	res.NodesAfter = ast.CountNodes(best)
+	res.Checks = r.checks
+	return res
+}
+
+// reclone round-trips the program through Clone and a fresh sema run,
+// producing an independently annotated copy. Returns nil if the program
+// does not typecheck (should not happen for valid inputs).
+func reclone(p *ast.Program) *ast.Program {
+	c := ast.Clone(p)
+	if err := sema.Check(c); err != nil {
+		return nil
+	}
+	return c
+}
+
+type reducer struct {
+	test      Interestingness
+	checks    int
+	maxChecks int
+}
+
+// mutation edits a program in place; it returns false when the target
+// index is out of range (enumeration exhausted).
+type mutation func(p *ast.Program, index int) bool
+
+// pass is one family of mutations.
+type pass struct {
+	name string
+	mut  mutation
+}
+
+var passes = []pass{
+	{"drop-decl", dropDecl},
+	{"drop-stmt-chunk", dropStmtChunk},
+	{"drop-stmt", dropStmt},
+	{"unwrap-stmt", unwrapStmt},
+	{"expr-to-zero", exprToZero},
+	{"expr-to-operand", exprToOperand},
+	{"drop-init", dropInit},
+}
+
+// sweep tries the pass's mutations in a single linear scan, accepting
+// improvements cumulatively. After an accepted mutation the same index is
+// retried (the removed element shifted its successors down), which keeps
+// the total interestingness-test count linear in the program size — the
+// ddmin-style efficiency that makes reduction practical.
+func (r *reducer) sweep(best *ast.Program, p pass) (*ast.Program, bool) {
+	improved := false
+	idx := 0
+	for r.checks < r.maxChecks {
+		cand := ast.Clone(best)
+		if !p.mut(cand, idx) {
+			break // enumeration exhausted
+		}
+		if sema.Check(cand) == nil {
+			r.checks++
+			if r.test(cand) {
+				best = cand
+				improved = true
+				continue // retry the same index against the smaller tree
+			}
+		}
+		idx++
+	}
+	return best, improved
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+
+func dropDecl(p *ast.Program, index int) bool {
+	if index >= len(p.Decls) {
+		return false
+	}
+	p.Decls = append(p.Decls[:index], p.Decls[index+1:]...)
+	return true
+}
+
+// stmtSlots enumerates every position holding a statement, in a
+// deterministic traversal order, as setter closures.
+type stmtSlot struct {
+	get     func() ast.Stmt
+	replace func(ast.Stmt)
+	remove  func() // remove entirely when the slot is a list element
+}
+
+func collectStmtSlots(p *ast.Program) []stmtSlot {
+	var slots []stmtSlot
+	var walkStmt func(s ast.Stmt)
+
+	listSlots := func(list *[]ast.Stmt) {
+		for i := range *list {
+			i := i
+			l := list
+			slots = append(slots, stmtSlot{
+				get:     func() ast.Stmt { return (*l)[i] },
+				replace: func(s ast.Stmt) { (*l)[i] = s },
+				remove: func() {
+					*l = append((*l)[:i], (*l)[i+1:]...)
+				},
+			})
+			walkStmt((*list)[i])
+		}
+	}
+
+	ptrSlot := func(sp *ast.Stmt) {
+		slots = append(slots, stmtSlot{
+			get:     func() ast.Stmt { return *sp },
+			replace: func(s ast.Stmt) { *sp = s },
+			remove:  func() { *sp = &ast.Empty{} },
+		})
+		walkStmt(*sp)
+	}
+
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			listSlots(&s.Stmts)
+		case *ast.If:
+			ptrSlot(&s.Then)
+			if s.Else != nil {
+				ptrSlot(&s.Else)
+			}
+		case *ast.While:
+			ptrSlot(&s.Body)
+		case *ast.DoWhile:
+			ptrSlot(&s.Body)
+		case *ast.For:
+			ptrSlot(&s.Body)
+		case *ast.Switch:
+			for _, c := range s.Cases {
+				listSlots(&c.Body)
+			}
+		}
+	}
+
+	for _, d := range p.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Body != nil {
+			listSlots(&f.Body.Stmts)
+		}
+	}
+	return slots
+}
+
+func dropStmt(p *ast.Program, index int) bool {
+	slots := collectStmtSlots(p)
+	if index >= len(slots) {
+		return false
+	}
+	slots[index].remove()
+	return true
+}
+
+// stmtLists enumerates every statement list (block bodies, case bodies).
+func stmtLists(p *ast.Program) []*[]ast.Stmt {
+	var lists []*[]ast.Stmt
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			lists = append(lists, &s.Stmts)
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.While:
+			walk(s.Body)
+		case *ast.DoWhile:
+			walk(s.Body)
+		case *ast.For:
+			walk(s.Body)
+		case *ast.Switch:
+			for _, c := range s.Cases {
+				lists = append(lists, &c.Body)
+				for _, st := range c.Body {
+					walk(st)
+				}
+			}
+		}
+	}
+	for _, d := range p.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Body != nil {
+			walk(f.Body)
+		}
+	}
+	return lists
+}
+
+// dropStmtChunk removes runs of consecutive statements (sizes 8, 4, 2),
+// the ddmin-style coarse phase that deletes dead regions in a few tests
+// instead of one statement at a time.
+func dropStmtChunk(p *ast.Program, index int) bool {
+	lists := stmtLists(p)
+	count := 0
+	for _, size := range []int{8, 4, 2} {
+		for _, l := range lists {
+			for start := 0; start+size <= len(*l); start += size {
+				if count == index {
+					*l = append((*l)[:start], (*l)[start+size:]...)
+					return true
+				}
+				count++
+			}
+		}
+	}
+	return false
+}
+
+// unwrapStmt replaces a control construct by (part of) its body:
+// if -> then branch, loops -> body, block -> kept as-is.
+func unwrapStmt(p *ast.Program, index int) bool {
+	slots := collectStmtSlots(p)
+	count := 0
+	for _, sl := range slots {
+		var repl ast.Stmt
+		switch s := sl.get().(type) {
+		case *ast.If:
+			repl = s.Then
+		case *ast.While:
+			repl = s.Body
+		case *ast.DoWhile:
+			repl = s.Body
+		case *ast.For:
+			repl = s.Body
+		default:
+			continue
+		}
+		if count == index {
+			sl.replace(repl)
+			return true
+		}
+		count++
+	}
+	return false
+}
+
+// exprSlots enumerates expression positions that can be swapped.
+type exprSlot struct {
+	get     func() ast.Expr
+	replace func(ast.Expr)
+}
+
+func collectExprSlots(p *ast.Program) []exprSlot {
+	var slots []exprSlot
+	add := func(get func() ast.Expr, set func(ast.Expr)) {
+		slots = append(slots, exprSlot{get, set})
+	}
+	var walkExpr func(ep *ast.Expr)
+	walkExpr = func(ep *ast.Expr) {
+		add(func() ast.Expr { return *ep }, func(e ast.Expr) { *ep = e })
+		switch e := (*ep).(type) {
+		case *ast.Unary:
+			walkExpr(&e.X)
+		case *ast.Binary:
+			walkExpr(&e.X)
+			walkExpr(&e.Y)
+		case *ast.Assign:
+			walkExpr(&e.RHS) // never touch the LHS shape here
+		case *ast.Cond:
+			walkExpr(&e.CondX)
+			walkExpr(&e.Then)
+			walkExpr(&e.Else)
+		case *ast.Call:
+			for i := range e.Args {
+				walkExpr(&e.Args[i])
+			}
+		case *ast.Index:
+			walkExpr(&e.Idx)
+		case *ast.Cast:
+			walkExpr(&e.X)
+		}
+	}
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walkStmt(st)
+			}
+		case *ast.DeclStmt:
+			if s.Decl.Init != nil {
+				walkExpr(&s.Decl.Init)
+			}
+		case *ast.ExprStmt:
+			walkExpr(&s.X)
+		case *ast.If:
+			walkExpr(&s.Cond)
+			walkStmt(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.While:
+			walkExpr(&s.Cond)
+			walkStmt(s.Body)
+		case *ast.DoWhile:
+			walkStmt(s.Body)
+			walkExpr(&s.Cond)
+		case *ast.For:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(&s.Cond)
+			}
+			if s.Post != nil {
+				walkExpr(&s.Post)
+			}
+			walkStmt(s.Body)
+		case *ast.Return:
+			if s.X != nil {
+				walkExpr(&s.X)
+			}
+		case *ast.Switch:
+			walkExpr(&s.Tag)
+			for _, c := range s.Cases {
+				for _, st := range c.Body {
+					walkStmt(st)
+				}
+			}
+		}
+	}
+	for _, d := range p.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Body != nil {
+			walkStmt(f.Body)
+		}
+	}
+	return slots
+}
+
+func exprToZero(p *ast.Program, index int) bool {
+	slots := collectExprSlots(p)
+	count := 0
+	for _, sl := range slots {
+		switch sl.get().(type) {
+		case *ast.IntLit:
+			continue // already minimal
+		case *ast.ArrayInit:
+			continue
+		}
+		if count == index {
+			sl.replace(&ast.IntLit{Val: 0, Typ: types.I32Type})
+			return true
+		}
+		count++
+	}
+	return false
+}
+
+func exprToOperand(p *ast.Program, index int) bool {
+	slots := collectExprSlots(p)
+	count := 0
+	for _, sl := range slots {
+		var repls []ast.Expr
+		switch e := sl.get().(type) {
+		case *ast.Binary:
+			if e.Op != token.AndAnd && e.Op != token.OrOr {
+				repls = []ast.Expr{e.X, e.Y}
+			} else {
+				repls = []ast.Expr{e.X, e.Y}
+			}
+		case *ast.Unary:
+			if e.Op != token.Amp && e.Op != token.Star {
+				repls = []ast.Expr{e.X}
+			}
+		case *ast.Cond:
+			repls = []ast.Expr{e.Then, e.Else}
+		case *ast.Cast:
+			repls = []ast.Expr{e.X}
+		}
+		for _, rep := range repls {
+			if count == index {
+				sl.replace(rep)
+				return true
+			}
+			count++
+		}
+	}
+	return false
+}
+
+// dropInit clears variable initializers (globals become zero-initialized).
+func dropInit(p *ast.Program, index int) bool {
+	count := 0
+	found := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.VarDecl); ok && d.Init != nil {
+			if count == index {
+				d.Init = nil
+				found = true
+				return false
+			}
+			count++
+		}
+		return true
+	}
+	ast.Inspect(p, visit)
+	return found
+}

@@ -1,0 +1,131 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/interp"
+	"dcelens/internal/parser"
+	"dcelens/internal/sema"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestReducePreservesProperty shrinks a program while keeping "main
+// returns 42" true. Everything unrelated must disappear.
+func TestReducePreservesProperty(t *testing.T) {
+	prog := mustParse(t, `
+static int unused1 = 10;
+static int unused2[4] = {1, 2, 3, 4};
+static int helper(int x) { return x * 2; }
+static int noise(void) { return unused1 + unused2[0]; }
+int main(void) {
+  int a = helper(3);
+  int b = noise();
+  int c = 40 + 2;
+  for (int i = 0; i < 3; i++) {
+    a += i;
+  }
+  return c;
+}`)
+	returns42 := func(p *ast.Program) bool {
+		res, err := interp.Run(p, interp.Options{Fuel: 1_000_000})
+		return err == nil && res.ExitCode == 42
+	}
+	if !returns42(prog) {
+		t.Fatal("precondition failed")
+	}
+	res := Reduce(prog, returns42, Options{})
+	if !returns42(res.Program) {
+		t.Fatal("reduction broke the property")
+	}
+	if res.NodesAfter >= res.NodesBefore {
+		t.Fatalf("no shrink: %d -> %d", res.NodesBefore, res.NodesAfter)
+	}
+	src := ast.Print(res.Program)
+	for _, gone := range []string{"helper", "noise", "unused1", "unused2", "for ("} {
+		if strings.Contains(src, gone) {
+			t.Errorf("%q should have been reduced away:\n%s", gone, src)
+		}
+	}
+}
+
+// TestReduceKeepsNecessaryCode: statements feeding the property must stay.
+func TestReduceKeepsNecessaryCode(t *testing.T) {
+	prog := mustParse(t, `
+static int g = 0;
+int main(void) {
+  g = 7;
+  return g;
+}`)
+	returns7 := func(p *ast.Program) bool {
+		res, err := interp.Run(p, interp.Options{Fuel: 100_000})
+		return err == nil && res.ExitCode == 7
+	}
+	res := Reduce(prog, returns7, Options{})
+	if !returns7(res.Program) {
+		t.Fatal("property lost")
+	}
+	if !strings.Contains(ast.Print(res.Program), "7") {
+		t.Errorf("the essential constant vanished:\n%s", ast.Print(res.Program))
+	}
+}
+
+func TestReduceRespectsBudget(t *testing.T) {
+	prog := mustParse(t, `
+static int g;
+int main(void) {
+  g = 1; g = 2; g = 3; g = 4; g = 5;
+  return 0;
+}`)
+	always := func(p *ast.Program) bool {
+		_, err := interp.Run(p, interp.Options{Fuel: 100_000})
+		return err == nil
+	}
+	res := Reduce(prog, always, Options{MaxChecks: 5})
+	if res.Checks > 5 {
+		t.Fatalf("budget exceeded: %d checks", res.Checks)
+	}
+}
+
+func TestReduceIdempotentOnMinimal(t *testing.T) {
+	prog := mustParse(t, `int main(void) { return 1; }`)
+	returns1 := func(p *ast.Program) bool {
+		res, err := interp.Run(p, interp.Options{Fuel: 10_000})
+		return err == nil && res.ExitCode == 1
+	}
+	res := Reduce(prog, returns1, Options{})
+	if res.NodesAfter > res.NodesBefore {
+		t.Fatal("reduction grew the program")
+	}
+	if !returns1(res.Program) {
+		t.Fatal("property lost")
+	}
+}
+
+// TestReduceRejectsBrokenCandidates: a mutation that stops the program
+// from executing (dropping main) must never be accepted.
+func TestReduceNeverAcceptsNonExecuting(t *testing.T) {
+	prog := mustParse(t, `
+static int g = 3;
+int main(void) { return g; }`)
+	test := func(p *ast.Program) bool {
+		res, err := interp.Run(p, interp.Options{Fuel: 10_000})
+		return err == nil && res.ExitCode == 3
+	}
+	res := Reduce(prog, test, Options{})
+	if res.Program.Main() == nil {
+		t.Fatal("main was reduced away despite the execution-based test")
+	}
+}

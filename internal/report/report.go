@@ -1,0 +1,164 @@
+// Package report renders the evaluation's tables and summary numbers in
+// the same shape the paper presents them (§4, Tables 1-5).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcelens/internal/bisect"
+	"dcelens/internal/corpus"
+	"dcelens/internal/pipeline"
+)
+
+// Prevalence renders the §4.1 dead-block prevalence numbers ("Out of the
+// 3,109,167 instrumented blocks, 89.59% are dead and 10.41% are alive").
+func Prevalence(s *corpus.Stats) string {
+	if s.TotalMarkers == 0 {
+		return "no markers"
+	}
+	return fmt.Sprintf(
+		"Instrumented blocks: %d across %d programs\n"+
+			"  dead:  %d (%.2f%%)\n"+
+			"  alive: %d (%.2f%%)\n",
+		s.TotalMarkers, s.Programs,
+		s.DeadMarkers, pct(s.DeadMarkers, s.TotalMarkers),
+		s.AliveMarkers, pct(s.AliveMarkers, s.TotalMarkers))
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// Table1 renders "% dead blocks that are missed" per optimization level
+// and compiler.
+func Table1(s *corpus.Stats) string {
+	return missedTable(s, s.Missed,
+		"Table 1: % of dead blocks that are missed (not eliminated)")
+}
+
+// Table2 renders "% dead blocks that are primary missed".
+func Table2(s *corpus.Stats) string {
+	return missedTable(s, s.Primary,
+		"Table 2: % of dead blocks that are primary missed")
+}
+
+func missedTable(s *corpus.Stats, counts map[corpus.ConfigKey]int, title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-8s %12s %12s\n", "Level", "gcc-sim", "llvm-sim")
+	for _, lvl := range pipeline.Levels {
+		g := counts[corpus.ConfigKey{Personality: pipeline.GCC, Level: lvl}]
+		l := counts[corpus.ConfigKey{Personality: pipeline.LLVM, Level: lvl}]
+		fmt.Fprintf(&sb, "%-8s %11.2f%% %11.2f%%\n", lvl,
+			pct(g, s.DeadMarkers), pct(l, s.DeadMarkers))
+	}
+	return sb.String()
+}
+
+// CompilerDiff renders the §4.2 "Between GCC and LLVM" counts.
+func CompilerDiff(s *corpus.Stats) string {
+	var sb strings.Builder
+	sb.WriteString("Differential testing gcc-sim vs llvm-sim at -O3:\n")
+	fmt.Fprintf(&sb, "  llvm-sim eliminates %d markers that gcc-sim misses (%d primary)\n",
+		s.DiffMissed[pipeline.GCC], s.DiffPrimary[pipeline.GCC])
+	fmt.Fprintf(&sb, "  gcc-sim eliminates %d markers that llvm-sim misses (%d primary)\n",
+		s.DiffMissed[pipeline.LLVM], s.DiffPrimary[pipeline.LLVM])
+	return sb.String()
+}
+
+// LevelDiff renders the §4.2 "Between optimization levels" counts.
+func LevelDiff(s *corpus.Stats) string {
+	var sb strings.Builder
+	sb.WriteString("Differential testing -O1/-O2 vs -O3 (same compiler):\n")
+	for _, p := range []pipeline.Personality{pipeline.GCC, pipeline.LLVM} {
+		fmt.Fprintf(&sb, "  %s: %d markers eliminated at -O1/-O2 but missed at -O3 (%d primary)\n",
+			p, s.LevelMissed[p], s.LevelPrimary[p])
+	}
+	return sb.String()
+}
+
+// ComponentTable renders Table 3 (LLVM) or Table 4 (GCC): offending-commit
+// components with commit and file counts.
+func ComponentTable(title string, rows []bisect.ComponentRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-36s %9s %7s\n", "Component", "# Commits", "# Files")
+	totalC, totalF := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-36s %9d %7d\n", r.Component, r.Commits, r.Files)
+		totalC += r.Commits
+		totalF += r.Files
+	}
+	fmt.Fprintf(&sb, "%-36s %9d %7d\n", "total", totalC, totalF)
+	return sb.String()
+}
+
+// Table5 renders the triage counts per compiler.
+func Table5(gcc, llvm *corpus.Triage) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: missed optimizations reported / confirmed / duplicate / fixed\n")
+	fmt.Fprintf(&sb, "%-18s %8s %8s\n", "", "gcc-sim", "llvm-sim")
+	row := func(name string, g, l int) {
+		fmt.Fprintf(&sb, "%-18s %8d %8d\n", name, g, l)
+	}
+	row("Reported", gcc.Reported, llvm.Reported)
+	row("Confirmed", gcc.Confirmed, llvm.Confirmed)
+	row("Marked Duplicate", gcc.Duplicate, llvm.Duplicate)
+	row("Fixed", gcc.Fixed, llvm.Fixed)
+	return sb.String()
+}
+
+// Findings summarizes the campaign's findings by kind and personality.
+func Findings(c *corpus.Campaign) string {
+	type key struct {
+		kind corpus.FindingKind
+		p    pipeline.Personality
+	}
+	counts := map[key]int{}
+	prim := map[key]int{}
+	for _, f := range c.Findings {
+		k := key{f.Kind, f.Personality}
+		counts[k]++
+		if f.Primary {
+			prim[k]++
+		}
+	}
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].p < keys[j].p
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Findings: %d total\n", len(c.Findings))
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %-14s %-9s %4d (%d primary)\n", k.kind, k.p, counts[k], prim[k])
+	}
+	return sb.String()
+}
+
+// Summary renders the complete evaluation report.
+func Summary(c *corpus.Campaign) string {
+	var sb strings.Builder
+	sb.WriteString(Prevalence(c.Stats))
+	sb.WriteString("\n")
+	sb.WriteString(Table1(c.Stats))
+	sb.WriteString("\n")
+	sb.WriteString(Table2(c.Stats))
+	sb.WriteString("\n")
+	sb.WriteString(CompilerDiff(c.Stats))
+	sb.WriteString("\n")
+	sb.WriteString(LevelDiff(c.Stats))
+	sb.WriteString("\n")
+	sb.WriteString(Findings(c))
+	return sb.String()
+}

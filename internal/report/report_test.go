@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dcelens/internal/bisect"
+	"dcelens/internal/corpus"
+	"dcelens/internal/pipeline"
+)
+
+func sampleStats() *corpus.Stats {
+	return &corpus.Stats{
+		Programs:     10,
+		TotalMarkers: 1000,
+		DeadMarkers:  880,
+		AliveMarkers: 120,
+		Missed: map[corpus.ConfigKey]int{
+			{Personality: pipeline.GCC, Level: pipeline.O0}:  750,
+			{Personality: pipeline.GCC, Level: pipeline.O3}:  50,
+			{Personality: pipeline.LLVM, Level: pipeline.O0}: 750,
+			{Personality: pipeline.LLVM, Level: pipeline.O3}: 38,
+		},
+		Primary: map[corpus.ConfigKey]int{
+			{Personality: pipeline.GCC, Level: pipeline.O3}: 13,
+		},
+		DiffMissed:   map[pipeline.Personality]int{pipeline.GCC: 40, pipeline.LLVM: 4},
+		DiffPrimary:  map[pipeline.Personality]int{pipeline.GCC: 5, pipeline.LLVM: 1},
+		LevelMissed:  map[pipeline.Personality]int{pipeline.GCC: 3, pipeline.LLVM: 5},
+		LevelPrimary: map[pipeline.Personality]int{pipeline.GCC: 1, pipeline.LLVM: 2},
+	}
+}
+
+func TestPrevalence(t *testing.T) {
+	out := Prevalence(sampleStats())
+	for _, want := range []string{"1000", "880", "88.00%", "120", "12.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := sampleStats()
+	t1 := Table1(s)
+	if !strings.Contains(t1, "-O0") || !strings.Contains(t1, "85.23%") {
+		t.Errorf("Table1:\n%s", t1)
+	}
+	t2 := Table2(s)
+	if !strings.Contains(t2, "1.48%") { // 13/880
+		t.Errorf("Table2:\n%s", t2)
+	}
+	cd := CompilerDiff(s)
+	if !strings.Contains(cd, "40") || !strings.Contains(cd, "4 markers") {
+		t.Errorf("CompilerDiff:\n%s", cd)
+	}
+	ld := LevelDiff(s)
+	if !strings.Contains(ld, "3 markers") || !strings.Contains(ld, "5 markers") {
+		t.Errorf("LevelDiff:\n%s", ld)
+	}
+}
+
+func TestComponentTable(t *testing.T) {
+	rows := []bisect.ComponentRow{
+		{Component: "Alias Analysis", Commits: 2, Files: 3},
+		{Component: "Pass Management", Commits: 1, Files: 2},
+	}
+	out := ComponentTable("Table X", rows)
+	for _, want := range []string{"Alias Analysis", "Pass Management", "total", "3", "5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	out := Table5(
+		&corpus.Triage{Reported: 10, Confirmed: 8, Duplicate: 2, Fixed: 3},
+		&corpus.Triage{Reported: 6, Confirmed: 6, Duplicate: 0, Fixed: 2},
+	)
+	for _, want := range []string{"Reported", "Confirmed", "Marked Duplicate", "Fixed", "10", "8", "2", "3", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,546 @@
+package sema
+
+import (
+	"fmt"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// expr type-checks e and returns the (possibly rewritten) expression with
+// its type annotated. On error the returned expression carries type I32 so
+// checking can continue producing further diagnostics.
+func (c *checker) expr(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Typ == nil {
+			e.Typ = types.I32Type
+		}
+		e.Val = e.Typ.WrapValue(e.Val)
+		return e
+
+	case *ast.VarRef:
+		d := c.lookup(e.Name)
+		if d == nil {
+			c.errorf(e.Pos(), "undeclared identifier %q", e.Name)
+			e.Typ = types.I32Type
+			return e
+		}
+		e.Obj = d
+		e.Typ = d.Typ
+		return e
+
+	case *ast.Unary:
+		return c.unary(e)
+
+	case *ast.Binary:
+		return c.binary(e)
+
+	case *ast.Assign:
+		return c.assign(e)
+
+	case *ast.IncDec:
+		e.X = c.expr(e.X)
+		if !c.isLvalue(e.X) {
+			c.errorf(e.Pos(), "operand of %s is not assignable", e.Op)
+		}
+		t := e.X.Type()
+		if t == nil || !t.IsScalar() {
+			c.errorf(e.Pos(), "operand of %s must be scalar", e.Op)
+			t = types.I32Type
+		}
+		e.Typ = t
+		return e
+
+	case *ast.Cond:
+		e.CondX = c.scalarCond(e.CondX)
+		e.Then = c.expr(e.Then)
+		e.Else = c.expr(e.Else)
+		tt, ft := c.decayed(e.Then), c.decayed(e.Else)
+		e.Then, e.Else = tt.e, ft.e
+		switch {
+		case tt.t.IsInteger() && ft.t.IsInteger():
+			common := types.Promote(tt.t, ft.t)
+			e.Then = c.convertTo(e.Then, common, e.Pos())
+			e.Else = c.convertTo(e.Else, common, e.Pos())
+			e.Typ = common
+		case tt.t.IsPointer() && ft.t.IsPointer() && types.Identical(tt.t, ft.t):
+			e.Typ = tt.t
+		case tt.t.Kind == types.Void && ft.t.Kind == types.Void:
+			e.Typ = types.VoidType
+		default:
+			c.errorf(e.Pos(), "mismatched conditional arms: %s vs %s", tt.t, ft.t)
+			e.Typ = types.I32Type
+		}
+		return e
+
+	case *ast.Call:
+		return c.call(e)
+
+	case *ast.Index:
+		return c.index(e)
+
+	case *ast.Cast:
+		// Casts only appear in already-checked trees (idempotent re-check).
+		e.X = c.expr(e.X)
+		return e
+
+	case *ast.ArrayInit:
+		c.errorf(e.Pos(), "brace initializer is only allowed on array declarations")
+		return &ast.IntLit{LitPos: e.Pos(), Typ: types.I32Type}
+
+	default:
+		panic(fmt.Sprintf("sema: unknown expr %T", e))
+	}
+}
+
+// decayedExpr pairs an expression with its value type after array decay.
+type decayedExpr struct {
+	e ast.Expr
+	t *types.Type
+}
+
+// decayed applies array-to-pointer decay: an array-typed expression used as
+// a value becomes a pointer to its first element (wrapped in a Cast).
+func (c *checker) decayed(e ast.Expr) decayedExpr {
+	t := e.Type()
+	if t == nil {
+		return decayedExpr{e, types.I32Type}
+	}
+	if t.Kind == types.Array {
+		pt := types.PointerTo(t.Elem)
+		return decayedExpr{&ast.Cast{To: pt, X: e}, pt}
+	}
+	return decayedExpr{e, t}
+}
+
+// convertTo inserts a Cast from e's (decayed) type to want if needed.
+// Only integer-to-integer conversions and exact pointer matches are legal.
+func (c *checker) convertTo(e ast.Expr, want *types.Type, pos token.Pos) ast.Expr {
+	de := c.decayed(e)
+	e = de.e
+	have := de.t
+	if types.Identical(have, want) {
+		return e
+	}
+	switch {
+	case have.IsInteger() && want.IsInteger():
+		// Fold the conversion directly into literals to keep trees small.
+		if lit, ok := e.(*ast.IntLit); ok {
+			return &ast.IntLit{LitPos: lit.LitPos, Val: want.WrapValue(lit.Val), Typ: want}
+		}
+		return &ast.Cast{To: want, X: e}
+	default:
+		c.errorf(pos, "cannot convert %s to %s", have, want)
+		return &ast.Cast{To: want, X: e}
+	}
+}
+
+func (c *checker) isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e.Obj != nil && e.Obj.Typ.Kind != types.Array
+	case *ast.Index:
+		return true
+	case *ast.Unary:
+		return e.Op == token.Star
+	}
+	return false
+}
+
+func (c *checker) unary(e *ast.Unary) ast.Expr {
+	e.X = c.expr(e.X)
+	switch e.Op {
+	case token.Minus, token.Tilde:
+		t := e.X.Type()
+		if t == nil || !t.IsInteger() {
+			c.errorf(e.Pos(), "operand of unary %s must be an integer", e.Op)
+			e.Typ = types.I32Type
+			return e
+		}
+		p := types.PromoteOne(t)
+		e.X = c.convertTo(e.X, p, e.Pos())
+		e.Typ = p
+		return e
+
+	case token.Not:
+		d := c.decayed(e.X)
+		e.X = d.e
+		if !d.t.IsScalar() {
+			c.errorf(e.Pos(), "operand of ! must be scalar")
+		}
+		e.Typ = types.I32Type
+		return e
+
+	case token.Amp:
+		if !c.isAddressable(e.X) {
+			c.errorf(e.Pos(), "cannot take the address of this expression")
+			e.Typ = types.PointerTo(types.I32Type)
+			return e
+		}
+		e.Typ = types.PointerTo(e.X.Type())
+		return e
+
+	case token.Star:
+		d := c.decayed(e.X)
+		e.X = d.e
+		if !d.t.IsPointer() {
+			c.errorf(e.Pos(), "cannot dereference non-pointer type %s", d.t)
+			e.Typ = types.I32Type
+			return e
+		}
+		if d.t.Elem.Kind == types.Void {
+			c.errorf(e.Pos(), "cannot dereference void pointer")
+			e.Typ = types.I32Type
+			return e
+		}
+		e.Typ = d.t.Elem
+		return e
+	}
+	panic(fmt.Sprintf("sema: unary %v", e.Op))
+}
+
+// isAddressable reports whether &e is legal: named variables (including
+// arrays), array elements, and dereferences.
+func (c *checker) isAddressable(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e.Obj != nil
+	case *ast.Index:
+		return true
+	case *ast.Unary:
+		return e.Op == token.Star
+	}
+	return false
+}
+
+func (c *checker) binary(e *ast.Binary) ast.Expr {
+	e.X = c.expr(e.X)
+	e.Y = c.expr(e.Y)
+	dx, dy := c.decayed(e.X), c.decayed(e.Y)
+	e.X, e.Y = dx.e, dy.e
+	tx, ty := dx.t, dy.t
+
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		if !tx.IsScalar() || !ty.IsScalar() {
+			c.errorf(e.Pos(), "operands of %s must be scalar", e.Op)
+		}
+		e.Typ = types.I32Type
+		return e
+
+	case token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge:
+		switch {
+		case tx.IsInteger() && ty.IsInteger():
+			common := types.Promote(tx, ty)
+			e.X = c.convertTo(e.X, common, e.Pos())
+			e.Y = c.convertTo(e.Y, common, e.Pos())
+		case tx.IsPointer() && ty.IsPointer() && types.Identical(tx, ty):
+			// pointer comparison, fine
+		default:
+			c.errorf(e.Pos(), "cannot compare %s with %s", tx, ty)
+		}
+		e.Typ = types.I32Type
+		return e
+
+	case token.Shl, token.Shr:
+		if !tx.IsInteger() || !ty.IsInteger() {
+			c.errorf(e.Pos(), "operands of %s must be integers", e.Op)
+			e.Typ = types.I32Type
+			return e
+		}
+		pl := types.PromoteOne(tx)
+		e.X = c.convertTo(e.X, pl, e.Pos())
+		e.Y = c.convertTo(e.Y, types.PromoteOne(ty), e.Pos())
+		e.Typ = pl
+		return e
+
+	case token.Plus, token.Minus:
+		// Pointer arithmetic: ptr ± int, int + ptr.
+		if tx.IsPointer() && ty.IsInteger() {
+			e.Y = c.convertTo(e.Y, types.I64Type, e.Pos())
+			e.Typ = tx
+			return e
+		}
+		if e.Op == token.Plus && tx.IsInteger() && ty.IsPointer() {
+			// Normalize to ptr + int.
+			e.X, e.Y = e.Y, e.X
+			e.Y = c.convertTo(e.Y, types.I64Type, e.Pos())
+			e.Typ = e.X.Type()
+			return e
+		}
+		fallthrough
+
+	case token.Star, token.Slash, token.Percent, token.Amp, token.Pipe, token.Caret:
+		if !tx.IsInteger() || !ty.IsInteger() {
+			c.errorf(e.Pos(), "invalid operands to %s: %s and %s", e.Op, tx, ty)
+			e.Typ = types.I32Type
+			return e
+		}
+		common := types.Promote(tx, ty)
+		e.X = c.convertTo(e.X, common, e.Pos())
+		e.Y = c.convertTo(e.Y, common, e.Pos())
+		e.Typ = common
+		return e
+	}
+	panic(fmt.Sprintf("sema: binary %v", e.Op))
+}
+
+func (c *checker) assign(e *ast.Assign) ast.Expr {
+	e.LHS = c.expr(e.LHS)
+	e.RHS = c.expr(e.RHS)
+	if !c.isLvalue(e.LHS) {
+		c.errorf(e.Pos(), "left operand of %s is not assignable", e.Op)
+		e.Typ = types.I32Type
+		return e
+	}
+	lt := e.LHS.Type()
+	if e.Op == token.Assign {
+		e.RHS = c.convertTo(e.RHS, lt, e.Pos())
+		e.Typ = lt
+		return e
+	}
+	// Compound assignment: lhs op= rhs behaves as lhs = lhs op rhs with the
+	// arithmetic performed in the promoted common type, then converted back.
+	base := e.Op.BaseOf()
+	rt := c.decayed(e.RHS)
+	e.RHS = rt.e
+	switch {
+	case lt.IsInteger() && rt.t.IsInteger():
+		// handled at interp/lower time; just convert rhs to the promoted type
+		var opType *types.Type
+		if base == token.Shl || base == token.Shr {
+			opType = types.PromoteOne(rt.t)
+		} else {
+			opType = types.Promote(lt, rt.t)
+		}
+		e.RHS = c.convertTo(e.RHS, opType, e.Pos())
+	case lt.IsPointer() && rt.t.IsInteger() && (base == token.Plus || base == token.Minus):
+		e.RHS = c.convertTo(e.RHS, types.I64Type, e.Pos())
+	default:
+		c.errorf(e.Pos(), "invalid compound assignment %s on %s and %s", e.Op, lt, rt.t)
+	}
+	e.Typ = lt
+	return e
+}
+
+func (c *checker) call(e *ast.Call) ast.Expr {
+	fn := c.funcs[e.Name]
+	if fn == nil {
+		c.errorf(e.Pos(), "call to undeclared function %q", e.Name)
+		e.Typ = types.I32Type
+		return e
+	}
+	e.Fn = fn
+	e.Typ = fn.Ret
+	if len(e.Args) != len(fn.Params) {
+		c.errorf(e.Pos(), "call to %q with %d arguments, want %d", e.Name, len(e.Args), len(fn.Params))
+		return e
+	}
+	for i, a := range e.Args {
+		a = c.expr(a)
+		e.Args[i] = c.convertTo(a, fn.Params[i].Typ, a.Pos())
+	}
+	return e
+}
+
+func (c *checker) index(e *ast.Index) ast.Expr {
+	e.Base = c.expr(e.Base)
+	e.Idx = c.expr(e.Idx)
+	bt := e.Base.Type()
+	var elem *types.Type
+	switch {
+	case bt != nil && bt.Kind == types.Array:
+		elem = bt.Elem
+	case bt != nil && bt.Kind == types.Pointer:
+		elem = bt.Elem
+	default:
+		c.errorf(e.Pos(), "cannot index type %s", bt)
+		e.Typ = types.I32Type
+		return e
+	}
+	it := e.Idx.Type()
+	if it == nil || !it.IsInteger() {
+		c.errorf(e.Pos(), "array index must be an integer")
+	} else {
+		e.Idx = c.convertTo(e.Idx, types.I64Type, e.Pos())
+	}
+	e.Typ = elem
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Constant evaluation
+
+// ConstEval evaluates a checked, side-effect-free integer expression at
+// compile time. It returns the canonical value under the expression's type
+// and whether evaluation succeeded. It understands the complete defined
+// semantics of MiniC arithmetic and is shared with sema's case-label
+// checking and the backend's folding of global initializers.
+func ConstEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.Cast:
+		v, ok := ConstEval(e.X)
+		if !ok || !e.To.IsInteger() {
+			return 0, false
+		}
+		return e.To.WrapValue(v), true
+	case *ast.Unary:
+		v, ok := ConstEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.Minus:
+			return e.Typ.WrapValue(-v), true
+		case token.Tilde:
+			return e.Typ.WrapValue(^v), true
+		case token.Not:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Binary:
+		x, ok := ConstEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		if e.Op == token.AndAnd {
+			if x == 0 {
+				return 0, true
+			}
+			y, ok := ConstEval(e.Y)
+			if !ok {
+				return 0, false
+			}
+			return boolInt(y != 0), true
+		}
+		if e.Op == token.OrOr {
+			if x != 0 {
+				return 1, true
+			}
+			y, ok := ConstEval(e.Y)
+			if !ok {
+				return 0, false
+			}
+			return boolInt(y != 0), true
+		}
+		y, ok := ConstEval(e.Y)
+		if !ok {
+			return 0, false
+		}
+		t := e.X.Type()
+		if t == nil || !t.IsInteger() {
+			return 0, false
+		}
+		return EvalBinop(e.Op, x, y, t, e.Typ)
+	}
+	return 0, false
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalBinop applies a non-short-circuit binary operator to canonical values
+// x and y of operand type opTy, producing a canonical value of result type
+// resTy. This single function defines MiniC's arithmetic semantics and is
+// shared by sema, the AST interpreter, the IR executor, and the constant
+// folders, guaranteeing they agree bit-for-bit.
+func EvalBinop(op token.Kind, x, y int64, opTy, resTy *types.Type) (int64, bool) {
+	signed := opTy.IsSigned()
+	bits := opTy.Bits()
+	switch op {
+	case token.Plus:
+		return resTy.WrapValue(x + y), true
+	case token.Minus:
+		return resTy.WrapValue(x - y), true
+	case token.Star:
+		return resTy.WrapValue(x * y), true
+	case token.Slash:
+		// Total division: x/0 == 0; INT_MIN / -1 wraps.
+		if y == 0 {
+			return 0, true
+		}
+		if signed {
+			if x == minOf(bits) && y == -1 {
+				return resTy.WrapValue(x), true
+			}
+			return resTy.WrapValue(x / y), true
+		}
+		return resTy.WrapValue(int64(uint64(x) / uint64(y))), true
+	case token.Percent:
+		// Total remainder: x%0 == x.
+		if y == 0 {
+			return resTy.WrapValue(x), true
+		}
+		if signed {
+			if x == minOf(bits) && y == -1 {
+				return 0, true
+			}
+			return resTy.WrapValue(x % y), true
+		}
+		return resTy.WrapValue(int64(uint64(x) % uint64(y))), true
+	case token.Amp:
+		return resTy.WrapValue(x & y), true
+	case token.Pipe:
+		return resTy.WrapValue(x | y), true
+	case token.Caret:
+		return resTy.WrapValue(x ^ y), true
+	case token.Shl:
+		sh := uint64(y) & uint64(bits-1) // masked shift amount: always defined
+		return resTy.WrapValue(x << sh), true
+	case token.Shr:
+		sh := uint64(y) & uint64(bits-1)
+		if signed {
+			return resTy.WrapValue(x >> sh), true
+		}
+		return resTy.WrapValue(int64(truncU(x, bits) >> sh)), true
+	case token.EqEq:
+		return boolInt(x == y), true
+	case token.NotEq:
+		return boolInt(x != y), true
+	case token.Lt:
+		if signed {
+			return boolInt(x < y), true
+		}
+		return boolInt(truncU(x, bits) < truncU(y, bits)), true
+	case token.Gt:
+		if signed {
+			return boolInt(x > y), true
+		}
+		return boolInt(truncU(x, bits) > truncU(y, bits)), true
+	case token.Le:
+		if signed {
+			return boolInt(x <= y), true
+		}
+		return boolInt(truncU(x, bits) <= truncU(y, bits)), true
+	case token.Ge:
+		if signed {
+			return boolInt(x >= y), true
+		}
+		return boolInt(truncU(x, bits) >= truncU(y, bits)), true
+	}
+	return 0, false
+}
+
+func minOf(bits int) int64 {
+	return -1 << (bits - 1)
+}
+
+// truncU interprets the canonical value v as an unsigned integer of the
+// given width.
+func truncU(v int64, bits int) uint64 {
+	if bits == 64 {
+		return uint64(v)
+	}
+	return uint64(v) & (1<<uint(bits) - 1)
+}

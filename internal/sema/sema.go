@@ -1,0 +1,381 @@
+// Package sema implements semantic analysis for MiniC: symbol resolution,
+// type checking, and insertion of implicit conversions.
+//
+// Check annotates the AST in place (VarRef.Obj, Call.Fn, every Expr's type)
+// and rewrites expressions to insert ast.Cast nodes wherever MiniC's usual
+// arithmetic conversions, assignment conversions, or array-to-pointer decay
+// apply. After a successful Check, the interpreter and the lowering pass can
+// rely on every operator seeing operands of identical scalar types.
+package sema
+
+import (
+	"errors"
+	"fmt"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Check verifies and annotates prog. It returns an error combining all
+// semantic errors found (or nil).
+func Check(prog *ast.Program) error {
+	c := &checker{
+		globals: map[string]*ast.VarDecl{},
+		funcs:   map[string]*ast.FuncDecl{},
+	}
+	c.program(prog)
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return errors.Join(c.errs...)
+}
+
+type checker struct {
+	globals  map[string]*ast.VarDecl
+	funcs    map[string]*ast.FuncDecl
+	scopes   []map[string]*ast.VarDecl // innermost last; nil when at file scope
+	fn       *ast.FuncDecl             // current function
+	loops    int                       // loop nesting depth
+	switches int                       // switch nesting depth
+	errs     []error
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (c *checker) program(prog *ast.Program) {
+	// Pass 1: register all top-level names so calls may reference functions
+	// defined later in the file.
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			if _, dup := c.globals[d.Name]; dup {
+				c.errorf(d.Pos(), "redefinition of global %q", d.Name)
+				continue
+			}
+			if _, dup := c.funcs[d.Name]; dup {
+				c.errorf(d.Pos(), "%q redeclared as a variable", d.Name)
+				continue
+			}
+			c.globals[d.Name] = d
+		case *ast.FuncDecl:
+			if prev, ok := c.funcs[d.Name]; ok {
+				if prev.Body != nil && d.Body != nil {
+					c.errorf(d.Pos(), "redefinition of function %q", d.Name)
+					continue
+				}
+				if !types.Identical(prev.Sig(), d.Sig()) {
+					c.errorf(d.Pos(), "conflicting declarations of %q", d.Name)
+					continue
+				}
+				if d.Body != nil {
+					c.funcs[d.Name] = d
+				}
+				continue
+			}
+			if _, dup := c.globals[d.Name]; dup {
+				c.errorf(d.Pos(), "%q redeclared as a function", d.Name)
+				continue
+			}
+			c.funcs[d.Name] = d
+		}
+	}
+	// Pass 2: check bodies and initializers.
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			c.globalVar(d)
+		case *ast.FuncDecl:
+			c.function(d)
+		}
+	}
+}
+
+func (c *checker) globalVar(d *ast.VarDecl) {
+	if d.Typ.Kind == types.Void {
+		c.errorf(d.Pos(), "variable %q has type void", d.Name)
+		return
+	}
+	if d.Init == nil {
+		return
+	}
+	if d.Typ.Kind == types.Array {
+		c.arrayInit(d)
+		return
+	}
+	d.Init = c.expr(d.Init)
+	d.Init = c.convertTo(d.Init, d.Typ, d.Pos())
+	if !isConstInit(d.Init) {
+		c.errorf(d.Pos(), "initializer of global %q is not a constant expression", d.Name)
+	}
+}
+
+func (c *checker) arrayInit(d *ast.VarDecl) {
+	init, ok := d.Init.(*ast.ArrayInit)
+	if !ok {
+		c.errorf(d.Pos(), "array %q requires a brace initializer", d.Name)
+		return
+	}
+	init.Typ = d.Typ
+	if len(init.Elems) > d.Typ.Len {
+		c.errorf(d.Pos(), "too many initializers for %q", d.Name)
+	}
+	for i, e := range init.Elems {
+		e = c.expr(e)
+		e = c.convertTo(e, d.Typ.Elem, e.Pos())
+		if d.IsGlobal && !isConstInit(e) {
+			c.errorf(e.Pos(), "element %d of global array %q is not constant", i, d.Name)
+		}
+		init.Elems[i] = e
+	}
+}
+
+// isConstInit reports whether e is a valid constant initializer for a
+// global: an integer constant expression, the address of a global, the
+// address of a constant-indexed global array element, or a decayed global
+// array.
+func isConstInit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return true
+	case *ast.Cast:
+		return isConstInit(e.X)
+	case *ast.Unary:
+		switch e.Op {
+		case token.Minus, token.Tilde, token.Not:
+			return isConstInit(e.X)
+		case token.Amp:
+			return isConstAddr(e.X)
+		}
+		return false
+	case *ast.Binary:
+		if e.Op == token.AndAnd || e.Op == token.OrOr {
+			return isConstInit(e.X) && isConstInit(e.Y)
+		}
+		return isConstInit(e.X) && isConstInit(e.Y)
+	case *ast.VarRef:
+		// decayed global array
+		return e.Obj != nil && e.Obj.IsGlobal && e.Obj.Typ.Kind == types.Array
+	}
+	return false
+}
+
+func isConstAddr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e.Obj != nil && e.Obj.IsGlobal
+	case *ast.Index:
+		base, ok := e.Base.(*ast.VarRef)
+		if !ok || base.Obj == nil || !base.Obj.IsGlobal {
+			return false
+		}
+		return isConstInit(e.Idx)
+	}
+	return false
+}
+
+func (c *checker) function(f *ast.FuncDecl) {
+	if f.Body == nil {
+		return
+	}
+	c.fn = f
+	c.scopes = []map[string]*ast.VarDecl{{}}
+	for _, p := range f.Params {
+		if p.Typ.Kind == types.Void || p.Typ.Kind == types.Array {
+			c.errorf(p.Pos(), "parameter %q has invalid type %s", p.Name, p.Typ)
+		}
+		c.declare(p)
+	}
+	c.blockInScope(f.Body)
+	c.scopes = nil
+	c.fn = nil
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*ast.VarDecl{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(d *ast.VarDecl) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errorf(d.Pos(), "redeclaration of %q in the same scope", d.Name)
+		return
+	}
+	top[d.Name] = d
+}
+
+func (c *checker) lookup(name string) *ast.VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return c.globals[name]
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (c *checker) blockInScope(b *ast.Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.blockInScope(s)
+	case *ast.DeclStmt:
+		c.localVar(s.Decl)
+	case *ast.ExprStmt:
+		s.X = c.expr(s.X)
+	case *ast.Empty:
+	case *ast.If:
+		s.Cond = c.scalarCond(s.Cond)
+		c.stmt(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.While:
+		s.Cond = c.scalarCond(s.Cond)
+		c.loops++
+		c.stmt(s.Body)
+		c.loops--
+	case *ast.DoWhile:
+		c.loops++
+		c.stmt(s.Body)
+		c.loops--
+		s.Cond = c.scalarCond(s.Cond)
+	case *ast.For:
+		c.pushScope()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = c.scalarCond(s.Cond)
+		}
+		if s.Post != nil {
+			s.Post = c.expr(s.Post)
+		}
+		c.loops++
+		c.stmt(s.Body)
+		c.loops--
+		c.popScope()
+	case *ast.Return:
+		c.returnStmt(s)
+	case *ast.Break:
+		if c.loops == 0 && c.switches == 0 {
+			c.errorf(s.Pos(), "break outside loop or switch")
+		}
+	case *ast.Continue:
+		if c.loops == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	case *ast.Switch:
+		c.switchStmt(s)
+	default:
+		panic(fmt.Sprintf("sema: unknown stmt %T", s))
+	}
+}
+
+func (c *checker) localVar(d *ast.VarDecl) {
+	if d.Typ.Kind == types.Void {
+		c.errorf(d.Pos(), "variable %q has type void", d.Name)
+		return
+	}
+	if d.Init != nil {
+		if d.Typ.Kind == types.Array {
+			c.arrayInit(d)
+		} else {
+			d.Init = c.expr(d.Init)
+			d.Init = c.convertTo(d.Init, d.Typ, d.Pos())
+			if d.Storage == ast.StorageStatic && !isConstInit(d.Init) {
+				c.errorf(d.Pos(), "initializer of static local %q is not constant", d.Name)
+			}
+		}
+	}
+	c.declare(d)
+}
+
+func (c *checker) returnStmt(s *ast.Return) {
+	ret := c.fn.Ret
+	if ret.Kind == types.Void {
+		if s.X != nil {
+			c.errorf(s.Pos(), "return with a value in void function %q", c.fn.Name)
+		}
+		return
+	}
+	if s.X == nil {
+		c.errorf(s.Pos(), "return without a value in function %q returning %s", c.fn.Name, ret)
+		return
+	}
+	s.X = c.expr(s.X)
+	s.X = c.convertTo(s.X, ret, s.Pos())
+}
+
+func (c *checker) switchStmt(s *ast.Switch) {
+	s.Tag = c.expr(s.Tag)
+	tt := s.Tag.Type()
+	if tt == nil || !tt.IsInteger() {
+		c.errorf(s.Pos(), "switch tag must be an integer")
+		return
+	}
+	promoted := types.PromoteOne(tt)
+	s.Tag = c.convertTo(s.Tag, promoted, s.Pos())
+	seen := map[int64]bool{}
+	sawDefault := false
+	c.switches++
+	for _, cs := range s.Cases {
+		if cs.IsDefault {
+			if sawDefault {
+				c.errorf(cs.CasePos, "duplicate default label")
+			}
+			sawDefault = true
+		}
+		for i, v := range cs.Vals {
+			v = c.expr(v)
+			v = c.convertTo(v, promoted, v.Pos())
+			cs.Vals[i] = v
+			cv, ok := ConstEval(v)
+			if !ok {
+				c.errorf(v.Pos(), "case label is not a constant expression")
+				continue
+			}
+			if seen[cv] {
+				c.errorf(v.Pos(), "duplicate case value %d", cv)
+			}
+			seen[cv] = true
+		}
+		for _, st := range cs.Body {
+			c.stmt(st)
+		}
+	}
+	c.switches--
+}
+
+// scalarCond checks a condition expression: it must have scalar type.
+func (c *checker) scalarCond(e ast.Expr) ast.Expr {
+	e = c.expr(e)
+	if t := e.Type(); t != nil && !t.IsScalar() {
+		c.errorf(e.Pos(), "condition has non-scalar type %s", t)
+	}
+	return e
+}

@@ -1,0 +1,120 @@
+package sema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// TestEvalBinopReference spot-checks the shared arithmetic definition
+// against hand-computed values, including MiniC's defined-everything rules.
+func TestEvalBinopReference(t *testing.T) {
+	i32 := types.I32Type
+	u32 := types.U32Type
+	i8 := types.I8Type
+	cases := []struct {
+		op    token.Kind
+		x, y  int64
+		opTy  *types.Type
+		resTy *types.Type
+		want  int64
+	}{
+		{token.Plus, 2147483647, 1, i32, i32, -2147483648}, // wrap
+		{token.Minus, -2147483648, 1, i32, i32, 2147483647},
+		{token.Star, 65536, 65536, i32, i32, 0},
+		{token.Slash, 7, 0, i32, i32, 0},                      // total division
+		{token.Percent, 7, 0, i32, i32, 7},                    // total remainder
+		{token.Slash, -2147483648, -1, i32, i32, -2147483648}, // INT_MIN/-1 wraps
+		{token.Percent, -2147483648, -1, i32, i32, 0},
+		{token.Shl, 1, 33, i32, i32, 2},          // masked shift
+		{token.Shr, -16, 2, i32, i32, -4},        // arithmetic
+		{token.Shr, -1, 1, u32, u32, 2147483647}, // logical (canonical -1 = 0xFFFFFFFF)
+		{token.Lt, -1, 1, i32, i32, 1},
+		{token.Lt, -1, 1, u32, i32, 0}, // unsigned: 0xFFFFFFFF > 1
+		{token.Plus, 127, 1, i8, i8, -128},
+		{token.EqEq, 5, 5, i32, i32, 1},
+		{token.Ge, 3, 3, u32, i32, 1},
+	}
+	for _, c := range cases {
+		got, ok := EvalBinop(c.op, c.x, c.y, c.opTy, c.resTy)
+		if !ok {
+			t.Errorf("EvalBinop(%v, %d, %d, %v) not ok", c.op, c.x, c.y, c.opTy)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalBinop(%v, %d, %d, %v) = %d, want %d", c.op, c.x, c.y, c.opTy, got, c.want)
+		}
+	}
+}
+
+// TestEvalBinopCanonical: results are always canonical for the result type.
+func TestEvalBinopCanonical(t *testing.T) {
+	ops := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Pipe, token.Caret, token.Shl, token.Shr,
+		token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge,
+	}
+	f := func(x, y int64, opIdx uint8, tyIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		ty := types.IntTypes[int(tyIdx)%len(types.IntTypes)]
+		xv, yv := ty.WrapValue(x), ty.WrapValue(y)
+		got, ok := EvalBinop(op, xv, yv, ty, ty)
+		if !ok {
+			return false
+		}
+		return ty.WrapValue(got) == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalBinopAgainstGo cross-checks 64-bit signed arithmetic against Go's
+// own operators (identical semantics at 64 bits apart from the totalized
+// division).
+func TestEvalBinopAgainstGo(t *testing.T) {
+	i64 := types.I64Type
+	f := func(x, y int64) bool {
+		add, _ := EvalBinop(token.Plus, x, y, i64, i64)
+		if add != x+y {
+			return false
+		}
+		xor, _ := EvalBinop(token.Caret, x, y, i64, i64)
+		if xor != x^y {
+			return false
+		}
+		lt, _ := EvalBinop(token.Lt, x, y, i64, i64)
+		if (lt == 1) != (x < y) {
+			return false
+		}
+		if y != 0 && !(x == -9223372036854775808 && y == -1) {
+			div, _ := EvalBinop(token.Slash, x, y, i64, i64)
+			if div != x/y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShiftMasking: shift amounts are masked by width-1, like x86.
+func TestShiftMasking(t *testing.T) {
+	for _, ty := range types.IntTypes {
+		bits := int64(ty.Bits())
+		for _, amt := range []int64{0, 1, bits - 1, bits, bits + 1, 2*bits + 3} {
+			got, ok := EvalBinop(token.Shl, 1, amt, ty, ty)
+			if !ok {
+				t.Fatalf("%v shl not ok", ty)
+			}
+			want := ty.WrapValue(1 << uint64(amt&(bits-1)))
+			if got != want {
+				t.Errorf("%v: 1 << %d = %d, want %d", ty, amt, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package token
+
+import "testing"
+
+func TestIsAssignOp(t *testing.T) {
+	yes := []Kind{Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+		PercentAssign, AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign}
+	for _, k := range yes {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment operator", k)
+		}
+	}
+	no := []Kind{Plus, EqEq, Lt, AndAnd, Ident, EOF}
+	for _, k := range no {
+		if k.IsAssignOp() {
+			t.Errorf("%v should not be an assignment operator", k)
+		}
+	}
+}
+
+func TestBaseOf(t *testing.T) {
+	cases := map[Kind]Kind{
+		PlusAssign:    Plus,
+		MinusAssign:   Minus,
+		StarAssign:    Star,
+		SlashAssign:   Slash,
+		PercentAssign: Percent,
+		AmpAssign:     Amp,
+		PipeAssign:    Pipe,
+		CaretAssign:   Caret,
+		ShlAssign:     Shl,
+		ShrAssign:     Shr,
+		Assign:        Invalid,
+		Plus:          Invalid,
+	}
+	for in, want := range cases {
+		if got := in.BaseOf(); got != want {
+			t.Errorf("BaseOf(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Errorf("Pos formatting: %q", p.String())
+	}
+	if (Pos{}).String() != "-" {
+		t.Error("invalid pos prints -")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: Ident, Text: "foo"}).String() != "foo" {
+		t.Error("ident token prints its text")
+	}
+	if (Token{Kind: Plus}).String() != "+" {
+		t.Error("operator token prints its spelling")
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	// Every keyword maps back to a kind whose name is the spelling.
+	for spell, kind := range Keywords {
+		if kind.String() != spell {
+			t.Errorf("keyword %q has kind named %q", spell, kind.String())
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapValue(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		in   int64
+		want int64
+	}{
+		{I8Type, 127, 127},
+		{I8Type, 128, -128},
+		{I8Type, 255, -1},
+		{I8Type, -129, 127},
+		{U8Type, 255, 255},
+		{U8Type, 256, 0},
+		{U8Type, -1, 255},
+		{I16Type, 32768, -32768},
+		{U16Type, 65536, 0},
+		{I32Type, 2147483648, -2147483648},
+		{U32Type, 4294967296, 0},
+		{U32Type, -1, 4294967295},
+		{I64Type, -5, -5},
+		{U64Type, -5, -5}, // 64-bit canonical form is the raw bits
+	}
+	for _, c := range cases {
+		if got := c.t.WrapValue(c.in); got != c.want {
+			t.Errorf("%v.WrapValue(%d) = %d, want %d", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+// TestWrapValueIdempotent: wrapping is a canonicalization, so applying it
+// twice must equal applying it once — for every integer type and value.
+func TestWrapValueIdempotent(t *testing.T) {
+	f := func(v int64) bool {
+		for _, ty := range IntTypes {
+			w := ty.WrapValue(v)
+			if ty.WrapValue(w) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrapValueCanonicalRange: canonical values of unsigned sub-64-bit
+// types are non-negative; signed types fit their two's-complement range.
+func TestWrapValueCanonicalRange(t *testing.T) {
+	f := func(v int64) bool {
+		if w := U8Type.WrapValue(v); w < 0 || w > 255 {
+			return false
+		}
+		if w := U32Type.WrapValue(v); w < 0 || w > 4294967295 {
+			return false
+		}
+		if w := I16Type.WrapValue(v); w < -32768 || w > 32767 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{I8Type, I8Type, I32Type},   // integer promotion
+		{U8Type, I16Type, I32Type},  // both promote to int
+		{I32Type, U32Type, U32Type}, // unsigned wins at equal width
+		{I32Type, I64Type, I64Type},
+		{U32Type, I64Type, I64Type}, // wider signed absorbs narrower unsigned
+		{U64Type, I64Type, U64Type},
+		{I32Type, I32Type, I32Type},
+	}
+	for _, c := range cases {
+		if got := Promote(c.a, c.b); got != c.want {
+			t.Errorf("Promote(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Promote(c.b, c.a); got != c.want {
+			t.Errorf("Promote(%v, %v) = %v, want %v (must be symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical(PointerTo(I32Type), PointerTo(I32Type)) {
+		t.Error("structurally equal pointers must be identical")
+	}
+	if Identical(PointerTo(I32Type), PointerTo(U32Type)) {
+		t.Error("different pointees must differ")
+	}
+	if !Identical(ArrayOf(I8Type, 4), ArrayOf(I8Type, 4)) {
+		t.Error("equal arrays must be identical")
+	}
+	if Identical(ArrayOf(I8Type, 4), ArrayOf(I8Type, 5)) {
+		t.Error("array lengths matter")
+	}
+	if !Identical(FuncOf(VoidType, []*Type{I32Type}), FuncOf(VoidType, []*Type{I32Type})) {
+		t.Error("equal func types must be identical")
+	}
+	if Identical(FuncOf(VoidType, []*Type{I32Type}), FuncOf(VoidType, nil)) {
+		t.Error("arity matters")
+	}
+}
+
+func TestSizeAndBits(t *testing.T) {
+	if I8Type.Size() != 1 || U16Type.Size() != 2 || I32Type.Size() != 4 || U64Type.Size() != 8 {
+		t.Error("scalar sizes wrong")
+	}
+	if PointerTo(I8Type).Size() != 8 {
+		t.Error("pointers are 8 bytes")
+	}
+	if ArrayOf(I16Type, 10).Size() != 20 {
+		t.Error("array size = elem * len")
+	}
+	if PointerTo(VoidType).Bits() != 64 {
+		t.Error("pointer bits")
+	}
+}
+
+func TestSignednessHelpers(t *testing.T) {
+	for _, ty := range IntTypes {
+		if ty.Unsigned().IsSigned() {
+			t.Errorf("%v.Unsigned() is signed", ty)
+		}
+		if !ty.Signed().IsSigned() {
+			t.Errorf("%v.Signed() is unsigned", ty)
+		}
+		if ty.Unsigned().Bits() != ty.Bits() || ty.Signed().Bits() != ty.Bits() {
+			t.Errorf("%v: signedness change altered width", ty)
+		}
+	}
+}
+
+func TestCSpelling(t *testing.T) {
+	cases := map[*Type]string{
+		I8Type:                        "char",
+		U32Type:                       "unsigned int",
+		I64Type:                       "long",
+		PointerTo(I32Type):            "int *",
+		ArrayOf(U8Type, 3):            "unsigned char[3]",
+		PointerTo(PointerTo(I16Type)): "short * *",
+	}
+	for ty, want := range cases {
+		if got := ty.CSpelling(); got != want {
+			t.Errorf("%v spelled %q, want %q", ty.Kind, got, want)
+		}
+	}
+}
