@@ -296,6 +296,39 @@ func BenchmarkTable5ReportTriage(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures what pipeline observability costs: the
+// "off" case runs the plain single-program unit (and must match the seed's
+// numbers — tracing disabled is a nil-observer pointer check per pass), the
+// "on" case runs the same unit with the recorder attached, whose per-pass
+// IR scans bound the profiling overhead.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzeOneProgram(b, int64(3000+i))
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := int64(3000 + i)
+			ins, err := Instrument(Generate(seed))
+			if err != nil {
+				b.Fatal(err)
+			}
+			truth, err := GroundTruth(ins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range []*Compiler{GCC(O3), LLVM(O3)} {
+				comp, _, err := CompileTraced(ins, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = comp.Missed(truth)
+			}
+		}
+	})
+}
+
 // BenchmarkPaperListings times the qualitative reproduction of the paper's
 // reduced test cases (Listings 1-9; see examples/paperlistings for the
 // assertions, and TestPaperListings in facade_test.go).

@@ -1,0 +1,145 @@
+// Smoke tests for the cmd/* binaries: build each one, run its main path on
+// a tiny corpus, and require a clean exit with non-empty output. These keep
+// the CLIs wired to the library as the facade evolves.
+package dcelens
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cmdBinOnce sync.Once
+	cmdBinDir  string
+	cmdBinErr  error
+)
+
+// buildCommands compiles every cmd/* binary once into a shared temp dir.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	cmdBinOnce.Do(func() {
+		cmdBinDir, cmdBinErr = os.MkdirTemp("", "dcelens-cmd")
+		if cmdBinErr != nil {
+			return
+		}
+		entries, err := os.ReadDir("cmd")
+		if err != nil {
+			cmdBinErr = err
+			return
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			bin := filepath.Join(cmdBinDir, e.Name())
+			if runtime.GOOS == "windows" {
+				bin += ".exe"
+			}
+			out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+e.Name()).CombinedOutput()
+			if err != nil {
+				cmdBinErr = &buildError{cmd: e.Name(), out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if cmdBinErr != nil {
+		t.Fatal(cmdBinErr)
+	}
+	return cmdBinDir
+}
+
+type buildError struct {
+	cmd string
+	out string
+	err error
+}
+
+func (e *buildError) Error() string {
+	return "go build ./cmd/" + e.cmd + ": " + e.err.Error() + "\n" + e.out
+}
+
+// runCmd executes a built binary and returns its combined output, failing
+// the test on a non-zero exit.
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(buildCommands(t), name)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	if len(strings.TrimSpace(string(out))) == 0 {
+		t.Fatalf("%s %s: empty output", name, strings.Join(args, " "))
+	}
+	return string(out)
+}
+
+func TestCmdGenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "dce-gen", "-n", "2", "-seed", "1", "-instrument", "-dir", dir)
+	files, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("want 2 generated files, got %v (%v)\noutput: %s", files, err, out)
+	}
+	src, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "DCEMarker") {
+		t.Errorf("generated file has no markers:\n%s", src)
+	}
+}
+
+func TestCmdFindSmoke(t *testing.T) {
+	out := runCmd(t, "dce-find", "-seed", "3")
+	if !strings.Contains(out, "marker") {
+		t.Errorf("dce-find output mentions no markers:\n%s", out)
+	}
+}
+
+func TestCmdReduceSmoke(t *testing.T) {
+	// listing3.c: gcc-sim eliminates DCEMarker0, llvm-sim misses it.
+	out := runCmd(t, "dce-reduce",
+		"-file", filepath.Join("internal", "core", "testdata", "listing3.c"),
+		"-marker", "DCEMarker0", "-target", "llvm", "-reference", "gcc",
+		"-checks", "200")
+	if !strings.Contains(out, "DCEMarker0") {
+		t.Errorf("reduced program lost the marker:\n%s", out)
+	}
+}
+
+func TestCmdBisectSmoke(t *testing.T) {
+	out := runCmd(t, "dce-bisect", "-history", "llvm")
+	if !strings.Contains(out, "Value Propagation") {
+		t.Errorf("llvm-sim history missing expected component:\n%s", out)
+	}
+	// listing6a.c models the paper's Listing 6a regression.
+	out = runCmd(t, "dce-bisect",
+		"-file", filepath.Join("internal", "core", "testdata", "listing6a.c"),
+		"-marker", "DCEMarker0", "-compiler", "llvm")
+	if !strings.Contains(out, "commit") {
+		t.Errorf("bisection reported no commit:\n%s", out)
+	}
+}
+
+func TestCmdReportSmoke(t *testing.T) {
+	out := runCmd(t, "dce-report", "-n", "3")
+	if !strings.Contains(out, "markers") {
+		t.Errorf("report missing marker statistics:\n%s", out)
+	}
+}
+
+func TestCmdAttribSmoke(t *testing.T) {
+	out := runCmd(t, "dce-attrib", "-n", "3", "-findings", "3")
+	if !strings.Contains(out, "Eliminations per pass") {
+		t.Errorf("attrib output missing eliminations-per-pass table:\n%s", out)
+	}
+	out = runCmd(t, "dce-attrib", "-seed", "7", "-compiler", "gcc", "-provenance")
+	if !strings.Contains(out, "killed by") {
+		t.Errorf("provenance output missing attribution lines:\n%s", out)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"dcelens/internal/reduce"
 	"dcelens/internal/report"
 	"dcelens/internal/sema"
+	"dcelens/internal/trace"
 )
 
 // Program is a parsed, type-checked MiniC program.
@@ -217,7 +218,71 @@ func Categorize(outcomes []*BisectOutcome) []bisect.ComponentRow {
 }
 
 // ---------------------------------------------------------------------------
+// Tracing and provenance
+
+// TraceProfile is a compilation's per-pass profile plus marker provenance.
+type TraceProfile = trace.Profile
+
+// Provenance maps each eliminated marker to the pass instance that killed
+// it.
+type Provenance = trace.Provenance
+
+// PassRef identifies one executed pass instance (pass name, schedule
+// position, pipeline iteration).
+type PassRef = trace.PassRef
+
+// PassAttribution names the pass responsible for eliminating a finding's
+// marker in the configuration that succeeds.
+type PassAttribution = trace.Attribution
+
+// PassElims is one row of the campaign-wide eliminations-per-pass table.
+type PassElims = trace.PassElims
+
+// CompileTraced compiles like Compile with the pipeline observer attached:
+// the returned profile records every pass instance's wall time and IR-size
+// delta, and attributes each eliminated marker to the pass that killed it.
+func CompileTraced(ins *Instrumented, c *Compiler) (*Compilation, *TraceProfile, error) {
+	return core.CompileTraced(ins, c)
+}
+
+// AnalyzeTraced is Analyze with tracing enabled (Analysis.Trace is set).
+func AnalyzeTraced(ins *Instrumented, c *Compiler, t *Truth, g *MarkerCFG) (*core.Analysis, error) {
+	return core.AnalyzeTraced(ins, c, t, g)
+}
+
+// AttributeFinding names the pass instance that eliminates a finding's
+// marker in the reference configuration — the trace-based root cause that
+// complements BisectRegression (which only works for version regressions).
+func AttributeFinding(c *Campaign, f Finding) (*PassAttribution, error) {
+	return c.AttributeFinding(f)
+}
+
+// EliminationsPerPass aggregates a traced campaign (CampaignOptions.Trace)
+// into the eliminations-per-pass table for one personality and level.
+func EliminationsPerPass(c *Campaign, p pipeline.Personality, lvl Level) []PassElims {
+	return c.EliminationsPerPass(corpus.ConfigKey{Personality: p, Level: lvl})
+}
+
+// PassComponent maps a pass name into the compiler-component vocabulary of
+// the synthetic histories (Tables 3/4).
+func PassComponent(pass string) string { return trace.ComponentOf(pass) }
+
+// ---------------------------------------------------------------------------
 // Reports
 
 // Report renders the full evaluation summary for a campaign.
 func Report(c *Campaign) string { return report.Summary(c) }
+
+// ReportPassProfile renders a compilation trace as a table; withTiming
+// adds the wall-time column (and makes the output run-dependent).
+func ReportPassProfile(p *TraceProfile, withTiming bool) string {
+	return report.PassProfileTable(p, withTiming)
+}
+
+// ReportProvenance renders a compilation's marker→killer attribution.
+func ReportProvenance(p *Provenance) string { return report.ProvenanceTable(p) }
+
+// ReportAttributionTable renders eliminations-per-pass rows.
+func ReportAttributionTable(title string, rows []PassElims) string {
+	return report.AttributionTable(title, rows)
+}

@@ -22,6 +22,7 @@ import (
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
 	"dcelens/internal/pipeline"
+	"dcelens/internal/trace"
 )
 
 // Truth is the executed ground truth of an instrumented program.
@@ -159,6 +160,11 @@ type Analysis struct {
 	Compilation   *Compilation
 	Missed        []string
 	PrimaryMissed []string
+
+	// Trace is the per-pass profile and marker provenance of the
+	// compilation; nil unless the analysis ran with tracing enabled
+	// (AnalyzeTraced / corpus Options.Trace).
+	Trace *trace.Profile
 }
 
 // Analyze compiles ins under cfg and computes missed and primary-missed

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"dcelens/internal/asm"
+	"dcelens/internal/instrument"
+	"dcelens/internal/lower"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/trace"
+)
+
+// CompileTraced compiles like Compile with a trace.Recorder observing the
+// pipeline: the returned Profile carries per-pass wall times, IR-size
+// deltas, and the provenance attributing each eliminated marker to the
+// pass instance that killed it. The trace's view of surviving markers is
+// verified against the assembly scan, so a provenance entry can be trusted
+// to describe what the oracle observes.
+func CompileTraced(ins *instrument.Program, cfg *pipeline.Config) (*Compilation, *trace.Profile, error) {
+	m, err := lower.Lower(ins.Prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := trace.NewRecorder(ins.MarkerNames(), instrument.IsMarker)
+	if err := cfg.CompileObserved(m, rec); err != nil {
+		return nil, nil, err
+	}
+	text := asm.Emit(m)
+	alive := map[string]bool{}
+	for _, name := range asm.SurvivingMarkers(text, instrument.IsMarker) {
+		alive[name] = true
+	}
+	prof := rec.Profile()
+	// Cross-check the IR-level scan against the assembly oracle: they must
+	// agree, or the provenance would attribute eliminations the oracle
+	// never sees (or miss ones it does).
+	if len(prof.FinalSurviving) != len(alive) {
+		return nil, nil, fmt.Errorf("core: %s: trace/asm marker disagreement: %d surviving in IR, %d in assembly",
+			cfg.Name(), len(prof.FinalSurviving), len(alive))
+	}
+	for _, name := range prof.FinalSurviving {
+		if !alive[name] {
+			return nil, nil, fmt.Errorf("core: %s: trace/asm marker disagreement: %s survives in IR but not in assembly",
+				cfg.Name(), name)
+		}
+	}
+	return &Compilation{Config: cfg, Module: m, Asm: text, Alive: alive}, prof, nil
+}
+
+// AnalyzeTraced is Analyze with tracing enabled; the returned Analysis
+// carries the compilation's trace.Profile.
+func AnalyzeTraced(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG) (*Analysis, error) {
+	comp, prof, err := CompileTraced(ins, cfg)
+	if err != nil {
+		return nil, err
+	}
+	missed := comp.Missed(t)
+	return &Analysis{
+		Compilation:   comp,
+		Missed:        missed,
+		PrimaryMissed: g.Primary(t, missed),
+		Trace:         prof,
+	}, nil
+}

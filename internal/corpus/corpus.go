@@ -31,6 +31,11 @@ type Options struct {
 	// VerifySemantics additionally executes every compiled module and
 	// compares against ground truth (miscompile detection). Slower.
 	VerifySemantics bool
+	// Trace records a per-pass profile and marker provenance for every
+	// compilation (internal/trace): each eliminated marker is attributed
+	// to the pass instance that killed it, feeding AttributeFinding and
+	// EliminationsPerPass. Adds one IR scan per executed pass.
+	Trace bool
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
 	Workers int
 	// Personalities and Levels default to both compilers and all levels.
@@ -180,7 +185,11 @@ func analyzeProgram(o Options, seed int64) *ProgramResult {
 	for _, p := range o.Personalities {
 		for _, lvl := range o.Levels {
 			cfg := pipeline.New(p, lvl)
-			an, err := core.Analyze(ins, cfg, r.Truth, r.Graph)
+			analyze := core.Analyze
+			if o.Trace {
+				analyze = core.AnalyzeTraced
+			}
+			an, err := analyze(ins, cfg, r.Truth, r.Graph)
 			if err != nil {
 				r.Err = fmt.Errorf("seed %d %s: %w", seed, cfg.Name(), err)
 				return r

@@ -250,16 +250,11 @@ func (fl *fnLowerer) zeroValue(t *types.Type) *ir.Instr {
 }
 
 func (fl *fnLowerer) ifStmt(s *ast.If) {
-	// Frontend folding of literal conditions (real C frontends do this even
-	// at -O0, which is why compilers eliminate ~15% of dead blocks there).
-	if lit, ok := s.Cond.(*ast.IntLit); ok {
-		if lit.Val != 0 {
-			fl.stmt(s.Then)
-		} else if s.Else != nil {
-			fl.stmt(s.Else)
-		}
-		return
-	}
+	// Literal conditions are lowered as condbr-on-constant rather than
+	// folded here: every schedule (including -O0, where real C frontends
+	// fold and compilers still eliminate ~15% of dead blocks) opens with
+	// instcombine+simplifycfg, which folds them. Keeping the fold in the
+	// pipeline lets the trace attribute these eliminations to a pass.
 	thenB := fl.fn.NewBlock()
 	joinB := fl.fn.NewBlock()
 	elseB := joinB
@@ -283,12 +278,8 @@ func (fl *fnLowerer) whileStmt(s *ast.While) {
 	body := fl.fn.NewBlock()
 	exit := fl.fn.NewBlock()
 	fl.br(header)
-	if lit, ok := s.Cond.(*ast.IntLit); ok && lit.Val != 0 {
-		fl.br(body)
-	} else {
-		fl.condBranch(s.Cond, body, exit)
-		fl.cur = body
-	}
+	fl.condBranch(s.Cond, body, exit)
+	fl.cur = body
 	fl.breaks = append(fl.breaks, exit)
 	fl.continues = append(fl.continues, header)
 	fl.stmt(s.Body)
@@ -323,8 +314,6 @@ func (fl *fnLowerer) forStmt(s *ast.For) {
 	exit := fl.fn.NewBlock()
 	fl.br(header)
 	if s.Cond == nil {
-		fl.br(body)
-	} else if lit, ok := s.Cond.(*ast.IntLit); ok && lit.Val != 0 {
 		fl.br(body)
 	} else {
 		fl.condBranch(s.Cond, body, exit)

@@ -11,6 +11,7 @@ package opt
 
 import (
 	"fmt"
+	"time"
 
 	"dcelens/internal/ir"
 )
@@ -123,20 +124,52 @@ type Pass struct {
 	Run  func(m *ir.Module, o Options) bool
 }
 
+// Observer watches pass execution inside a Pipeline run. A nil observer
+// disables observation at the cost of one pointer comparison per pass, so
+// untraced compilations are indistinguishable from the pre-observer
+// pipeline. internal/trace provides the standard implementation (per-pass
+// profiles and marker provenance); the interface lives here, argument-only,
+// so that trace can satisfy it without opt importing trace.
+type Observer interface {
+	// BeginPipeline sees the module before the first pass runs.
+	BeginPipeline(m *ir.Module)
+	// AfterPass sees the module after each executed pass instance:
+	// the pass name, its position in the schedule, the iteration of the
+	// fixpoint loop, whether the pass reported a change, and its wall time.
+	AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration)
+}
+
 // Pipeline runs passes in order until a fixpoint or maxIters repetitions of
 // the whole schedule, whichever comes first. Real pass managers run fixed
 // schedules; iterating the schedule a couple of times approximates the
 // repeated pass groups (e.g. instcombine/simplifycfg interleavings) that
 // production pipelines contain.
 func Pipeline(m *ir.Module, o Options, passes []Pass, maxIters int) error {
+	return ObservedPipeline(m, o, passes, maxIters, nil)
+}
+
+// ObservedPipeline is Pipeline with an observer attached to every executed
+// pass instance; obs may be nil.
+func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs Observer) error {
 	if maxIters < 1 {
 		maxIters = 1
 	}
+	if obs != nil {
+		obs.BeginPipeline(m)
+	}
 	for iter := 0; iter < maxIters; iter++ {
 		changed := false
-		for _, p := range passes {
-			if p.Run(m, o) {
+		for i, p := range passes {
+			var start time.Time
+			if obs != nil {
+				start = time.Now()
+			}
+			passChanged := p.Run(m, o)
+			if passChanged {
 				changed = true
+			}
+			if obs != nil {
+				obs.AfterPass(m, p.Name, i, iter, passChanged, time.Since(start))
 			}
 			if o.VerifyEachPass {
 				if err := ir.Verify(m); err != nil {

@@ -70,9 +70,30 @@ func (c *Config) Name() string {
 // Options exposes the assembled knob set (read-only use).
 func (c *Config) Options() opt.Options { return c.opts }
 
+// Schedule returns the pass names of the assembled schedule, in order.
+// One schedule iteration executes each entry once; the pass manager runs
+// up to Iterations() repetitions.
+func (c *Config) Schedule() []string {
+	names := make([]string, len(c.schedule))
+	for i, p := range c.schedule {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Iterations returns the pass manager's maximum schedule repetitions.
+func (c *Config) Iterations() int { return c.iters }
+
 // Compile optimizes the module in place according to the configuration.
 func (c *Config) Compile(m *ir.Module) error {
-	if err := opt.Pipeline(m, c.opts, c.schedule, c.iters); err != nil {
+	return c.CompileObserved(m, nil)
+}
+
+// CompileObserved optimizes like Compile while reporting every executed
+// pass instance to obs (nil disables observation; internal/trace provides
+// the profiling/provenance observer).
+func (c *Config) CompileObserved(m *ir.Module, obs opt.Observer) error {
+	if err := opt.ObservedPipeline(m, c.opts, c.schedule, c.iters, obs); err != nil {
 		return fmt.Errorf("%s: %w", c.Name(), err)
 	}
 	return nil

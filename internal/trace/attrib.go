@@ -1,0 +1,143 @@
+// Marker-provenance attribution: mapping killer pass instances into the
+// compiler-component vocabulary of the synthetic version histories, so the
+// per-pass elimination table can be read next to (and cross-checked
+// against) the bisection-based Tables 3/4.
+package trace
+
+import "sort"
+
+// ComponentOf maps a pass name to the component vocabulary used by the
+// synthetic commit histories (internal/pipeline/history.go), which in turn
+// mirrors the component names of the paper's Tables 3/4. Unknown passes
+// map to "Other".
+func ComponentOf(pass string) string {
+	switch pass {
+	case "frontend":
+		return "C-family Frontend"
+	case "mem2reg":
+		return "SSA Memory Analysis"
+	case "sccp", "ipsccp":
+		return "Constant Propagation"
+	case "localize-globals":
+		return "Value Propagation" // GlobalOpt lives under Value Propagation in the llvm history
+	case "vrp":
+		return "Value Propagation"
+	case "gvn":
+		return "Value Numbering"
+	case "instcombine":
+		return "Peephole Optimizations"
+	case "simplifycfg":
+		return "Control Flow Graph Analysis"
+	case "jumpthread":
+		return "Jump Threading"
+	case "licm", "unroll", "unswitch", "widen-stores":
+		return "Loop Transformations"
+	case "inline":
+		return "Inlining"
+	case "dce", "dse", "globaldce":
+		return "Dead Code Elimination"
+	}
+	return "Other"
+}
+
+// PassElims is one row of the campaign-wide eliminations-per-pass table:
+// how many dead-marker eliminations a pass (across all of its instances)
+// performed, labelled with its component.
+type PassElims struct {
+	Pass         string
+	Component    string
+	Eliminations int
+}
+
+// SortElims orders rows by descending elimination count, then pass name —
+// the deterministic presentation order of the report.
+func SortElims(rows []PassElims) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Eliminations != rows[j].Eliminations {
+			return rows[i].Eliminations > rows[j].Eliminations
+		}
+		return rows[i].Pass < rows[j].Pass
+	})
+}
+
+// Attribution is the answer to "who eliminates this marker?": for a marker
+// missed by one configuration but eliminated by another, the pass instance
+// in the eliminating configuration that performed the elimination.
+type Attribution struct {
+	Marker string
+	// Eliminator names the configuration whose trace produced the killer
+	// (e.g. "llvm-sim@... -O3").
+	Eliminator string
+	Killer     PassRef
+	Component  string
+}
+
+// compatibleKillers maps an offending commit's component (as named in the
+// synthetic histories) to the trace components that can realize the
+// elimination the commit broke. Marker elimination is a pipeline effect:
+// an analysis-precision commit (say, Alias Analysis) manifests through the
+// value-numbering and cleanup passes that consume the analysis, so each
+// entry lists the consumer components alongside the commit's own. The
+// realizer components — constant propagation, control-flow cleanup, dead
+// code elimination — appear almost everywhere because a dead block is
+// ultimately disconnected by a folded branch and deleted by cleanup;
+// that is the paper's "DCE is a sink for the whole pipeline" thesis
+// restated at the attribution level.
+var compatibleKillers = map[string][]string{
+	// gcc-sim regressions.
+	"Alias Analysis": {
+		"Alias Analysis", "Value Numbering", "Constant Propagation",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	// The widen-stores "vectorizer" defeats store-to-load forwarding.
+	"Loop Transformations": {
+		"Loop Transformations", "Value Numbering", "Constant Propagation",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	// Kept argument-promotion clones are dead functions globaldce reclaims.
+	"Interprocedural SRoA": {
+		"Dead Code Elimination", "Inlining",
+	},
+	// llvm-sim regressions.
+	"Value Propagation": {
+		"Value Propagation", "Constant Propagation", "Value Numbering",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	// Early unswitching's freeze blocks folding; the healthy reference
+	// eliminates through the constant-propagation/cleanup chain.
+	"Pass Management": {
+		"Loop Transformations", "Constant Propagation", "Value Numbering",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	"Instruction Operand Folding": {
+		"Peephole Optimizations", "Constant Propagation",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	"Inlining": {
+		"Inlining", "Constant Propagation", "Value Numbering",
+		"Control Flow Graph Analysis", "Dead Code Elimination",
+	},
+	"Jump Threading": {
+		"Jump Threading", "Control Flow Graph Analysis",
+		"Constant Propagation", "Dead Code Elimination",
+	},
+}
+
+// Compatible reports whether a trace attribution (the killer pass's
+// component) is consistent with a bisected offending commit's component —
+// the cross-validation between the provenance subsystem and the paper's
+// Tables 3/4 procedure.
+func Compatible(commitComponent, killerComponent string) bool {
+	allowed, ok := compatibleKillers[commitComponent]
+	if !ok {
+		// A component with no planted regression semantics: accept only an
+		// exact match.
+		return commitComponent == killerComponent
+	}
+	for _, c := range allowed {
+		if c == killerComponent {
+			return true
+		}
+	}
+	return false
+}
