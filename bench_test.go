@@ -22,7 +22,9 @@ import (
 
 	"dcelens/internal/asm"
 	"dcelens/internal/bisect"
+	"dcelens/internal/core"
 	"dcelens/internal/corpus"
+	"dcelens/internal/harness"
 	"dcelens/internal/instrument"
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
@@ -324,6 +326,48 @@ func BenchmarkTraceOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 				_ = comp.Missed(truth)
+			}
+		}
+	})
+}
+
+// BenchmarkHarnessOverhead measures what fault isolation costs: the "off"
+// case runs the plain single-program unit, the "on" case runs the identical
+// unit with every compilation wrapped in harness.Protect (defer/recover plus
+// the step-budget watchdog counting pass instances). The wrapper should be
+// within a few percent of the unprotected run — campaigns pay essentially
+// nothing for crash isolation on the fault-free path.
+func BenchmarkHarnessOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzeOneProgram(b, int64(4000+i))
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		h := &harness.Harness{}
+		for i := 0; i < b.N; i++ {
+			seed := int64(4000 + i)
+			ins, err := Instrument(Generate(seed))
+			if err != nil {
+				b.Fatal(err)
+			}
+			truth, err := GroundTruth(ins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range []*Compiler{GCC(O3), LLVM(O3)} {
+				cfg := cfg
+				fail := h.Protect(seed, cfg.Name(), "", func(obs opt.Observer) error {
+					comp, err := core.CompileObserved(ins, cfg, obs)
+					if err != nil {
+						return err
+					}
+					_ = comp.Missed(truth)
+					return nil
+				})
+				if fail != nil {
+					b.Fatalf("protected unit failed: %+v", fail)
+				}
 			}
 		}
 	})

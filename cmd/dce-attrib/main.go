@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dcelens"
+	"dcelens/internal/cli"
 	"dcelens/internal/pipeline"
 )
 
@@ -99,36 +100,9 @@ func campaign(n int, seed int64, maxFindings int) {
 }
 
 func mkCompiler(name string, lvl dcelens.Level) *dcelens.Compiler {
-	switch name {
-	case "gcc":
-		return dcelens.GCC(lvl)
-	case "llvm":
-		return dcelens.LLVM(lvl)
-	}
-	fmt.Fprintf(os.Stderr, "dce-attrib: unknown compiler %q\n", name)
-	os.Exit(2)
-	return nil
+	return cli.Compiler("dce-attrib", name, lvl)
 }
 
-func parseLevel(s string) dcelens.Level {
-	switch s {
-	case "O0":
-		return dcelens.O0
-	case "O1":
-		return dcelens.O1
-	case "Os":
-		return dcelens.Os
-	case "O2":
-		return dcelens.O2
-	case "O3":
-		return dcelens.O3
-	}
-	fmt.Fprintf(os.Stderr, "dce-attrib: unknown level %q\n", s)
-	os.Exit(2)
-	return dcelens.O0
-}
+func parseLevel(s string) dcelens.Level { return cli.Level("dce-attrib", s) }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dce-attrib:", err)
-	os.Exit(1)
-}
+func fail(err error) { cli.Fail("dce-attrib", err) }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"dcelens"
+	"dcelens/internal/cli"
 	"dcelens/internal/pipeline"
 )
 
@@ -38,8 +39,7 @@ func main() {
 		return
 	}
 	if *marker == "" {
-		fmt.Fprintln(os.Stderr, "dce-bisect: -marker is required")
-		os.Exit(2)
+		cli.Usagef("dce-bisect", "-marker is required")
 	}
 
 	var ins *dcelens.Instrumented
@@ -62,8 +62,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "dce-bisect: need -seed or -file")
-		os.Exit(2)
+		cli.Usagef("dce-bisect", "need -seed or -file")
 	}
 
 	out, err := dcelens.BisectRegression(ins, personality(*compiler), parseLevel(*level), *marker)
@@ -89,37 +88,8 @@ func adopt(p *dcelens.Program) *dcelens.Instrumented {
 	return ins
 }
 
-func personality(name string) pipeline.Personality {
-	switch name {
-	case "gcc":
-		return pipeline.GCC
-	case "llvm":
-		return pipeline.LLVM
-	}
-	fmt.Fprintf(os.Stderr, "dce-bisect: unknown compiler %q\n", name)
-	os.Exit(2)
-	return ""
-}
+func personality(name string) pipeline.Personality { return cli.Personality("dce-bisect", name) }
 
-func parseLevel(s string) dcelens.Level {
-	switch s {
-	case "O0":
-		return dcelens.O0
-	case "O1":
-		return dcelens.O1
-	case "Os":
-		return dcelens.Os
-	case "O2":
-		return dcelens.O2
-	case "O3":
-		return dcelens.O3
-	}
-	fmt.Fprintf(os.Stderr, "dce-bisect: unknown level %q\n", s)
-	os.Exit(2)
-	return dcelens.O0
-}
+func parseLevel(s string) dcelens.Level { return cli.Level("dce-bisect", s) }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dce-bisect:", err)
-	os.Exit(1)
-}
+func fail(err error) { cli.Fail("dce-bisect", err) }

@@ -1,0 +1,128 @@
+// dce-campaign runs a fault-tolerant corpus campaign: every per-(seed,
+// config) compilation is isolated by internal/harness (panics become
+// bucketed crash findings with reproducers, runaway fixpoints hit the
+// step-budget deadline), a JSON checkpoint makes interrupted campaigns
+// resumable, and a deterministic fault-injection hook exercises all of it.
+//
+// Usage:
+//
+//	dce-campaign -n 50 -seed 1                      # plain campaign
+//	dce-campaign -n 50 -checkpoint cp.json          # checkpoint as seeds finish
+//	dce-campaign -n 50 -checkpoint cp.json -resume  # skip completed seeds
+//	dce-campaign -n 20 -inject panic:gvn:5,stall:licm:7
+//	dce-campaign -n 20 -halt-after 10 -checkpoint cp.json  # simulate a kill
+//
+// The report (stdout) is deterministic for a given configuration: a
+// resumed campaign prints byte-identical output to an uninterrupted one.
+// Crash reproducers can be persisted with -repro-dir for dce-reduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcelens"
+	"dcelens/internal/cli"
+	"dcelens/internal/harness"
+	"dcelens/internal/report"
+)
+
+const tool = "dce-campaign"
+
+func main() {
+	n := flag.Int("n", 30, "corpus size")
+	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
+	doTrace := flag.Bool("trace", false, "record per-pass profiles and marker provenance")
+	verify := flag.Bool("verify", false, "execute every compiled module against ground truth (miscompile detection; slower)")
+	budget := flag.Int("budget", 0, "per-compilation pass-step budget (0: harness default)")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; outcomes are persisted as seeds complete")
+	resume := flag.Bool("resume", false, "skip seeds already completed in -checkpoint")
+	inject := flag.String("inject", "", "fault-injection spec: kind:pass:seed[:config],... (kind: panic, stall, corrupt)")
+	haltAfter := flag.Int("halt-after", 0, "stop after this many seeds (testing aid: simulates a killed campaign; requires -checkpoint)")
+	reproDir := flag.String("repro-dir", "", "write each failure's MiniC reproducer into this directory")
+	flag.Parse()
+
+	opts := dcelens.CampaignOptions{
+		Programs:        *n,
+		BaseSeed:        *seed,
+		Workers:         *workers,
+		Trace:           *doTrace,
+		VerifySemantics: *verify,
+		StepBudget:      *budget,
+	}
+	if *inject != "" {
+		faults, err := harness.ParseFaults(*inject)
+		if err != nil {
+			cli.Usagef(tool, "%v", err)
+		}
+		opts.Faults = faults
+	}
+	if *resume && *checkpoint == "" {
+		cli.Usagef(tool, "-resume requires -checkpoint")
+	}
+	if *haltAfter > 0 && *checkpoint == "" {
+		cli.Usagef(tool, "-halt-after requires -checkpoint")
+	}
+	if *checkpoint != "" {
+		cp, err := harness.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			cli.Fail(tool, err)
+		}
+		if !*resume && cp.Len() > 0 {
+			cli.Usagef(tool, "checkpoint %s already has %d completed seeds; pass -resume to continue it", *checkpoint, cp.Len())
+		}
+		opts.Checkpoint = cp
+	}
+	halted := false
+	if *haltAfter > 0 && *haltAfter < opts.Programs {
+		opts.Programs = *haltAfter
+		halted = true
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: running a %d-program campaign (base seed %d)...\n", tool, opts.Programs, opts.BaseSeed)
+	c, err := dcelens.RunCampaign(opts)
+	if err != nil {
+		cli.Fail(tool, err)
+	}
+	if *reproDir != "" {
+		if err := writeRepros(*reproDir, c.Stats.Failures); err != nil {
+			cli.Fail(tool, err)
+		}
+	}
+	if halted {
+		fmt.Fprintf(os.Stderr, "%s: halted after %d seeds; resume with -resume -checkpoint %s\n",
+			tool, opts.Programs, *checkpoint)
+		fmt.Printf("campaign halted after %d seeds (checkpointed)\n", opts.Programs)
+		return
+	}
+	fmt.Print(dcelens.Report(c))
+	if len(c.Stats.Failures) == 0 {
+		// Summary includes the failure section only when something failed;
+		// always state the verdict here so operators see it was checked.
+		fmt.Print("\n" + report.Failures(c.Stats))
+	}
+}
+
+// writeRepros persists each failure's reproducer as a dce-reduce-ready
+// MiniC file named after its seed and config.
+func writeRepros(dir string, failures []harness.Failure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		if f.Source == "" {
+			continue
+		}
+		cfg := strings.NewReplacer(" ", "_", "-", "").Replace(f.Config)
+		name := fmt.Sprintf("%s_seed%d_%s.c", f.Kind, f.Seed, cfg)
+		header := fmt.Sprintf("// %s\n// reproduce: dce-find -file %s\n", f.String(), name)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(header+f.Source), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

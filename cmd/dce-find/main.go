@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"dcelens"
+	"dcelens/internal/cli"
 )
 
 func main() {
@@ -115,7 +116,4 @@ func adoptExisting(p *dcelens.Program) *dcelens.Instrumented {
 	return ins
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dce-find:", err)
-	os.Exit(1)
-}
+func fail(err error) { cli.Fail("dce-find", err) }

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"dcelens"
+	"dcelens/internal/cli"
 )
 
 func main() {
@@ -26,8 +27,7 @@ func main() {
 	flag.Parse()
 
 	if *dir == "" && *n != 1 {
-		fmt.Fprintln(os.Stderr, "dce-gen: -n > 1 requires -dir")
-		os.Exit(2)
+		cli.Usagef("dce-gen", "-n > 1 requires -dir")
 	}
 	for i := 0; i < *n; i++ {
 		s := *seed + int64(i)
@@ -36,8 +36,7 @@ func main() {
 		if *instr {
 			ins, err := dcelens.Instrument(prog)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "dce-gen:", err)
-				os.Exit(1)
+				cli.Fail("dce-gen", err)
 			}
 			src = dcelens.Print(ins.Prog)
 		}
@@ -46,13 +45,11 @@ func main() {
 			return
 		}
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "dce-gen:", err)
-			os.Exit(1)
+			cli.Fail("dce-gen", err)
 		}
 		path := filepath.Join(*dir, fmt.Sprintf("seed_%d.c", s))
 		if err := os.WriteFile(path, []byte(src+"\n"), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dce-gen:", err)
-			os.Exit(1)
+			cli.Fail("dce-gen", err)
 		}
 	}
 	if *dir != "" {

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dcelens"
+	"dcelens/internal/cli"
 )
 
 func main() {
@@ -29,8 +31,7 @@ func main() {
 	flag.Parse()
 
 	if *marker == "" {
-		fmt.Fprintln(os.Stderr, "dce-reduce: -marker is required")
-		os.Exit(2)
+		cli.Usagef("dce-reduce", "-marker is required")
 	}
 
 	var prog *dcelens.Program
@@ -52,8 +53,7 @@ func main() {
 		}
 		prog = ins.Prog
 	default:
-		fmt.Fprintln(os.Stderr, "dce-reduce: need -seed or -file")
-		os.Exit(2)
+		cli.Usagef("dce-reduce", "need -seed or -file")
 	}
 
 	targetCfg := mkCompiler(*target, parseLevel(*level))
@@ -66,8 +66,7 @@ func main() {
 
 	test := dcelens.MissedInterestingness(*marker, targetCfg, refCfg)
 	if !test(prog) {
-		fmt.Fprintln(os.Stderr, "dce-reduce: the input does not exhibit the requested miss")
-		os.Exit(1)
+		cli.Fail("dce-reduce", errors.New("the input does not exhibit the requested miss"))
 	}
 	res := dcelens.Reduce(prog, test, dcelens.ReduceOptions{MaxChecks: *checks})
 	fmt.Fprintf(os.Stderr, "reduced %d -> %d AST nodes in %d rounds (%d checks)\n",
@@ -76,36 +75,9 @@ func main() {
 }
 
 func mkCompiler(name string, lvl dcelens.Level) *dcelens.Compiler {
-	switch name {
-	case "gcc":
-		return dcelens.GCC(lvl)
-	case "llvm":
-		return dcelens.LLVM(lvl)
-	}
-	fmt.Fprintf(os.Stderr, "dce-reduce: unknown compiler %q\n", name)
-	os.Exit(2)
-	return nil
+	return cli.Compiler("dce-reduce", name, lvl)
 }
 
-func parseLevel(s string) dcelens.Level {
-	switch s {
-	case "O0":
-		return dcelens.O0
-	case "O1":
-		return dcelens.O1
-	case "Os":
-		return dcelens.Os
-	case "O2":
-		return dcelens.O2
-	case "O3":
-		return dcelens.O3
-	}
-	fmt.Fprintf(os.Stderr, "dce-reduce: unknown level %q\n", s)
-	os.Exit(2)
-	return dcelens.O0
-}
+func parseLevel(s string) dcelens.Level { return cli.Level("dce-reduce", s) }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dce-reduce:", err)
-	os.Exit(1)
-}
+func fail(err error) { cli.Fail("dce-reduce", err) }

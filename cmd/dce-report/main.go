@@ -19,6 +19,7 @@ import (
 
 	"dcelens"
 	"dcelens/internal/bisect"
+	"dcelens/internal/cli"
 	"dcelens/internal/corpus"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
@@ -92,7 +93,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dce-report:", err)
-	os.Exit(1)
-}
+func fail(err error) { cli.Fail("dce-report", err) }

@@ -78,6 +78,36 @@ func runCmd(t *testing.T, name string, args ...string) string {
 	return string(out)
 }
 
+// runCmdStdout executes a built binary and returns stdout only (stderr
+// carries progress chatter that is not part of the deterministic report).
+func runCmdStdout(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(buildCommands(t), name)
+	var stdout, stderr strings.Builder
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", name, strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// exitCode runs a built binary expecting failure and returns its exit code.
+func exitCode(t *testing.T, name string, args ...string) int {
+	t.Helper()
+	bin := filepath.Join(buildCommands(t), name)
+	err := exec.Command(bin, args...).Run()
+	if err == nil {
+		t.Fatalf("%s %s: expected a non-zero exit", name, strings.Join(args, " "))
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %s: %v", name, strings.Join(args, " "), err)
+	}
+	return ee.ExitCode()
+}
+
 func TestCmdGenSmoke(t *testing.T) {
 	dir := t.TempDir()
 	out := runCmd(t, "dce-gen", "-n", "2", "-seed", "1", "-instrument", "-dir", dir)
@@ -130,6 +160,75 @@ func TestCmdReportSmoke(t *testing.T) {
 	out := runCmd(t, "dce-report", "-n", "3")
 	if !strings.Contains(out, "markers") {
 		t.Errorf("report missing marker statistics:\n%s", out)
+	}
+}
+
+func TestCmdCampaignSmoke(t *testing.T) {
+	out := runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100")
+	if !strings.Contains(out, "Failures: none") {
+		t.Errorf("clean campaign does not state its failure verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "markers") {
+		t.Errorf("campaign report missing statistics:\n%s", out)
+	}
+}
+
+func TestCmdCampaignInject(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100",
+		"-inject", "panic:gvn:101:gcc-sim -O3", "-repro-dir", dir)
+	if !strings.Contains(out, "1 crashes") {
+		t.Errorf("injected crash not reported:\n%s", out)
+	}
+	repros, err := filepath.Glob(filepath.Join(dir, "crash_seed101_*.c"))
+	if err != nil || len(repros) != 1 {
+		t.Fatalf("want 1 reproducer, got %v (%v)", repros, err)
+	}
+	src, err := os.ReadFile(repros[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "// reproduce:") || !strings.Contains(string(src), "DCEMarker") {
+		t.Errorf("reproducer missing its reproduce header or markers:\n%s", src)
+	}
+}
+
+// TestCmdCampaignResumeRoundTrip: a campaign halted partway, then resumed
+// from its checkpoint, prints byte-identical stdout to an uninterrupted run.
+func TestCmdCampaignResumeRoundTrip(t *testing.T) {
+	uninterrupted := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300")
+
+	cp := filepath.Join(t.TempDir(), "cp.json")
+	halted := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300",
+		"-halt-after", "2", "-checkpoint", cp)
+	if !strings.Contains(halted, "halted after 2 seeds") {
+		t.Fatalf("halt not reported:\n%s", halted)
+	}
+	resumed := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300",
+		"-resume", "-checkpoint", cp)
+	if resumed != uninterrupted {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			uninterrupted, resumed)
+	}
+}
+
+// TestCmdExitCodes: usage errors exit 2 across the CLIs (internal/cli
+// convention), runtime failures exit 1.
+func TestCmdExitCodes(t *testing.T) {
+	if code := exitCode(t, "dce-campaign", "-resume"); code != 2 {
+		t.Errorf("dce-campaign -resume without -checkpoint: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-campaign", "-inject", "explode:gvn:1"); code != 2 {
+		t.Errorf("dce-campaign bad -inject: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-reduce"); code != 2 {
+		t.Errorf("dce-reduce without -marker: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-bisect", "-marker", "DCEMarker0", "-compiler", "frontier"); code != 2 {
+		t.Errorf("dce-bisect unknown compiler: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-find", "-file", filepath.Join(t.TempDir(), "absent.c")); code != 1 {
+		t.Errorf("dce-find missing file: exit %d, want 1", code)
 	}
 }
 

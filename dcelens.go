@@ -27,6 +27,7 @@ import (
 	"dcelens/internal/cgen"
 	"dcelens/internal/core"
 	"dcelens/internal/corpus"
+	"dcelens/internal/harness"
 	"dcelens/internal/instrument"
 	"dcelens/internal/parser"
 	"dcelens/internal/pipeline"
@@ -183,6 +184,54 @@ type Finding = corpus.Finding
 // RunCampaign generates a corpus, compiles every program under every
 // configuration, and aggregates the paper's statistics.
 func RunCampaign(o CampaignOptions) (*Campaign, error) { return corpus.Run(o) }
+
+// ---------------------------------------------------------------------------
+// Harness: fault tolerance, checkpointing, fault injection
+
+// CampaignFailure is one isolated per-(seed, config) failure: a recovered
+// panic (crash), an exceeded step budget (timeout), a semantic divergence
+// (miscompile), or an unusable program (infeasible).
+type CampaignFailure = harness.Failure
+
+// FailureKind classifies a campaign failure.
+type FailureKind = harness.Kind
+
+// Failure kinds.
+const (
+	FailureCrash      = harness.KindCrash
+	FailureTimeout    = harness.KindTimeout
+	FailureMiscompile = harness.KindMiscompile
+	FailureInfeasible = harness.KindInfeasible
+)
+
+// CrashBucket groups campaign failures with the same stack signature.
+type CrashBucket = corpus.CrashBucket
+
+// Faults is a deterministic fault-injection plan for a campaign
+// (CampaignOptions.Faults): chosen pass instances panic, stall past the
+// step budget, or corrupt the IR on chosen seeds.
+type Faults = harness.Faults
+
+// ParseFaults parses a fault-injection spec: comma-separated
+// kind:pass:seed[:config] entries where kind is panic, stall, or corrupt,
+// pass may be "*", and seed may be -1 for any.
+func ParseFaults(spec string) (*Faults, error) { return harness.ParseFaults(spec) }
+
+// Checkpoint persists completed campaign seeds so an interrupted campaign
+// can resume (CampaignOptions.Checkpoint); a resumed campaign's report is
+// byte-identical to an uninterrupted one.
+type Checkpoint = harness.Checkpoint
+
+// NewCheckpoint creates a checkpoint writing to path (empty: in-memory).
+func NewCheckpoint(path string) *Checkpoint { return harness.NewCheckpoint(path) }
+
+// LoadCheckpoint opens an existing checkpoint file, or a fresh one if the
+// file does not exist yet.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return harness.LoadCheckpoint(path) }
+
+// ReportFailures renders a campaign's failure taxonomy: per-kind counts
+// and the deduplicated crash-bucket table.
+func ReportFailures(s *corpus.Stats) string { return report.Failures(s) }
 
 // ReduceOptions bounds reduction effort.
 type ReduceOptions = reduce.Options

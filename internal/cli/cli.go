@@ -1,0 +1,62 @@
+// Package cli holds the shared conventions of the cmd/* mains: exit codes
+// (usage errors exit 2, as the flag package does; runtime failures exit 1)
+// and the flag-value parsers several tools share. Keeping these in one
+// place keeps the six CLIs' behaviour uniform.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"dcelens/internal/pipeline"
+)
+
+// Fail reports a runtime failure and exits 1.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Usagef reports a usage error and exits 2 (matching flag-parse errors).
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// Personality parses a compiler name ("gcc" or "llvm"); unknown names are
+// usage errors.
+func Personality(tool, name string) pipeline.Personality {
+	switch name {
+	case "gcc":
+		return pipeline.GCC
+	case "llvm":
+		return pipeline.LLVM
+	}
+	Usagef(tool, "unknown compiler %q (want gcc or llvm)", name)
+	return ""
+}
+
+// Level parses an optimization-level name ("O0".."O3", "Os"); unknown
+// names are usage errors.
+func Level(tool, name string) pipeline.Level {
+	switch name {
+	case "O0":
+		return pipeline.O0
+	case "O1":
+		return pipeline.O1
+	case "Os":
+		return pipeline.Os
+	case "O2":
+		return pipeline.O2
+	case "O3":
+		return pipeline.O3
+	}
+	Usagef(tool, "unknown level %q (want O0, O1, Os, O2, or O3)", name)
+	return pipeline.O0
+}
+
+// Compiler assembles the latest-version personality at a level from the
+// two name flags.
+func Compiler(tool, name string, lvl pipeline.Level) *pipeline.Config {
+	return pipeline.New(Personality(tool, name), lvl)
+}

@@ -21,6 +21,7 @@ import (
 	"dcelens/internal/interp"
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
+	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/trace"
 )
@@ -71,11 +72,17 @@ type Compilation struct {
 // Compile lowers, optimizes, and code-generates the instrumented program
 // under cfg, then scans the assembly for surviving markers.
 func Compile(ins *instrument.Program, cfg *pipeline.Config) (*Compilation, error) {
+	return CompileObserved(ins, cfg, nil)
+}
+
+// CompileObserved is Compile with a pipeline observer attached (the
+// harness passes its watchdog/fault-injection guard here); obs may be nil.
+func CompileObserved(ins *instrument.Program, cfg *pipeline.Config, obs opt.Observer) (*Compilation, error) {
 	m, err := lower.Lower(ins.Prog)
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.Compile(m); err != nil {
+	if err := cfg.CompileObserved(m, obs); err != nil {
 		return nil, err
 	}
 	text := asm.Emit(m)
@@ -170,7 +177,13 @@ type Analysis struct {
 // Analyze compiles ins under cfg and computes missed and primary-missed
 // markers relative to the ground truth and the marker CFG.
 func Analyze(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG) (*Analysis, error) {
-	comp, err := Compile(ins, cfg)
+	return AnalyzeObserved(ins, cfg, t, g, nil)
+}
+
+// AnalyzeObserved is Analyze with a pipeline observer attached; obs may be
+// nil.
+func AnalyzeObserved(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, obs opt.Observer) (*Analysis, error) {
+	comp, err := CompileObserved(ins, cfg, obs)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"dcelens/internal/asm"
 	"dcelens/internal/instrument"
 	"dcelens/internal/lower"
+	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/trace"
 )
@@ -17,12 +18,19 @@ import (
 // verified against the assembly scan, so a provenance entry can be trusted
 // to describe what the oracle observes.
 func CompileTraced(ins *instrument.Program, cfg *pipeline.Config) (*Compilation, *trace.Profile, error) {
+	return CompileTracedObserved(ins, cfg, nil)
+}
+
+// CompileTracedObserved is CompileTraced with an extra pipeline observer
+// chained after the trace recorder (the harness watchdog/fault guard);
+// extra may be nil.
+func CompileTracedObserved(ins *instrument.Program, cfg *pipeline.Config, extra opt.Observer) (*Compilation, *trace.Profile, error) {
 	m, err := lower.Lower(ins.Prog)
 	if err != nil {
 		return nil, nil, err
 	}
 	rec := trace.NewRecorder(ins.MarkerNames(), instrument.IsMarker)
-	if err := cfg.CompileObserved(m, rec); err != nil {
+	if err := cfg.CompileObserved(m, opt.Observers(rec, extra)); err != nil {
 		return nil, nil, err
 	}
 	text := asm.Emit(m)
@@ -50,7 +58,13 @@ func CompileTraced(ins *instrument.Program, cfg *pipeline.Config) (*Compilation,
 // AnalyzeTraced is Analyze with tracing enabled; the returned Analysis
 // carries the compilation's trace.Profile.
 func AnalyzeTraced(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG) (*Analysis, error) {
-	comp, prof, err := CompileTraced(ins, cfg)
+	return AnalyzeTracedObserved(ins, cfg, t, g, nil)
+}
+
+// AnalyzeTracedObserved is AnalyzeTraced with an extra pipeline observer
+// chained after the trace recorder; extra may be nil.
+func AnalyzeTracedObserved(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, extra opt.Observer) (*Analysis, error) {
+	comp, prof, err := CompileTracedObserved(ins, cfg, extra)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,13 @@
 // the paper's evaluation (§4.1, §4.2, Tables 1/2 and the differential
 // counts). It also collects the individual findings that feed reduction,
 // bisection, and the Table 5 triage model.
+//
+// Every per-(seed, config) compilation runs under the fault-tolerant
+// execution layer of internal/harness: panics become bucketed CrashFinding
+// records with reproducers, runaway pass fixpoints hit a step-budget
+// deadline, failed configs degrade gracefully (one retry without tracing,
+// then the failure is recorded and the seed's remaining configs keep their
+// analyses), and a checkpoint makes interrupted campaigns resumable.
 package corpus
 
 import (
@@ -15,7 +22,9 @@ import (
 	"dcelens/internal/ast"
 	"dcelens/internal/cgen"
 	"dcelens/internal/core"
+	"dcelens/internal/harness"
 	"dcelens/internal/instrument"
+	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 )
 
@@ -41,6 +50,16 @@ type Options struct {
 	// Personalities and Levels default to both compilers and all levels.
 	Personalities []pipeline.Personality
 	Levels        []pipeline.Level
+
+	// StepBudget bounds observed pass instances per compilation (the
+	// harness watchdog's deadline); <= 0 means harness.DefaultStepBudget.
+	StepBudget int
+	// Faults is the deterministic fault-injection plan (testing and
+	// harness validation); nil injects nothing.
+	Faults *harness.Faults
+	// Checkpoint persists per-seed outcomes as they complete and skips
+	// seeds already present (campaign resume); nil disables checkpointing.
+	Checkpoint *harness.Checkpoint
 }
 
 func (o *Options) fill() {
@@ -67,6 +86,12 @@ type ConfigKey struct {
 	Level       pipeline.Level
 }
 
+// String renders the stable display form, e.g. "gcc-sim -O3" (the config
+// identity recorded in harness failures and matched by fault specs).
+func (k ConfigKey) String() string {
+	return string(k.Personality) + " " + k.Level.String()
+}
+
 // ProgramResult holds everything derived from one corpus program.
 type ProgramResult struct {
 	Seed   int64
@@ -74,7 +99,23 @@ type ProgramResult struct {
 	Truth  *core.Truth
 	Graph  *core.MarkerCFG
 	PerCfg map[ConfigKey]*core.Analysis
-	Err    error
+	// Err is the program-level failure (generation, instrumentation, or
+	// ground truth); per-config failures are isolated in Failures so one
+	// bad config does not drop the other configs' analyses.
+	Err error
+	// Failures records the configs that crashed, timed out, or
+	// miscompiled, in (personality, level) option order.
+	Failures []harness.Failure
+}
+
+// FailureOf returns the recorded failure of a configuration, or nil.
+func (r *ProgramResult) FailureOf(key ConfigKey) *harness.Failure {
+	for i := range r.Failures {
+		if r.Failures[i].Config == key.String() {
+			return &r.Failures[i]
+		}
+	}
+	return nil
 }
 
 // FindingKind classifies how a missed optimization was discovered.
@@ -106,6 +147,32 @@ type Finding struct {
 	Primary     bool
 }
 
+// findingLess is the total order campaign findings are reported in.
+func findingLess(a, b Finding) bool {
+	if a.Seed != b.Seed {
+		return a.Seed < b.Seed
+	}
+	if a.Marker != b.Marker {
+		return a.Marker < b.Marker
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Personality != b.Personality {
+		return a.Personality < b.Personality
+	}
+	return a.Level < b.Level
+}
+
+// CrashBucket is one row of the campaign's fuzzer-style failure dedup:
+// failures sharing a kind and signature are "the same bug".
+type CrashBucket struct {
+	Kind      harness.Kind
+	Signature string
+	Count     int
+	Seeds     []int64 // ascending, deduplicated
+}
+
 // Stats aggregates a campaign.
 type Stats struct {
 	Programs     int
@@ -127,14 +194,31 @@ type Stats struct {
 	LevelMissed  map[pipeline.Personality]int
 	LevelPrimary map[pipeline.Personality]int
 
-	Miscompiles int
-	Errors      []string
+	// Failure accounting (internal/harness). Crashes, Timeouts,
+	// Miscompiles, and Infeasible are per-kind counts; Failures holds the
+	// isolated records (sorted); CrashBuckets dedups them by signature.
+	Crashes      int
+	Timeouts     int
+	Miscompiles  int
+	Infeasible   int
+	Failures     []harness.Failure
+	CrashBuckets []CrashBucket
+
+	// Errors lists every failure message (program-level and per-config),
+	// sorted for deterministic output.
+	Errors []string
 }
 
 // Campaign bundles the corpus results.
 type Campaign struct {
-	Opts     Options
+	Opts Options
+	// Programs holds the full in-memory results of freshly-computed seeds;
+	// entries restored from a checkpoint are nil (their contribution lives
+	// in Outcomes).
 	Programs []*ProgramResult
+	// Outcomes holds every seed's serializable summary, in seed order;
+	// Stats and Findings are derived from these alone.
+	Outcomes []*SeedOutcome
 	Stats    *Stats
 	Findings []Finding
 }
@@ -142,7 +226,16 @@ type Campaign struct {
 // Run executes a campaign.
 func Run(o Options) (*Campaign, error) {
 	o.fill()
+	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults}
+	if o.Checkpoint != nil {
+		if err := o.Checkpoint.Bind(campaignMeta(o)); err != nil {
+			return nil, err
+		}
+	}
+
 	results := make([]*ProgramResult, o.Programs)
+	outcomes := make([]*SeedOutcome, o.Programs)
+	errs := make([]error, o.Programs)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.Workers)
@@ -153,59 +246,114 @@ func Run(o Options) (*Campaign, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = analyzeProgram(o, o.BaseSeed+int64(i))
+			seed := o.BaseSeed + int64(i)
+			if o.Checkpoint != nil {
+				var restored SeedOutcome
+				ok, err := o.Checkpoint.Restore(seed, &restored)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if ok {
+					outcomes[i] = &restored
+					return
+				}
+			}
+			r := analyzeProgram(o, h, seed)
+			results[i] = r
+			outcomes[i] = outcomeOf(o, r)
+			if o.Checkpoint != nil {
+				errs[i] = o.Checkpoint.Save(seed, outcomes[i])
+			}
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
-	c := &Campaign{Opts: o, Programs: results}
+	c := &Campaign{Opts: o, Programs: results, Outcomes: outcomes}
 	c.aggregate()
 	return c, nil
 }
 
-func analyzeProgram(o Options, seed int64) *ProgramResult {
+// analyzeProgram runs one seed's full unit of work under the harness:
+// program construction first (failures are infeasible-kind and abandon the
+// seed), then every configuration in isolation (failures are recorded and
+// the remaining configs keep their analyses).
+func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
 	r := &ProgramResult{Seed: seed, PerCfg: map[ConfigKey]*core.Analysis{}}
-	prog := cgen.Generate(o.GenConfig(seed))
-	ins, err := instrument.Instrument(prog, instrument.Options{})
-	if err != nil {
-		r.Err = err
+	if fail := h.Protect(seed, "", "", func(opt.Observer) error {
+		prog := cgen.Generate(o.GenConfig(seed))
+		ins, err := instrument.Instrument(prog, instrument.Options{})
+		if err != nil {
+			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
+		}
+		r.Ins = ins
+		r.Truth, err = core.GroundTruth(ins)
+		if err != nil {
+			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
+		}
+		r.Graph, err = core.BuildMarkerCFG(ins)
+		if err != nil {
+			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
+		}
+		return nil
+	}); fail != nil {
+		r.Err = fmt.Errorf("seed %d: %s: %s", seed, fail.Kind, fail.Message)
+		r.Failures = append(r.Failures, *fail)
 		return r
 	}
-	r.Ins = ins
-	r.Truth, err = core.GroundTruth(ins)
-	if err != nil {
-		r.Err = fmt.Errorf("seed %d: %w", seed, err)
-		return r
-	}
-	r.Graph, err = core.BuildMarkerCFG(ins)
-	if err != nil {
-		r.Err = fmt.Errorf("seed %d: %w", seed, err)
-		return r
-	}
+
+	src := ast.Print(r.Ins.Prog)
 	for _, p := range o.Personalities {
 		for _, lvl := range o.Levels {
-			cfg := pipeline.New(p, lvl)
-			analyze := core.Analyze
-			if o.Trace {
-				analyze = core.AnalyzeTraced
-			}
-			an, err := analyze(ins, cfg, r.Truth, r.Graph)
-			if err != nil {
-				r.Err = fmt.Errorf("seed %d %s: %w", seed, cfg.Name(), err)
-				return r
-			}
-			if o.VerifySemantics {
-				if err := an.Compilation.VerifyAgainstTruth(r.Truth); err != nil {
-					r.Err = err
-					return r
+			key := ConfigKey{p, lvl}
+			fail := runConfig(o, h, r, key, src, o.Trace)
+			if fail != nil && o.Trace {
+				// Graceful degradation: the recorder itself (or its extra
+				// per-pass IR scans) may be what broke — retry once
+				// untraced before giving up on the config.
+				if retry := runConfig(o, h, r, key, src, false); retry == nil {
+					fail = nil
 				}
 			}
-			r.PerCfg[ConfigKey{p, lvl}] = an
+			if fail != nil {
+				r.Failures = append(r.Failures, *fail)
+			}
 		}
 	}
 	return r
 }
 
+// runConfig compiles and analyzes one configuration under the harness.
+func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool) *harness.Failure {
+	cfg := pipeline.New(key.Personality, key.Level)
+	return h.Protect(r.Seed, key.String(), src, func(obs opt.Observer) error {
+		var an *core.Analysis
+		var err error
+		if traced {
+			an, err = core.AnalyzeTracedObserved(r.Ins, cfg, r.Truth, r.Graph, obs)
+		} else {
+			an, err = core.AnalyzeObserved(r.Ins, cfg, r.Truth, r.Graph, obs)
+		}
+		if err != nil {
+			return err
+		}
+		if o.VerifySemantics {
+			if verr := an.Compilation.VerifyAgainstTruth(r.Truth); verr != nil {
+				return fmt.Errorf("%w: %v", harness.ErrMiscompile, verr)
+			}
+		}
+		r.PerCfg[key] = an
+		return nil
+	})
+}
+
+// aggregate derives Stats and Findings from the seed outcomes alone, so a
+// checkpoint-resumed campaign aggregates identically to a fresh one.
 func (c *Campaign) aggregate() {
 	s := &Stats{
 		Missed:       map[ConfigKey]int{},
@@ -215,53 +363,126 @@ func (c *Campaign) aggregate() {
 		LevelMissed:  map[pipeline.Personality]int{},
 		LevelPrimary: map[pipeline.Personality]int{},
 	}
-	for _, r := range c.Programs {
-		if r.Err != nil {
-			s.Errors = append(s.Errors, r.Err.Error())
+	for _, out := range c.Outcomes {
+		if out == nil {
+			continue
+		}
+		if out.Err != "" {
+			s.Errors = append(s.Errors, out.Err)
+		}
+		for _, f := range out.Failures {
+			s.Failures = append(s.Failures, f)
+			s.Errors = append(s.Errors, f.String())
+			switch f.Kind {
+			case harness.KindCrash:
+				s.Crashes++
+			case harness.KindTimeout:
+				s.Timeouts++
+			case harness.KindMiscompile:
+				s.Miscompiles++
+			case harness.KindInfeasible:
+				s.Infeasible++
+			}
+		}
+		if !out.Ok {
 			continue
 		}
 		s.Programs++
-		s.TotalMarkers += len(r.Ins.Markers)
-		s.DeadMarkers += len(r.Truth.Dead)
-		s.AliveMarkers += len(r.Truth.Alive)
-		for key, an := range r.PerCfg {
-			s.Missed[key] += len(an.Missed)
-			s.Primary[key] += len(an.PrimaryMissed)
+		s.TotalMarkers += out.Markers
+		s.DeadMarkers += out.Dead
+		s.AliveMarkers += out.Alive
+		for _, cf := range out.Configs {
+			key := ConfigKey{cf.Personality, cf.Level}
+			s.Missed[key] += cf.Missed
+			s.Primary[key] += cf.Primary
 		}
-		c.diffFindings(r, s)
-		c.levelFindings(r, s)
+		for _, f := range out.Findings {
+			c.Findings = append(c.Findings, f)
+			switch f.Kind {
+			case KindCompilerDiff:
+				s.DiffMissed[f.Personality]++
+				if f.Primary {
+					s.DiffPrimary[f.Personality]++
+				}
+			case KindLevelDiff:
+				s.LevelMissed[f.Personality]++
+				if f.Primary {
+					s.LevelPrimary[f.Personality]++
+				}
+			}
+		}
 	}
-	sort.Slice(c.Findings, func(i, j int) bool {
-		a, b := c.Findings[i], c.Findings[j]
+	sort.Strings(s.Errors)
+	sort.Slice(s.Failures, func(i, j int) bool {
+		a, b := s.Failures[i], s.Failures[j]
 		if a.Seed != b.Seed {
 			return a.Seed < b.Seed
 		}
-		return a.Marker < b.Marker
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Signature < b.Signature
+	})
+	s.CrashBuckets = bucketFailures(s.Failures)
+	sort.Slice(c.Findings, func(i, j int) bool {
+		return findingLess(c.Findings[i], c.Findings[j])
 	})
 	c.Stats = s
 }
 
+// bucketFailures dedups failures by (kind, signature), the fuzzer-triage
+// view of a campaign's faults. Input and output are sorted, so the bucket
+// table is deterministic.
+func bucketFailures(failures []harness.Failure) []CrashBucket {
+	type key struct {
+		kind harness.Kind
+		sig  string
+	}
+	idx := map[key]int{}
+	var buckets []CrashBucket
+	for _, f := range failures {
+		k := key{f.Kind, f.Signature}
+		i, ok := idx[k]
+		if !ok {
+			i = len(buckets)
+			idx[k] = i
+			buckets = append(buckets, CrashBucket{Kind: f.Kind, Signature: f.Signature})
+		}
+		buckets[i].Count++
+		seeds := buckets[i].Seeds
+		if len(seeds) == 0 || seeds[len(seeds)-1] != f.Seed {
+			buckets[i].Seeds = append(seeds, f.Seed)
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].Kind != buckets[j].Kind {
+			return buckets[i].Kind < buckets[j].Kind
+		}
+		return buckets[i].Signature < buckets[j].Signature
+	})
+	return buckets
+}
+
 // diffFindings compares the two personalities at -O3 (paper §4.2).
-func (c *Campaign) diffFindings(r *ProgramResult, s *Stats) {
-	if len(c.Opts.Personalities) < 2 {
-		return
+func diffFindings(o Options, r *ProgramResult) []Finding {
+	if len(o.Personalities) < 2 {
+		return nil
 	}
 	a := r.PerCfg[ConfigKey{pipeline.GCC, pipeline.O3}]
 	b := r.PerCfg[ConfigKey{pipeline.LLVM, pipeline.O3}]
 	if a == nil || b == nil {
-		return
+		return nil
 	}
+	var out []Finding
 	record := func(missedBy pipeline.Personality, target, ref *core.Analysis) {
 		missed := core.DiffMissed(target.Compilation, ref.Compilation, r.Truth)
-		s.DiffMissed[missedBy] += len(missed)
 		primary := r.Graph.Primary(r.Truth, missed)
-		s.DiffPrimary[missedBy] += len(primary)
 		prim := map[string]bool{}
 		for _, m := range primary {
 			prim[m] = true
 		}
 		for _, m := range missed {
-			c.Findings = append(c.Findings, Finding{
+			out = append(out, Finding{
 				Kind: KindCompilerDiff, Seed: r.Seed, Marker: m,
 				Personality: missedBy, Level: pipeline.O3, Primary: prim[m],
 			})
@@ -269,12 +490,14 @@ func (c *Campaign) diffFindings(r *ProgramResult, s *Stats) {
 	}
 	record(pipeline.GCC, a, b)
 	record(pipeline.LLVM, b, a)
+	return out
 }
 
 // levelFindings looks for dead markers eliminated at -O1/-O2 but missed at
 // -O3 (paper §4.2 "Between optimization levels").
-func (c *Campaign) levelFindings(r *ProgramResult, s *Stats) {
-	for _, p := range c.Opts.Personalities {
+func levelFindings(o Options, r *ProgramResult) []Finding {
+	var out []Finding
+	for _, p := range o.Personalities {
 		o3 := r.PerCfg[ConfigKey{p, pipeline.O3}]
 		o1 := r.PerCfg[ConfigKey{p, pipeline.O1}]
 		o2 := r.PerCfg[ConfigKey{p, pipeline.O2}]
@@ -289,20 +512,19 @@ func (c *Campaign) levelFindings(r *ProgramResult, s *Stats) {
 				missed = append(missed, m)
 			}
 		}
-		s.LevelMissed[p] += len(missed)
 		primary := r.Graph.Primary(r.Truth, missed)
-		s.LevelPrimary[p] += len(primary)
 		prim := map[string]bool{}
 		for _, m := range primary {
 			prim[m] = true
 		}
 		for _, m := range missed {
-			c.Findings = append(c.Findings, Finding{
+			out = append(out, Finding{
 				Kind: KindLevelDiff, Seed: r.Seed, Marker: m,
 				Personality: p, Level: pipeline.O3, Primary: prim[m],
 			})
 		}
 	}
+	return out
 }
 
 // FindingsOf filters findings.

@@ -1,0 +1,90 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/pipeline"
+)
+
+// CfgOutcome is one configuration's contribution to a seed's outcome.
+type CfgOutcome struct {
+	Personality pipeline.Personality `json:"personality"`
+	Level       pipeline.Level       `json:"level"`
+	Missed      int                  `json:"missed"`
+	Primary     int                  `json:"primary"`
+}
+
+// SeedOutcome is the compact, JSON-serializable summary of one seed's
+// campaign contribution — everything aggregation needs, independent of the
+// heavyweight in-memory ProgramResult. Checkpoints persist these verbatim,
+// and aggregate() consumes only these, which is what makes a resumed
+// campaign's report byte-identical to an uninterrupted run's.
+type SeedOutcome struct {
+	Seed    int64 `json:"seed"`
+	Markers int   `json:"markers,omitempty"`
+	Dead    int   `json:"dead,omitempty"`
+	Alive   int   `json:"alive,omitempty"`
+	// Ok reports that the program itself was analyzable (individual
+	// configs may still have failed; see Failures).
+	Ok bool `json:"ok"`
+	// Err is the program-level failure text ("" when Ok).
+	Err      string            `json:"err,omitempty"`
+	Configs  []CfgOutcome      `json:"configs,omitempty"`
+	Findings []Finding         `json:"findings,omitempty"`
+	Failures []harness.Failure `json:"failures,omitempty"`
+}
+
+// outcomeOf condenses a ProgramResult into its serializable outcome.
+func outcomeOf(o Options, r *ProgramResult) *SeedOutcome {
+	out := &SeedOutcome{Seed: r.Seed, Failures: r.Failures}
+	if r.Err != nil {
+		out.Err = r.Err.Error()
+		return out
+	}
+	out.Ok = true
+	out.Markers = len(r.Ins.Markers)
+	out.Dead = len(r.Truth.Dead)
+	out.Alive = len(r.Truth.Alive)
+	for _, p := range o.Personalities {
+		for _, lvl := range o.Levels {
+			an := r.PerCfg[ConfigKey{p, lvl}]
+			if an == nil {
+				continue // this config failed; its Failure is recorded
+			}
+			out.Configs = append(out.Configs, CfgOutcome{
+				Personality: p,
+				Level:       lvl,
+				Missed:      len(an.Missed),
+				Primary:     len(an.PrimaryMissed),
+			})
+		}
+	}
+	out.Findings = append(out.Findings, diffFindings(o, r)...)
+	out.Findings = append(out.Findings, levelFindings(o, r)...)
+	sort.Slice(out.Findings, func(i, j int) bool {
+		return findingLess(out.Findings[i], out.Findings[j])
+	})
+	return out
+}
+
+// campaignMeta identifies a campaign for checkpoint binding: resuming with
+// different options would silently mix incomparable outcomes.
+func campaignMeta(o Options) map[string]string {
+	perss := ""
+	for _, p := range o.Personalities {
+		perss += string(p) + ";"
+	}
+	lvls := ""
+	for _, l := range o.Levels {
+		lvls += l.String() + ";"
+	}
+	return map[string]string{
+		"base_seed":     fmt.Sprint(o.BaseSeed),
+		"trace":         fmt.Sprint(o.Trace),
+		"verify":        fmt.Sprint(o.VerifySemantics),
+		"personalities": perss,
+		"levels":        lvls,
+	}
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Checkpoint persists per-seed campaign outcomes so an interrupted
+// campaign resumes without recomputing completed seeds. The on-disk form
+// is a single JSON document rewritten atomically (temp file + rename)
+// after every completed seed: a killed campaign always leaves either the
+// previous or the next consistent checkpoint, never a torn one.
+//
+// The checkpoint stores outcomes as raw JSON so this package stays
+// independent of the corpus package's record type; resumed records decode
+// into exactly the value that was saved, which is what makes a resumed
+// campaign's report byte-identical to an uninterrupted run's.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string // empty: in-memory only (tests)
+
+	meta map[string]string
+	done map[int64]json.RawMessage
+}
+
+// checkpointFile is the serialized form.
+type checkpointFile struct {
+	Version int                        `json:"version"`
+	Meta    map[string]string          `json:"meta,omitempty"`
+	Done    map[string]json.RawMessage `json:"done"`
+}
+
+const checkpointVersion = 1
+
+// NewCheckpoint creates an empty checkpoint persisting to path (empty
+// path: in-memory only).
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, done: map[int64]json.RawMessage{}}
+}
+
+// LoadCheckpoint reads an existing checkpoint file; a missing file yields
+// a fresh checkpoint bound to the same path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewCheckpoint(path), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("harness: checkpoint %s: %w", path, err)
+	}
+	if file.Version != checkpointVersion {
+		return nil, fmt.Errorf("harness: checkpoint %s: version %d, want %d", path, file.Version, checkpointVersion)
+	}
+	cp := NewCheckpoint(path)
+	cp.meta = file.Meta
+	for k, v := range file.Done {
+		seed, err := strconv.ParseInt(k, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("harness: checkpoint %s: bad seed key %q", path, k)
+		}
+		cp.done[seed] = v
+	}
+	return cp, nil
+}
+
+// Bind ties the checkpoint to a campaign identity. A fresh checkpoint
+// records the metadata; a resumed one verifies it, refusing to mix
+// outcomes from differently-configured campaigns.
+func (c *Checkpoint) Bind(meta map[string]string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.meta == nil {
+		c.meta = meta
+		return nil
+	}
+	for k, v := range meta {
+		if got, ok := c.meta[k]; ok && got != v {
+			return fmt.Errorf("harness: checkpoint %s: campaign mismatch: %s is %q, checkpoint has %q", c.path, k, v, got)
+		}
+	}
+	return nil
+}
+
+// Len reports how many seeds have completed.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Seeds returns the completed seeds in ascending order.
+func (c *Checkpoint) Seeds() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, 0, len(c.done))
+	for s := range c.done {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Restore decodes the saved outcome of a completed seed into v, reporting
+// whether the seed was present.
+func (c *Checkpoint) Restore(seed int64, v any) (bool, error) {
+	c.mu.Lock()
+	raw, ok := c.done[seed]
+	c.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("harness: checkpoint: seed %d: %w", seed, err)
+	}
+	return true, nil
+}
+
+// Save records a completed seed's outcome and persists the checkpoint.
+func (c *Checkpoint) Save(seed int64, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint: seed %d: %w", seed, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[seed] = raw
+	return c.flushLocked()
+}
+
+// flushLocked atomically rewrites the checkpoint file.
+func (c *Checkpoint) flushLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	file := checkpointFile{
+		Version: checkpointVersion,
+		Meta:    c.meta,
+		Done:    make(map[string]json.RawMessage, len(c.done)),
+	}
+	for seed, raw := range c.done {
+		file.Done[strconv.FormatInt(seed, 10)] = raw
+	}
+	data, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: checkpoint write: %v, %v", werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	return nil
+}

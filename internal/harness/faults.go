@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dcelens/internal/ir"
+)
+
+// FaultKind selects what an injected fault does when its pass fires.
+type FaultKind int
+
+const (
+	// FaultPanic makes the matched pass instance panic.
+	FaultPanic FaultKind = iota
+	// FaultStall makes the matched pass spin until the watchdog deadline.
+	FaultStall
+	// FaultCorrupt makes the matched pass hand corrupt IR to the rest of
+	// the pipeline (caught by the end-of-pipeline verifier as an ICE).
+	FaultCorrupt
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultPanic:   "panic",
+	FaultStall:   "stall",
+	FaultCorrupt: "corrupt",
+}
+
+func (k FaultKind) String() string { return faultKindNames[k] }
+
+// Fault is one deterministic injection: when the named pass runs while
+// compiling the given seed (under a matching config, if restricted), the
+// fault fires. Pass "*" matches any pass; Seed -1 matches any seed.
+type Fault struct {
+	Kind   FaultKind `json:"kind"`
+	Pass   string    `json:"pass"`
+	Seed   int64     `json:"seed"`
+	Config string    `json:"config,omitempty"` // substring of the config key, e.g. "gcc-sim -O3"; empty matches all
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s:%s:%d", f.Kind, f.Pass, f.Seed)
+	if f.Config != "" {
+		s += ":" + f.Config
+	}
+	return s
+}
+
+// Faults is a deterministic fault-injection plan for a campaign.
+type Faults struct {
+	List []Fault
+}
+
+// active returns the faults armed for one (seed, config) unit.
+func (fs *Faults) active(seed int64, config string) []Fault {
+	if fs == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range fs.List {
+		if f.Seed != -1 && f.Seed != seed {
+			continue
+		}
+		if f.Config != "" && !strings.Contains(config, f.Config) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// ParseFaults parses a comma-separated injection spec, each entry
+// "kind:pass:seed" with an optional ":config" suffix, e.g.
+//
+//	panic:gvn:5,stall:licm:7:llvm-sim -O3,corrupt:dce:9
+//
+// Kind is panic, stall, or corrupt; pass "*" matches any pass; seed "*"
+// matches any seed.
+func ParseFaults(spec string) (*Faults, error) {
+	fs := &Faults{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, ":", 4)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("harness: fault %q: want kind:pass:seed[:config]", entry)
+		}
+		var f Fault
+		switch parts[0] {
+		case "panic":
+			f.Kind = FaultPanic
+		case "stall":
+			f.Kind = FaultStall
+		case "corrupt":
+			f.Kind = FaultCorrupt
+		default:
+			return nil, fmt.Errorf("harness: fault %q: unknown kind %q (want panic, stall, or corrupt)", entry, parts[0])
+		}
+		f.Pass = parts[1]
+		if f.Pass == "" {
+			return nil, fmt.Errorf("harness: fault %q: empty pass (use * for any)", entry)
+		}
+		if parts[2] == "*" {
+			f.Seed = -1
+		} else {
+			seed, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fault %q: bad seed %q", entry, parts[2])
+			}
+			f.Seed = seed
+		}
+		if len(parts) == 4 {
+			f.Config = parts[3]
+		}
+		fs.List = append(fs.List, f)
+	}
+	if len(fs.List) == 0 {
+		return nil, fmt.Errorf("harness: empty fault spec %q", spec)
+	}
+	return fs, nil
+}
+
+// corruptModule breaks an SSA invariant the end-of-pipeline verifier
+// checks — the owner link of the first instruction — without perturbing
+// the structures passes traverse, so the corruption deterministically
+// surfaces as a verifier ICE rather than changing what the passes do.
+func corruptModule(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if f.External || len(f.Blocks) == 0 || len(f.Blocks[0].Instrs) == 0 {
+			continue
+		}
+		f.Blocks[0].Instrs[0].Block = nil
+		return
+	}
+}

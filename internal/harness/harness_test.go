@@ -1,0 +1,305 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dcelens/internal/ir"
+	"dcelens/internal/opt"
+)
+
+// drive pushes n pass instances through the observer, as a pipeline would.
+func drive(obs opt.Observer, pass string, n int) {
+	for i := 0; i < n; i++ {
+		obs.AfterPass(nil, pass, i, 0, false, time.Duration(0))
+	}
+}
+
+func TestProtectCompletes(t *testing.T) {
+	h := &Harness{}
+	fail := h.Protect(1, "gcc-sim -O3", "src", func(obs opt.Observer) error {
+		drive(obs, "dce", 50)
+		return nil
+	})
+	if fail != nil {
+		t.Fatalf("clean unit failed: %+v", fail)
+	}
+}
+
+func TestProtectRecoversPanic(t *testing.T) {
+	h := &Harness{}
+	fail := h.Protect(7, "llvm-sim -O2", "int main(void) { return 0; }", func(opt.Observer) error {
+		panic("pass gvn: value v42 has no defining block")
+	})
+	if fail == nil {
+		t.Fatal("panic not converted to a failure")
+	}
+	if fail.Kind != KindCrash {
+		t.Errorf("kind = %s, want crash", fail.Kind)
+	}
+	if fail.Seed != 7 || fail.Config != "llvm-sim -O2" {
+		t.Errorf("identity not recorded: %+v", fail)
+	}
+	if !strings.Contains(fail.Message, "v42") {
+		t.Errorf("message lost: %q", fail.Message)
+	}
+	if fail.Stack == "" {
+		t.Error("no stack captured")
+	}
+	if fail.Source != "int main(void) { return 0; }" {
+		t.Errorf("reproducer lost: %q", fail.Source)
+	}
+}
+
+func TestProtectWatchdogTimeout(t *testing.T) {
+	h := &Harness{StepBudget: 10}
+	fail := h.Protect(3, "gcc-sim -O3", "src", func(obs opt.Observer) error {
+		drive(obs, "licm", 1000)
+		return errors.New("unreachable: the watchdog must fire first")
+	})
+	if fail == nil {
+		t.Fatal("runaway unit not stopped")
+	}
+	if fail.Kind != KindTimeout {
+		t.Fatalf("kind = %s, want timeout", fail.Kind)
+	}
+	if fail.Signature != "deadline:licm" {
+		t.Errorf("signature = %q, want deadline:licm", fail.Signature)
+	}
+	if !strings.Contains(fail.Message, "budget 10") {
+		t.Errorf("message does not name the budget: %q", fail.Message)
+	}
+}
+
+func TestProtectDefaultBudgetIsGenerous(t *testing.T) {
+	h := &Harness{}
+	fail := h.Protect(1, "cfg", "", func(obs opt.Observer) error {
+		drive(obs, "dce", 500) // far beyond any real schedule, well under default
+		return nil
+	})
+	if fail != nil {
+		t.Fatalf("default budget tripped on a plausible schedule: %+v", fail)
+	}
+}
+
+func TestClassifySentinels(t *testing.T) {
+	h := &Harness{}
+	cases := []struct {
+		err  error
+		want Kind
+	}{
+		{fmt.Errorf("%w: checksum 123 != 456", ErrMiscompile), KindMiscompile},
+		{fmt.Errorf("%w: ground truth failed", ErrInfeasible), KindInfeasible},
+		{errors.New("opt: after pass gvn (iteration 2): broken use chain"), KindCrash},
+	}
+	for _, tc := range cases {
+		fail := h.Protect(1, "cfg", "", func(opt.Observer) error { return tc.err })
+		if fail == nil {
+			t.Fatalf("%v: no failure", tc.err)
+		}
+		if fail.Kind != tc.want {
+			t.Errorf("%v: kind = %s, want %s", tc.err, fail.Kind, tc.want)
+		}
+		if !strings.HasPrefix(fail.Signature, tc.want.String()+":") {
+			t.Errorf("%v: signature %q not keyed by kind", tc.err, fail.Signature)
+		}
+	}
+}
+
+func TestSignatureNormalizesRunDetail(t *testing.T) {
+	h := &Harness{}
+	sig := func(msg string) string {
+		f := h.Protect(1, "cfg", "", func(opt.Observer) error { return errors.New(msg) })
+		return f.Signature
+	}
+	// The same bug at different seeds/value IDs must bucket together.
+	if a, b := sig("verify: value v17 used before def"), sig("verify: value v203 used before def"); a != b {
+		t.Errorf("digit-differing messages split buckets: %q vs %q", a, b)
+	}
+	// Distinct bugs must not.
+	if a, b := sig("verify: value v17 used before def"), sig("verify: phi arity mismatch"); a == b {
+		t.Error("distinct messages collided")
+	}
+}
+
+func TestInjectedPanicFault(t *testing.T) {
+	h := &Harness{Faults: &Faults{List: []Fault{{Kind: FaultPanic, Pass: "gvn", Seed: 5}}}}
+	// The fault is armed only for seed 5.
+	if fail := h.Protect(4, "cfg", "", func(obs opt.Observer) error {
+		drive(obs, "gvn", 3)
+		return nil
+	}); fail != nil {
+		t.Fatalf("fault fired on the wrong seed: %+v", fail)
+	}
+	fail := h.Protect(5, "cfg", "src", func(obs opt.Observer) error {
+		drive(obs, "dce", 2) // non-matching pass: no fault
+		drive(obs, "gvn", 1)
+		return errors.New("unreachable")
+	})
+	if fail == nil || fail.Kind != KindCrash {
+		t.Fatalf("injected panic not recorded as a crash: %+v", fail)
+	}
+	if !strings.Contains(fail.Message, "injected fault") {
+		t.Errorf("message: %q", fail.Message)
+	}
+}
+
+func TestInjectedStallFault(t *testing.T) {
+	h := &Harness{
+		StepBudget: 64,
+		Faults:     &Faults{List: []Fault{{Kind: FaultStall, Pass: "licm", Seed: -1}}},
+	}
+	fail := h.Protect(9, "cfg", "", func(obs opt.Observer) error {
+		drive(obs, "licm", 1)
+		return errors.New("unreachable")
+	})
+	if fail == nil || fail.Kind != KindTimeout {
+		t.Fatalf("injected stall not recorded as a timeout: %+v", fail)
+	}
+	if fail.Signature != "deadline:licm" {
+		t.Errorf("signature = %q", fail.Signature)
+	}
+}
+
+func TestFaultConfigRestriction(t *testing.T) {
+	h := &Harness{Faults: &Faults{List: []Fault{
+		{Kind: FaultPanic, Pass: "*", Seed: -1, Config: "gcc-sim -O3"},
+	}}}
+	if fail := h.Protect(1, "llvm-sim -O3", "", func(obs opt.Observer) error {
+		drive(obs, "dce", 1)
+		return nil
+	}); fail != nil {
+		t.Fatalf("config-restricted fault fired on the wrong config: %+v", fail)
+	}
+	if fail := h.Protect(1, "gcc-sim -O3", "", func(obs opt.Observer) error {
+		drive(obs, "dce", 1)
+		return nil
+	}); fail == nil {
+		t.Fatal("config-restricted fault did not fire on its config")
+	}
+}
+
+func TestCorruptModule(t *testing.T) {
+	f := &ir.Func{Name: "main"}
+	b := &ir.Block{}
+	in := &ir.Instr{Block: b}
+	b.Instrs = []*ir.Instr{in}
+	f.Blocks = []*ir.Block{b}
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	corruptModule(m)
+	if in.Block != nil {
+		t.Fatal("owner link not corrupted")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	fs, err := ParseFaults("panic:gvn:5,stall:licm:7:llvm-sim -O3,corrupt:*:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: FaultPanic, Pass: "gvn", Seed: 5},
+		{Kind: FaultStall, Pass: "licm", Seed: 7, Config: "llvm-sim -O3"},
+		{Kind: FaultCorrupt, Pass: "*", Seed: -1},
+	}
+	if len(fs.List) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(fs.List), len(want))
+	}
+	for i, w := range want {
+		if fs.List[i] != w {
+			t.Errorf("fault %d = %+v, want %+v", i, fs.List[i], w)
+		}
+	}
+	for _, bad := range []string{"", "explode:gvn:5", "panic:gvn", "panic::5", "panic:gvn:many"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	spec := "stall:licm:7:llvm-sim -O3"
+	fs, err := ParseFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.List[0].String(); got != spec {
+		t.Errorf("round trip: %q != %q", got, spec)
+	}
+}
+
+type fakeOutcome struct {
+	Seed  int64  `json:"seed"`
+	Label string `json:"label"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp := NewCheckpoint(path)
+	if err := cp.Bind(map[string]string{"base_seed": "100", "trace": "false"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{102, 100, 101} {
+		if err := cp.Save(seed, &fakeOutcome{Seed: seed, Label: fmt.Sprintf("s%d", seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("len = %d", re.Len())
+	}
+	seeds := re.Seeds()
+	for i, want := range []int64{100, 101, 102} {
+		if seeds[i] != want {
+			t.Fatalf("seeds = %v", seeds)
+		}
+	}
+	var out fakeOutcome
+	ok, err := re.Restore(101, &out)
+	if err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	if out.Label != "s101" {
+		t.Errorf("restored %+v", out)
+	}
+	if ok, _ := re.Restore(999, &out); ok {
+		t.Error("restored a seed that never ran")
+	}
+
+	// Matching metadata binds; a differently-configured campaign is refused.
+	if err := re.Bind(map[string]string{"base_seed": "100", "trace": "false"}); err != nil {
+		t.Errorf("matching bind refused: %v", err)
+	}
+	if err := re.Bind(map[string]string{"base_seed": "200"}); err == nil {
+		t.Error("mismatched campaign accepted")
+	}
+}
+
+func TestCheckpointMissingFileIsFresh(t *testing.T) {
+	cp, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("len = %d", cp.Len())
+	}
+}
+
+func TestCheckpointInMemory(t *testing.T) {
+	cp := NewCheckpoint("")
+	if err := cp.Save(1, &fakeOutcome{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var out fakeOutcome
+	if ok, err := cp.Restore(1, &out); !ok || err != nil {
+		t.Fatalf("in-memory restore: ok=%v err=%v", ok, err)
+	}
+}

@@ -139,6 +139,41 @@ type Observer interface {
 	AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration)
 }
 
+// multiObserver fans one observation out to several observers in order.
+type multiObserver []Observer
+
+func (mo multiObserver) BeginPipeline(m *ir.Module) {
+	for _, o := range mo {
+		o.BeginPipeline(m)
+	}
+}
+
+func (mo multiObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+	for _, o := range mo {
+		o.AfterPass(m, pass, scheduleIndex, iteration, changed, d)
+	}
+}
+
+// Observers composes observers into one, dropping nils. Zero survivors
+// yield nil (preserving the unobserved fast path) and a single survivor is
+// returned unwrapped. The harness chains its watchdog/fault observer with
+// the trace recorder through this.
+func Observers(obs ...Observer) Observer {
+	var out multiObserver
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
 // Pipeline runs passes in order until a fixpoint or maxIters repetitions of
 // the whole schedule, whichever comes first. Real pass managers run fixed
 // schedules; iterating the schedule a couple of times approximates the

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dcelens/internal/corpus"
+)
+
+// Failures renders the harness's failure accounting: per-kind counts plus
+// the crash-bucket table (failures deduplicated by stack signature, the
+// fuzzer-triage view). Campaigns without failures render a single line, so
+// fault-free reports stay compact and deterministic.
+func Failures(s *corpus.Stats) string {
+	total := s.Crashes + s.Timeouts + s.Miscompiles + s.Infeasible
+	if total == 0 {
+		return "Failures: none\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Failures: %d total (%d crashes, %d timeouts, %d miscompiles, %d infeasible)\n",
+		total, s.Crashes, s.Timeouts, s.Miscompiles, s.Infeasible)
+	if len(s.CrashBuckets) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-11s %-44s %5s  %s\n", "Kind", "Bucket signature", "Count", "Seeds")
+	for _, b := range s.CrashBuckets {
+		seeds := make([]string, 0, len(b.Seeds))
+		for _, s := range b.Seeds {
+			seeds = append(seeds, fmt.Sprint(s))
+		}
+		fmt.Fprintf(&sb, "%-11s %-44s %5d  %s\n", b.Kind, b.Signature, b.Count, strings.Join(seeds, ","))
+	}
+	return sb.String()
+}

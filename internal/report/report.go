@@ -160,5 +160,9 @@ func Summary(c *corpus.Campaign) string {
 	sb.WriteString(LevelDiff(c.Stats))
 	sb.WriteString("\n")
 	sb.WriteString(Findings(c))
+	if len(c.Stats.Failures) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(Failures(c.Stats))
+	}
 	return sb.String()
 }

@@ -14,3 +14,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+
+# The campaign layer is the only concurrent code: re-run the harness and
+# corpus suites under the race detector.
+go test -race ./internal/harness ./internal/corpus
