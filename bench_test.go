@@ -28,6 +28,7 @@ import (
 	"dcelens/internal/instrument"
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
@@ -368,6 +369,47 @@ func BenchmarkHarnessOverhead(b *testing.B) {
 				if fail != nil {
 					b.Fatalf("protected unit failed: %+v", fail)
 				}
+			}
+		}
+	})
+}
+
+// BenchmarkMetricsOverhead measures what campaign telemetry costs: the
+// "off" case runs the plain single-program unit, the "on" case runs the
+// identical unit with a live registry threaded through every layer — phase
+// timers around generate/truth/lower/opt/codegen, the per-pass histogram
+// observer, and the stage counters. Collection is atomic adds behind cached
+// pointers, so "on" should stay within a few percent of "off" (the ~5%
+// budget scripts/check.sh smoke-tests).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzeOneProgram(b, int64(5000+i))
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := metrics.New()
+		for i := 0; i < b.N; i++ {
+			seed := int64(5000 + i)
+			stop := reg.Time(metrics.PhaseGenerate)
+			prog := Generate(seed)
+			stop()
+			ins, err := Instrument(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop = reg.Time(metrics.PhaseTruth)
+			truth, err := GroundTruth(ins)
+			stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range []*Compiler{GCC(O3), LLVM(O3)} {
+				comp, err := core.CompileMetered(ins, cfg, nil, reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = comp.Missed(truth)
 			}
 		}
 	})

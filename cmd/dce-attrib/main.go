@@ -29,7 +29,9 @@ func main() {
 	provenance := flag.Bool("provenance", false, "trace one program: marker→killer table")
 	compiler := flag.String("compiler", "llvm", "gcc or llvm (single-program modes)")
 	level := flag.String("level", "O3", "optimization level (single-program modes)")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-attrib")()
 
 	if *profile || *provenance {
 		singleProgram(*seed, *compiler, *level, *profile, *provenance)

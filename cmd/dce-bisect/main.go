@@ -25,7 +25,9 @@ func main() {
 	compiler := flag.String("compiler", "gcc", "gcc or llvm")
 	level := flag.String("level", "O3", "optimization level")
 	history := flag.String("history", "", "print the commit history of gcc or llvm and exit")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-bisect")()
 
 	if *history != "" {
 		p := personality(*history)

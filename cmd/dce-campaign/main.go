@@ -23,10 +23,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dcelens"
 	"dcelens/internal/cli"
 	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
 	"dcelens/internal/report"
 )
 
@@ -44,7 +46,13 @@ func main() {
 	inject := flag.String("inject", "", "fault-injection spec: kind:pass:seed[:config],... (kind: panic, stall, corrupt)")
 	haltAfter := flag.Int("halt-after", 0, "stop after this many seeds (testing aid: simulates a killed campaign; requires -checkpoint)")
 	reproDir := flag.String("repro-dir", "", "write each failure's MiniC reproducer into this directory")
+	metricsMode := flag.String("metrics", "off", "telemetry report: off, wall, or deterministic (redact wall-clock values)")
+	eventsPath := flag.String("events", "", "write a JSONL campaign event log to this file")
+	quiet := flag.Bool("quiet", false, "suppress the live progress heartbeat")
+	hbInterval := flag.Duration("heartbeat", 2*time.Second, "heartbeat render interval (heartbeat shows only on an interactive stderr)")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start(tool)()
 
 	opts := dcelens.CampaignOptions{
 		Programs:        *n,
@@ -83,10 +91,48 @@ func main() {
 		halted = true
 	}
 
+	var reg *dcelens.MetricsRegistry
+	switch *metricsMode {
+	case "off":
+	case "wall":
+		reg = dcelens.NewMetrics()
+	case "deterministic":
+		reg = dcelens.NewDeterministicMetrics()
+	default:
+		cli.Usagef(tool, "unknown -metrics mode %q (want off, wall, or deterministic)", *metricsMode)
+	}
+	showHeartbeat := !*quiet && metrics.StderrIsTerminal()
+	if showHeartbeat && reg == nil {
+		// The heartbeat reads progress counters, so it needs a registry even
+		// when the report section stays off.
+		reg = dcelens.NewMetrics()
+	}
+	opts.Metrics = reg
+
+	var events *dcelens.EventLog
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			cli.Fail(tool, err)
+		}
+		events = dcelens.NewEventLog(f)
+		opts.Events = events
+	}
+
+	stopHeartbeat := func() {}
+	if showHeartbeat {
+		hb := &metrics.Heartbeat{Reg: reg, Total: opts.Programs, Out: os.Stderr, Interval: *hbInterval, Tool: tool}
+		stopHeartbeat = hb.Start()
+	}
+
 	fmt.Fprintf(os.Stderr, "%s: running a %d-program campaign (base seed %d)...\n", tool, opts.Programs, opts.BaseSeed)
 	c, err := dcelens.RunCampaign(opts)
+	stopHeartbeat()
 	if err != nil {
 		cli.Fail(tool, err)
+	}
+	if cerr := events.Close(); cerr != nil {
+		cli.Fail(tool, cerr)
 	}
 	if *reproDir != "" {
 		if err := writeRepros(*reproDir, c.Stats.Failures); err != nil {
@@ -104,6 +150,9 @@ func main() {
 		// Summary includes the failure section only when something failed;
 		// always state the verdict here so operators see it was checked.
 		fmt.Print("\n" + report.Failures(c.Stats))
+	}
+	if *metricsMode != "off" {
+		fmt.Print("\n" + dcelens.ReportMetrics(reg))
 	}
 }
 

@@ -23,7 +23,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed (ignored with -file)")
 	file := flag.String("file", "", "MiniC source file to analyze instead of generating")
 	showAsm := flag.Bool("asm", false, "dump -O3 assembly of both compilers")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-find")()
 
 	var prog *dcelens.Program
 	var err error

@@ -24,7 +24,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed (program i uses seed+i)")
 	instr := flag.Bool("instrument", false, "insert DCE markers")
 	dir := flag.String("dir", "", "output directory (default: stdout, single program)")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-gen")()
 
 	if *dir == "" && *n != 1 {
 		cli.Usagef("dce-gen", "-n > 1 requires -dir")

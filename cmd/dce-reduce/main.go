@@ -28,7 +28,9 @@ func main() {
 	level := flag.String("level", "O3", "target optimization level")
 	refLevel := flag.String("reflevel", "O1", "reference level for same-compiler reduction")
 	checks := flag.Int("checks", 3000, "interestingness-test budget")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-reduce")()
 
 	if *marker == "" {
 		cli.Usagef("dce-reduce", "-marker is required")

@@ -33,7 +33,9 @@ func main() {
 	doBisect := flag.Bool("bisect", false, "bisect level regressions (Tables 3/4)")
 	maxBisect := flag.Int("max-bisect", 60, "bisection budget per compiler")
 	maxReduce := flag.Int("max-reduce", 12, "reduction budget per compiler for triage")
+	prof := cli.Profiling()
 	flag.Parse()
+	defer prof.Start("dce-report")()
 
 	fmt.Fprintf(os.Stderr, "running a %d-program campaign...\n", *n)
 	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{Programs: *n, BaseSeed: *seed})

@@ -4,6 +4,7 @@
 package dcelens
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -212,11 +213,92 @@ func TestCmdCampaignResumeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCmdCampaignEvents: -events writes a parseable JSONL stream whose
+// sequence numbers are strictly monotonic from 1 and whose vocabulary
+// brackets the campaign.
+func TestCmdCampaignEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "100", "-events", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("event log suspiciously short (%d lines):\n%s", len(lines), data)
+	}
+	seen := map[string]bool{}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		seq, ok := obj["seq"].(float64)
+		if !ok || int64(seq) != int64(i+1) {
+			t.Fatalf("line %d seq = %v, want %d (strictly monotonic)", i+1, obj["seq"], i+1)
+		}
+		event, ok := obj["event"].(string)
+		if !ok {
+			t.Fatalf("line %d has no event field: %s", i+1, line)
+		}
+		seen[event] = true
+	}
+	for _, want := range []string{"campaign_begin", "seed_begin", "unit_begin", "unit_end", "seed_end", "campaign_end"} {
+		if !seen[want] {
+			t.Errorf("event log missing %q events", want)
+		}
+	}
+	if lines[0] == "" || !strings.Contains(lines[0], "campaign_begin") {
+		t.Errorf("first event is not campaign_begin: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], "campaign_end") {
+		t.Errorf("last event is not campaign_end: %s", lines[len(lines)-1])
+	}
+}
+
+// TestCmdCampaignQuietAndMetrics: -quiet runs cleanly, -metrics=wall
+// appends the telemetry section, and -metrics=deterministic makes the whole
+// stdout byte-identical across two identical runs.
+func TestCmdCampaignQuietAndMetrics(t *testing.T) {
+	out := runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "100", "-quiet", "-metrics", "wall")
+	for _, want := range []string{"Phase breakdown", "Pass timing", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wall metrics report missing %q:\n%s", want, out)
+		}
+	}
+
+	det1 := runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "100", "-metrics", "deterministic")
+	det2 := runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "100", "-metrics", "deterministic")
+	if det1 != det2 {
+		t.Errorf("deterministic metrics runs differ:\n--- run 1\n%s\n--- run 2\n%s", det1, det2)
+	}
+	if !strings.Contains(det1, "Pass timing") {
+		t.Errorf("deterministic report missing the pass table:\n%s", det1)
+	}
+}
+
+// TestCmdCampaignCPUProfile: the shared -cpuprofile flag produces a
+// non-empty pprof file on a normal exit.
+func TestCmdCampaignCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "100", "-cpuprofile", path)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
 // TestCmdExitCodes: usage errors exit 2 across the CLIs (internal/cli
 // convention), runtime failures exit 1.
 func TestCmdExitCodes(t *testing.T) {
 	if code := exitCode(t, "dce-campaign", "-resume"); code != 2 {
 		t.Errorf("dce-campaign -resume without -checkpoint: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-campaign", "-metrics", "sometimes"); code != 2 {
+		t.Errorf("dce-campaign bad -metrics mode: exit %d, want 2", code)
 	}
 	if code := exitCode(t, "dce-campaign", "-inject", "explode:gvn:1"); code != 2 {
 		t.Errorf("dce-campaign bad -inject: exit %d, want 2", code)

@@ -22,6 +22,8 @@
 package dcelens
 
 import (
+	"io"
+
 	"dcelens/internal/ast"
 	"dcelens/internal/bisect"
 	"dcelens/internal/cgen"
@@ -29,6 +31,7 @@ import (
 	"dcelens/internal/corpus"
 	"dcelens/internal/harness"
 	"dcelens/internal/instrument"
+	"dcelens/internal/metrics"
 	"dcelens/internal/parser"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
@@ -85,11 +88,21 @@ type GenConfig = cgen.Config
 
 // Parse parses and type-checks MiniC source.
 func Parse(src string) (*Program, error) {
-	prog, err := parser.Parse(src)
+	return ParseMetered(src, nil)
+}
+
+// ParseMetered is Parse with frontend telemetry: lexing, parsing, and
+// semantic analysis are timed into reg's phase.lex, phase.parse, and
+// phase.sema histograms. A nil registry collects nothing.
+func ParseMetered(src string, reg *MetricsRegistry) (*Program, error) {
+	prog, err := parser.ParseMetered(src, reg)
 	if err != nil {
 		return nil, err
 	}
-	if err := sema.Check(prog); err != nil {
+	stop := reg.Time(metrics.PhaseSema)
+	err = sema.Check(prog)
+	stop()
+	if err != nil {
 		return nil, err
 	}
 	return prog, nil
@@ -315,6 +328,34 @@ func EliminationsPerPass(c *Campaign, p pipeline.Personality, lvl Level) []PassE
 // PassComponent maps a pass name into the compiler-component vocabulary of
 // the synthetic histories (Tables 3/4).
 func PassComponent(pass string) string { return trace.ComponentOf(pass) }
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+// MetricsRegistry is a campaign telemetry registry: counters, gauges, and
+// fixed-bucket duration histograms (CampaignOptions.Metrics). All methods
+// are nil-safe, so a nil registry disables collection without branching at
+// call sites.
+type MetricsRegistry = metrics.Registry
+
+// NewMetrics returns an empty telemetry registry.
+func NewMetrics() *MetricsRegistry { return metrics.New() }
+
+// NewDeterministicMetrics returns a registry whose rendered reports redact
+// wall-clock-derived values, making them byte-identical across identical
+// runs (the -metrics=deterministic mode).
+func NewDeterministicMetrics() *MetricsRegistry { return metrics.NewDeterministic() }
+
+// EventLog is a structured JSONL campaign event stream with monotonic
+// sequence numbers (CampaignOptions.Events, dce-campaign -events).
+type EventLog = metrics.EventLog
+
+// NewEventLog starts an event log writing JSONL to w.
+func NewEventLog(w io.Writer) *EventLog { return metrics.NewEventLog(w) }
+
+// ReportMetrics renders a registry's phase breakdown and campaign-wide
+// pass-time table (total/mean/p50/p90/p99 per pass).
+func ReportMetrics(reg *MetricsRegistry) string { return report.Metrics(reg) }
 
 // ---------------------------------------------------------------------------
 // Reports

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile is the shared -cpuprofile/-memprofile pair every tool registers.
+// The two flags mirror the Go test binary's: -cpuprofile streams a CPU
+// profile for the whole run, -memprofile snapshots the heap (after a final
+// GC) at exit. Both are written with runtime/pprof and read with
+// `go tool pprof`.
+type Profile struct {
+	cpu *string
+	mem *string
+}
+
+// Profiling registers the profiling flags on the default FlagSet. Call
+// before flag.Parse.
+func Profiling() *Profile {
+	return &Profile{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns the stop function,
+// which also writes the heap profile if requested. Callers defer it
+// immediately after flag.Parse:
+//
+//	prof := cli.Profiling()
+//	flag.Parse()
+//	defer prof.Start(tool)()
+//
+// Profiles are flushed only on a normal return from main; Fail/Usagef exit
+// paths skip them, matching the flags' purpose (profiling successful runs).
+func (p *Profile) Start(tool string) func() {
+	stopCPU := func() {}
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			Fail(tool, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			Fail(tool, err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		stopCPU()
+		if *p.mem == "" {
+			return
+		}
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			Fail(tool, err)
+		}
+		defer f.Close()
+		// Materialize the retained heap, not the allocation noise of the
+		// final report rendering.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			Fail(tool, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dcelens/internal/interp"
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/trace"
@@ -78,18 +79,32 @@ func Compile(ins *instrument.Program, cfg *pipeline.Config) (*Compilation, error
 // CompileObserved is Compile with a pipeline observer attached (the
 // harness passes its watchdog/fault-injection guard here); obs may be nil.
 func CompileObserved(ins *instrument.Program, cfg *pipeline.Config, obs opt.Observer) (*Compilation, error) {
+	return CompileMetered(ins, cfg, obs, nil)
+}
+
+// CompileMetered is CompileObserved with campaign telemetry: the lowering,
+// middle-end, and codegen phases are timed into reg ("phase.lower",
+// "phase.opt", "phase.codegen"), a per-pass collector rides the pipeline
+// (via Config.CompileMetered), and the assembly marker scan is counted. A
+// nil registry records nothing and adds no observer.
+func CompileMetered(ins *instrument.Program, cfg *pipeline.Config, obs opt.Observer, reg *metrics.Registry) (*Compilation, error) {
+	stop := reg.Time(metrics.PhaseLower)
 	m, err := lower.Lower(ins.Prog)
+	stop()
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.CompileObserved(m, obs); err != nil {
+	if err := cfg.CompileMetered(m, obs, reg); err != nil {
 		return nil, err
 	}
+	stop = reg.Time(metrics.PhaseCodegen)
 	text := asm.Emit(m)
 	alive := map[string]bool{}
 	for _, name := range asm.SurvivingMarkers(text, instrument.IsMarker) {
 		alive[name] = true
 	}
+	stop()
+	reg.Counter("stage.asm.scans").Inc()
 	return &Compilation{Config: cfg, Module: m, Asm: text, Alive: alive}, nil
 }
 
@@ -183,7 +198,13 @@ func Analyze(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerC
 // AnalyzeObserved is Analyze with a pipeline observer attached; obs may be
 // nil.
 func AnalyzeObserved(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, obs opt.Observer) (*Analysis, error) {
-	comp, err := CompileObserved(ins, cfg, obs)
+	return AnalyzeMetered(ins, cfg, t, g, obs, nil)
+}
+
+// AnalyzeMetered is AnalyzeObserved with campaign telemetry recorded into
+// reg (see CompileMetered); a nil registry records nothing.
+func AnalyzeMetered(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, obs opt.Observer, reg *metrics.Registry) (*Analysis, error) {
+	comp, err := CompileMetered(ins, cfg, obs, reg)
 	if err != nil {
 		return nil, err
 	}

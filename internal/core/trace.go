@@ -6,6 +6,7 @@ import (
 	"dcelens/internal/asm"
 	"dcelens/internal/instrument"
 	"dcelens/internal/lower"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/trace"
@@ -25,19 +26,31 @@ func CompileTraced(ins *instrument.Program, cfg *pipeline.Config) (*Compilation,
 // chained after the trace recorder (the harness watchdog/fault guard);
 // extra may be nil.
 func CompileTracedObserved(ins *instrument.Program, cfg *pipeline.Config, extra opt.Observer) (*Compilation, *trace.Profile, error) {
+	return CompileTracedMetered(ins, cfg, extra, nil)
+}
+
+// CompileTracedMetered is CompileTracedObserved with campaign telemetry
+// recorded into reg (phase timers plus the per-pass collector, chained
+// after the trace recorder); a nil registry records nothing.
+func CompileTracedMetered(ins *instrument.Program, cfg *pipeline.Config, extra opt.Observer, reg *metrics.Registry) (*Compilation, *trace.Profile, error) {
+	stop := reg.Time(metrics.PhaseLower)
 	m, err := lower.Lower(ins.Prog)
+	stop()
 	if err != nil {
 		return nil, nil, err
 	}
 	rec := trace.NewRecorder(ins.MarkerNames(), instrument.IsMarker)
-	if err := cfg.CompileObserved(m, opt.Observers(rec, extra)); err != nil {
+	if err := cfg.CompileMetered(m, opt.Observers(rec, extra), reg); err != nil {
 		return nil, nil, err
 	}
+	stop = reg.Time(metrics.PhaseCodegen)
 	text := asm.Emit(m)
 	alive := map[string]bool{}
 	for _, name := range asm.SurvivingMarkers(text, instrument.IsMarker) {
 		alive[name] = true
 	}
+	stop()
+	reg.Counter("stage.asm.scans").Inc()
 	prof := rec.Profile()
 	// Cross-check the IR-level scan against the assembly oracle: they must
 	// agree, or the provenance would attribute eliminations the oracle
@@ -64,7 +77,13 @@ func AnalyzeTraced(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *M
 // AnalyzeTracedObserved is AnalyzeTraced with an extra pipeline observer
 // chained after the trace recorder; extra may be nil.
 func AnalyzeTracedObserved(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, extra opt.Observer) (*Analysis, error) {
-	comp, prof, err := CompileTracedObserved(ins, cfg, extra)
+	return AnalyzeTracedMetered(ins, cfg, t, g, extra, nil)
+}
+
+// AnalyzeTracedMetered is AnalyzeTracedObserved with campaign telemetry
+// recorded into reg; a nil registry records nothing.
+func AnalyzeTracedMetered(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, extra opt.Observer, reg *metrics.Registry) (*Analysis, error) {
+	comp, prof, err := CompileTracedMetered(ins, cfg, extra, reg)
 	if err != nil {
 		return nil, err
 	}

@@ -18,12 +18,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"dcelens/internal/ast"
 	"dcelens/internal/cgen"
 	"dcelens/internal/core"
 	"dcelens/internal/harness"
 	"dcelens/internal/instrument"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 )
@@ -60,6 +62,21 @@ type Options struct {
 	// Checkpoint persists per-seed outcomes as they complete and skips
 	// seeds already present (campaign resume); nil disables checkpointing.
 	Checkpoint *harness.Checkpoint
+
+	// Metrics receives the campaign's telemetry: phase timers
+	// (generate/instrument/truth here, lower/opt/codegen in internal/core),
+	// the per-pass timing and changed-rate collectors, per-seed and
+	// per-unit duration histograms, and the failure-kind counters the
+	// heartbeat reads. Only freshly-analyzed seeds feed the registry;
+	// checkpoint-restored seeds count into "campaign.seeds.restored" and
+	// nothing else, so a resumed campaign never re-adds work it did not do
+	// (Stats rebuilds the campaign-wide totals from the outcomes instead).
+	// Nil disables all collection at zero per-pass cost.
+	Metrics *metrics.Registry
+	// Events receives the campaign's structured JSONL event stream:
+	// campaign/seed/unit begin-end, failures, and checkpoint writes, each a
+	// single JSON object with a monotonic sequence number. Nil disables it.
+	Events *metrics.EventLog
 }
 
 func (o *Options) fill() {
@@ -226,12 +243,15 @@ type Campaign struct {
 // Run executes a campaign.
 func Run(o Options) (*Campaign, error) {
 	o.fill()
-	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults}
+	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults, Metrics: o.Metrics}
 	if o.Checkpoint != nil {
 		if err := o.Checkpoint.Bind(campaignMeta(o)); err != nil {
 			return nil, err
 		}
 	}
+	o.Events.Emit("campaign_begin", map[string]any{
+		"programs": o.Programs, "base_seed": o.BaseSeed, "workers": o.Workers,
+	})
 
 	results := make([]*ProgramResult, o.Programs)
 	outcomes := make([]*SeedOutcome, o.Programs)
@@ -247,6 +267,7 @@ func Run(o Options) (*Campaign, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			seed := o.BaseSeed + int64(i)
+			o.Events.Emit("seed_begin", map[string]any{"seed": seed})
 			if o.Checkpoint != nil {
 				var restored SeedOutcome
 				ok, err := o.Checkpoint.Restore(seed, &restored)
@@ -255,16 +276,36 @@ func Run(o Options) (*Campaign, error) {
 					return
 				}
 				if ok {
+					// A restored seed contributes its checkpointed outcome
+					// to aggregation but adds nothing to the live registry
+					// beyond the restored count: its failures and timings
+					// belong to the process that computed them.
 					outcomes[i] = &restored
+					o.Metrics.Counter(metrics.CounterSeedsRestored).Inc()
+					o.Events.Emit("seed_end", map[string]any{
+						"seed": seed, "ok": restored.Ok, "restored": true,
+					})
 					return
 				}
 			}
+			start := time.Now()
 			r := analyzeProgram(o, h, seed)
-			results[i] = r
 			outcomes[i] = outcomeOf(o, r)
+			results[i] = r
+			d := time.Since(start)
+			o.Metrics.Histogram("campaign.seed").Observe(d)
+			o.Metrics.Counter(metrics.CounterSeedsAnalyzed).Inc()
+			countFailures(o.Metrics, outcomes[i].Failures)
 			if o.Checkpoint != nil {
 				errs[i] = o.Checkpoint.Save(seed, outcomes[i])
+				if errs[i] == nil {
+					o.Events.Emit("checkpoint", map[string]any{"seed": seed})
+				}
 			}
+			o.Events.Emit("seed_end", map[string]any{
+				"seed": seed, "ok": outcomes[i].Ok,
+				"failures": len(outcomes[i].Failures), "d_us": d.Microseconds(),
+			})
 		}()
 	}
 	wg.Wait()
@@ -276,7 +317,32 @@ func Run(o Options) (*Campaign, error) {
 
 	c := &Campaign{Opts: o, Programs: results, Outcomes: outcomes}
 	c.aggregate()
+	o.Events.Emit("campaign_end", map[string]any{
+		"seeds": len(c.Outcomes), "failures": len(c.Stats.Failures),
+	})
 	return c, nil
+}
+
+// countFailures increments the campaign failure-kind counters the
+// heartbeat reads. Called only for freshly-analyzed seeds: restored seeds'
+// failures reach the final report via Stats aggregation, so re-adding them
+// here would double-count them in any view that combines both.
+func countFailures(reg *metrics.Registry, failures []harness.Failure) {
+	if reg == nil {
+		return
+	}
+	for i := range failures {
+		switch failures[i].Kind {
+		case harness.KindCrash:
+			reg.Counter(metrics.CounterCrashes).Inc()
+		case harness.KindTimeout:
+			reg.Counter(metrics.CounterTimeouts).Inc()
+		case harness.KindMiscompile:
+			reg.Counter(metrics.CounterMiscompiles).Inc()
+		case harness.KindInfeasible:
+			reg.Counter(metrics.CounterInfeasible).Inc()
+		}
+	}
 }
 
 // analyzeProgram runs one seed's full unit of work under the harness:
@@ -286,13 +352,21 @@ func Run(o Options) (*Campaign, error) {
 func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
 	r := &ProgramResult{Seed: seed, PerCfg: map[ConfigKey]*core.Analysis{}}
 	if fail := h.Protect(seed, "", "", func(opt.Observer) error {
+		stop := o.Metrics.Time(metrics.PhaseGenerate)
 		prog := cgen.Generate(o.GenConfig(seed))
+		stop()
+		o.Metrics.Counter("stage.cgen.programs").Inc()
+		stop = o.Metrics.Time(metrics.PhaseInstrument)
 		ins, err := instrument.Instrument(prog, instrument.Options{})
+		stop()
 		if err != nil {
 			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
 		}
 		r.Ins = ins
+		stop = o.Metrics.Time(metrics.PhaseTruth)
 		r.Truth, err = core.GroundTruth(ins)
+		stop()
+		o.Metrics.Counter("stage.interp.runs").Inc()
 		if err != nil {
 			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
 		}
@@ -304,6 +378,7 @@ func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
 	}); fail != nil {
 		r.Err = fmt.Errorf("seed %d: %s: %s", seed, fail.Kind, fail.Message)
 		r.Failures = append(r.Failures, *fail)
+		o.Events.Emit("failure", failureFields(fail))
 		return r
 	}
 
@@ -322,22 +397,35 @@ func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
 			}
 			if fail != nil {
 				r.Failures = append(r.Failures, *fail)
+				o.Events.Emit("failure", failureFields(fail))
 			}
 		}
 	}
 	return r
 }
 
+// failureFields renders a failure's identity for the event log.
+func failureFields(f *harness.Failure) map[string]any {
+	fields := map[string]any{
+		"seed": f.Seed, "kind": f.Kind.String(), "signature": f.Signature,
+	}
+	if f.Config != "" {
+		fields["config"] = f.Config
+	}
+	return fields
+}
+
 // runConfig compiles and analyzes one configuration under the harness.
 func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool) *harness.Failure {
 	cfg := pipeline.New(key.Personality, key.Level)
-	return h.Protect(r.Seed, key.String(), src, func(obs opt.Observer) error {
+	o.Events.Emit("unit_begin", map[string]any{"seed": r.Seed, "config": key.String()})
+	fail := h.Protect(r.Seed, key.String(), src, func(obs opt.Observer) error {
 		var an *core.Analysis
 		var err error
 		if traced {
-			an, err = core.AnalyzeTracedObserved(r.Ins, cfg, r.Truth, r.Graph, obs)
+			an, err = core.AnalyzeTracedMetered(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics)
 		} else {
-			an, err = core.AnalyzeObserved(r.Ins, cfg, r.Truth, r.Graph, obs)
+			an, err = core.AnalyzeMetered(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics)
 		}
 		if err != nil {
 			return err
@@ -350,6 +438,11 @@ func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, s
 		r.PerCfg[key] = an
 		return nil
 	})
+	o.Metrics.Counter(metrics.CounterUnits).Inc()
+	o.Events.Emit("unit_end", map[string]any{
+		"seed": r.Seed, "config": key.String(), "ok": fail == nil,
+	})
+	return fail
 }
 
 // aggregate derives Stats and Findings from the seed outcomes alone, so a

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
+	"dcelens/internal/pipeline"
+)
+
+// TestResumeDoesNotDoubleCountMetrics is the resume-accounting satellite: a
+// checkpoint-resumed campaign must not re-add restored seeds' work to the
+// live registry. The registry counts only what this process did (fresh
+// seeds into seeds.analyzed, restored ones into seeds.restored), while
+// Stats rebuilds the campaign-wide totals from the checkpointed outcomes —
+// so the two partial registries partition the uninterrupted one's counts
+// exactly, and Stats still reports the full campaign.
+func TestResumeDoesNotDoubleCountMetrics(t *testing.T) {
+	// Two injected crashes: seed 101 lands in the pre-kill prefix, seed 104
+	// in the resumed suffix.
+	faults, err := harness.ParseFaults("panic:gvn:101:gcc-sim -O3,panic:gvn:104:gcc-sim -O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Programs: 5, BaseSeed: 100, Faults: faults}
+
+	regFull := metrics.New()
+	full := base
+	full.Metrics = regFull
+	uninterrupted, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uninterrupted.Stats.Crashes != 2 {
+		t.Fatalf("uninterrupted crashes = %d, want 2", uninterrupted.Stats.Crashes)
+	}
+
+	// "Kill" after two seeds, checkpointing them.
+	path := filepath.Join(t.TempDir(), "cp.json")
+	regA := metrics.New()
+	partial := base
+	partial.Programs = 2
+	partial.Metrics = regA
+	partial.Checkpoint = harness.NewCheckpoint(path)
+	if _, err := Run(partial); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := harness.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB := metrics.New()
+	var events bytes.Buffer
+	resume := base
+	resume.Metrics = regB
+	resume.Checkpoint = cp
+	resume.Events = metrics.NewEventLog(&events)
+	resumed, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counter := func(reg *metrics.Registry, name string) int64 { return reg.Counter(name).Value() }
+
+	// The resumed registry counts only this process's work.
+	if got := counter(regB, metrics.CounterSeedsAnalyzed); got != 3 {
+		t.Errorf("resumed seeds.analyzed = %d, want 3 (fresh seeds only)", got)
+	}
+	if got := counter(regB, metrics.CounterSeedsRestored); got != 2 {
+		t.Errorf("resumed seeds.restored = %d, want 2", got)
+	}
+	if got := counter(regB, metrics.CounterCrashes); got != 1 {
+		t.Errorf("resumed crash counter = %d, want 1 (seed 104 only; 101 was restored)", got)
+	}
+	wantUnits := 3 * int64(2*len(pipeline.Levels))
+	if got := counter(regB, metrics.CounterUnits); got != wantUnits {
+		t.Errorf("resumed units = %d, want %d (restored seeds recompile nothing)", got, wantUnits)
+	}
+	if got := regB.Histogram("campaign.seed").Count(); got != 3 {
+		t.Errorf("resumed campaign.seed observations = %d, want 3", got)
+	}
+
+	// The two partial registries partition the uninterrupted run's counts.
+	for _, name := range []string{
+		metrics.CounterSeedsAnalyzed, metrics.CounterUnits,
+		metrics.CounterCrashes, metrics.CounterTimeouts,
+	} {
+		if got, want := counter(regA, name)+counter(regB, name), counter(regFull, name); got != want {
+			t.Errorf("%s: partial sum %d != uninterrupted %d", name, got, want)
+		}
+	}
+
+	// Stats still reports the whole campaign: aggregation comes from the
+	// outcomes, not the registry.
+	if resumed.Stats.Crashes != uninterrupted.Stats.Crashes {
+		t.Errorf("resumed Stats.Crashes = %d, want %d", resumed.Stats.Crashes, uninterrupted.Stats.Crashes)
+	}
+
+	// The event log marks restored seeds instead of replaying their units.
+	restoredEnds, failures := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if obj["event"] == "seed_end" && obj["restored"] == true {
+			restoredEnds++
+		}
+		if obj["event"] == "failure" {
+			failures++
+		}
+	}
+	if restoredEnds != 2 {
+		t.Errorf("restored seed_end events = %d, want 2", restoredEnds)
+	}
+	if failures != 1 {
+		t.Errorf("failure events = %d, want 1 (only the fresh crash)", failures)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"dcelens/internal/ir"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 )
 
@@ -109,6 +110,11 @@ type Harness struct {
 	StepBudget int
 	// Faults is the deterministic fault-injection plan; nil injects none.
 	Faults *Faults
+	// Metrics receives per-unit telemetry: every Protect call observes its
+	// wall time into the "harness.unit" histogram, and classified failures
+	// increment "harness.failures.<kind>". Nil disables the collection (and
+	// its per-unit time.Now calls) entirely.
+	Metrics *metrics.Registry
 }
 
 func (h *Harness) budget() int {
@@ -182,6 +188,17 @@ func (h *Harness) Protect(seed int64, config, source string, fn func(obs opt.Obs
 	g := &guard{seed: seed, budget: h.budget()}
 	if h != nil && h.Faults != nil {
 		g.faults = h.Faults.active(seed, config)
+	}
+	if h != nil && h.Metrics != nil {
+		// Registered before the recovery defer so it runs after it (LIFO)
+		// and sees the classified failure.
+		start := time.Now()
+		defer func() {
+			h.Metrics.Histogram("harness.unit").Observe(time.Since(start))
+			if fail != nil {
+				h.Metrics.Counter("harness.failures." + fail.Kind.String()).Inc()
+			}
+		}()
 	}
 	defer func() {
 		r := recover()

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog is a structured JSONL event stream: one JSON object per line,
+// with a monotonic sequence number assigned under the log's lock, so the
+// file totally orders the campaign's events even when workers emit
+// concurrently. Timestamps are milliseconds since the log was opened
+// (relative, so two logs of the same campaign differ only in timing fields,
+// never in identity fields).
+//
+// Event vocabulary (the "event" field): campaign_begin, seed_begin,
+// seed_end, unit_begin, unit_end, failure, checkpoint, campaign_end. A nil
+// *EventLog discards all emissions, so callers thread it unconditionally.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// NewEventLog writes events to w; if w is also an io.Closer, Close closes
+// it.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{w: w, start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Emit appends one event. The line carries seq, t_ms, and event first in
+// key-sorted JSON (encoding/json sorts map keys), then the caller's fields.
+// Reserved keys in fields are ignored. Nil-safe.
+func (l *EventLog) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.seq++
+	obj := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["seq"] = l.seq
+	obj["t_ms"] = time.Since(l.start).Milliseconds()
+	obj["event"] = event
+	b, err := json.Marshal(obj)
+	if err != nil {
+		l.err = fmt.Errorf("metrics: event %s: %w", event, err)
+		return
+	}
+	_, l.err = l.w.Write(append(b, '\n'))
+}
+
+// Seq returns the sequence number of the last emitted event (0 before the
+// first).
+func (l *EventLog) Seq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Close closes the underlying writer when it is closable and returns the
+// first write error the log swallowed, so campaigns can surface a broken
+// event stream at exit instead of silently truncating it. Nil-safe.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c != nil {
+		if cerr := l.c.Close(); l.err == nil {
+			l.err = cerr
+		}
+		l.c = nil
+	}
+	return l.err
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Campaign counter names the heartbeat (and the corpus layer feeding it)
+// agree on. internal/corpus increments these; anything watching a live
+// campaign reads them.
+const (
+	CounterSeedsAnalyzed = "campaign.seeds.analyzed"
+	CounterSeedsRestored = "campaign.seeds.restored"
+	CounterUnits         = "campaign.units"
+	CounterCrashes       = "campaign.failures.crash"
+	CounterTimeouts      = "campaign.failures.timeout"
+	CounterMiscompiles   = "campaign.failures.miscompile"
+	CounterInfeasible    = "campaign.failures.infeasible"
+)
+
+// Heartbeat periodically renders a one-line progress summary of a running
+// campaign from its registry counters: seeds done/total, throughput,
+// failure counts, and an ETA. It is purely an operator aid — nothing in the
+// deterministic report depends on it — and it degrades to silence when the
+// output is not an interactive terminal (see StderrIsTerminal) or the
+// campaign opts out with -quiet.
+type Heartbeat struct {
+	// Reg is the campaign registry the progress counters live in.
+	Reg *Registry
+	// Total is the campaign's seed count (the denominator and ETA basis).
+	Total int
+	// Out receives the progress lines (typically os.Stderr).
+	Out io.Writer
+	// Interval is the render period; <= 0 means 2s.
+	Interval time.Duration
+	// Tool prefixes each line, e.g. "dce-campaign".
+	Tool string
+}
+
+// Start launches the heartbeat goroutine and returns a stop function that
+// renders one final line and waits for the goroutine to exit. A nil
+// receiver, nil registry, or nil output yields a no-op stop.
+func (h *Heartbeat) Start() func() {
+	if h == nil || h.Reg == nil || h.Out == nil {
+		return nop
+	}
+	interval := h.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintln(h.Out, h.line(start))
+			case <-done:
+				fmt.Fprintln(h.Out, h.line(start))
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// line renders one progress summary.
+func (h *Heartbeat) line(start time.Time) string {
+	seeds := h.Reg.Counter(CounterSeedsAnalyzed).Value() + h.Reg.Counter(CounterSeedsRestored).Value()
+	crashes := h.Reg.Counter(CounterCrashes).Value()
+	timeouts := h.Reg.Counter(CounterTimeouts).Value()
+	elapsed := time.Since(start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(seeds) / elapsed
+	}
+	eta := "?"
+	if rate > 0 && h.Total > 0 && int(seeds) < h.Total {
+		d := time.Duration(float64(h.Total-int(seeds)) / rate * float64(time.Second))
+		eta = d.Round(time.Second).String()
+	} else if h.Total > 0 && int(seeds) >= h.Total {
+		eta = "done"
+	}
+	return fmt.Sprintf("%s: %d/%d seeds, %.1f seeds/s, %d crashes, %d timeouts, ETA %s",
+		h.Tool, seeds, h.Total, rate, crashes, timeouts, eta)
+}
+
+// StderrIsTerminal reports whether stderr is attached to an interactive
+// terminal (a character device). Redirected or piped campaigns — including
+// the test harness — are detected here and the heartbeat stays silent, so
+// log files never fill with progress chatter.
+func StderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the fixed upper bounds of the duration histogram, in
+// nanoseconds: powers of two from 1µs up to ~8.6s, plus an implicit
+// overflow bucket. Fixed boundaries (rather than per-run adaptive ones)
+// keep the rendered report's structure a pure function of the campaign
+// configuration: two runs differ only in per-bucket counts, never in which
+// rows or columns exist — which is what lets the deterministic rendering
+// mode redact values instead of whole tables.
+var bucketBounds = func() []int64 {
+	var b []int64
+	for ns := int64(time.Microsecond); ns <= int64(8*time.Second); ns *= 2 {
+		b = append(b, ns)
+	}
+	return b
+}()
+
+// numBuckets includes the overflow bucket for observations beyond the top
+// bound.
+var numBuckets = len(bucketBounds) + 1
+
+// Histogram is a fixed-bucket duration histogram. All updates are atomic;
+// a nil Histogram ignores observations. Reads taken while writers are
+// active are approximate (count, sum, and buckets are loaded independently)
+// — campaigns render after the run completes, where the view is exact.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets []atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, numBuckets)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// bucketIndex locates the first bucket whose upper bound holds ns; values
+// beyond the top bound land in the overflow bucket.
+func bucketIndex(ns int64) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(bucketBounds) for overflow
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Max returns the largest observation (0 for nil or empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the fixed buckets:
+// the upper bound of the bucket holding the q·count-th observation. An
+// estimate from the overflow bucket reports the observed maximum (there is
+// no finite upper bound to quote). Zero observations estimate 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == len(bucketBounds) {
+				return h.Max()
+			}
+			return time.Duration(bucketBounds[i])
+		}
+	}
+	return h.Max()
+}
+
+// P50, P90, and P99 are the summary quantiles the reports render.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+func (h *Histogram) P90() time.Duration { return h.Quantile(0.90) }
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }

@@ -1,0 +1,64 @@
+package opt
+
+import (
+	"time"
+
+	"dcelens/internal/ir"
+	"dcelens/internal/metrics"
+)
+
+// metricsObserver aggregates per-pass timing and changed-rates into a
+// metrics registry while observing a pipeline run — the performance dual of
+// trace.Recorder's provenance. Per pass name it feeds two collectors:
+//
+//	pass.<name>          duration histogram (one observation per instance)
+//	pass.<name>.changed  counter of instances that reported a change
+//
+// Unlike trace.Recorder it performs no IR scan — its per-pass cost is one
+// cached map lookup plus an atomic histogram update, which is what keeps
+// the fully-instrumented campaign path inside the overhead budget
+// (BenchmarkMetricsOverhead). One observer serves one compilation, so the
+// name cache stays goroutine-local; the registry behind it is shared and
+// concurrency-safe.
+type metricsObserver struct {
+	reg     *metrics.Registry
+	hists   map[string]*metrics.Histogram
+	changed map[string]*metrics.Counter
+}
+
+// MetricsObserver builds a per-compilation pass collector feeding reg. A
+// nil registry yields a nil Observer, which Observers drops — restoring the
+// unobserved fast path.
+func MetricsObserver(reg *metrics.Registry) Observer {
+	if reg == nil {
+		return nil
+	}
+	return &metricsObserver{
+		reg:     reg,
+		hists:   map[string]*metrics.Histogram{},
+		changed: map[string]*metrics.Counter{},
+	}
+}
+
+// BeginPipeline counts the compilation into the pipeline.runs counter.
+func (o *metricsObserver) BeginPipeline(m *ir.Module) {
+	o.reg.Counter("pipeline.runs").Inc()
+}
+
+// AfterPass records the instance's wall time and changed flag.
+func (o *metricsObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+	h := o.hists[pass]
+	if h == nil {
+		h = o.reg.Histogram("pass." + pass)
+		o.hists[pass] = h
+	}
+	h.Observe(d)
+	if changed {
+		c := o.changed[pass]
+		if c == nil {
+			c = o.reg.Counter("pass." + pass + ".changed")
+			o.changed[pass] = c
+		}
+		c.Inc()
+	}
+}

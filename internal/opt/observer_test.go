@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"dcelens/internal/ir"
+	"dcelens/internal/metrics"
+)
+
+// countObserver counts calls; the simplest live Observer.
+type countObserver struct{ begins, passes int }
+
+func (o *countObserver) BeginPipeline(m *ir.Module) {}
+
+func (o *countObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+	o.passes++
+}
+
+// TestObserversZeroSurvivorsIsNil is the regression test for the typed-nil
+// trap: Observers must return a true nil Observer when every argument is
+// nil — whether an untyped nil or a typed nil boxed into the interface.
+// Anything else breaks ObservedPipeline's `obs == nil` fast path and then
+// crashes on the first interface call.
+func TestObserversZeroSurvivorsIsNil(t *testing.T) {
+	var typedNil *countObserver
+	cases := []struct {
+		name string
+		obs  []Observer
+	}{
+		{"no args", nil},
+		{"untyped nils", []Observer{nil, nil}},
+		{"typed nil", []Observer{typedNil}},
+		{"typed nil from constructor", []Observer{MetricsObserver(nil)}},
+		{"mixed nils", []Observer{nil, typedNil, MetricsObserver(nil)}},
+	}
+	for _, tc := range cases {
+		if got := Observers(tc.obs...); got != nil {
+			t.Errorf("%s: Observers() = %T(%v), want untyped nil", tc.name, got, got)
+		}
+	}
+}
+
+// TestObserversDropsTypedNilsKeepsLive checks the composition keeps only
+// live observers: a single survivor comes back unwrapped, and typed nils
+// mixed with live observers neither crash nor dilute the fan-out.
+func TestObserversDropsTypedNilsKeepsLive(t *testing.T) {
+	var typedNil *countObserver
+	live := &countObserver{}
+
+	if got := Observers(nil, typedNil, live); got != live {
+		t.Fatalf("single survivor: got %T, want the observer itself", got)
+	}
+
+	a, b := &countObserver{}, &countObserver{}
+	multi := Observers(typedNil, a, nil, b)
+	multi.AfterPass(nil, "dce", 0, 0, true, 0)
+	if a.passes != 1 || b.passes != 1 {
+		t.Fatalf("fan-out: a=%d b=%d passes, want 1 each", a.passes, b.passes)
+	}
+}
+
+// TestMetricsObserverCollects checks the pass collector feeds the registry:
+// one histogram observation per instance, one changed increment per
+// changing instance.
+func TestMetricsObserverCollects(t *testing.T) {
+	reg := metrics.New()
+	obs := MetricsObserver(reg)
+	obs.BeginPipeline(nil)
+	obs.AfterPass(nil, "dce", 0, 0, true, time.Millisecond)
+	obs.AfterPass(nil, "dce", 1, 0, false, time.Millisecond)
+	obs.AfterPass(nil, "gvn", 2, 0, true, time.Millisecond)
+
+	if got := reg.Counter("pipeline.runs").Value(); got != 1 {
+		t.Errorf("pipeline.runs = %d, want 1", got)
+	}
+	if got := reg.Histogram("pass.dce").Count(); got != 2 {
+		t.Errorf("pass.dce count = %d, want 2", got)
+	}
+	if got := reg.Counter("pass.dce.changed").Value(); got != 1 {
+		t.Errorf("pass.dce.changed = %d, want 1", got)
+	}
+	if got := reg.Counter("pass.gvn.changed").Value(); got != 1 {
+		t.Errorf("pass.gvn.changed = %d, want 1", got)
+	}
+}

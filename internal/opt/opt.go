@@ -11,6 +11,7 @@ package opt
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"dcelens/internal/ir"
@@ -154,16 +155,24 @@ func (mo multiObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iter
 	}
 }
 
-// Observers composes observers into one, dropping nils. Zero survivors
-// yield nil (preserving the unobserved fast path) and a single survivor is
+// Observers composes observers into one, dropping nils — including typed
+// nils (a nil *trace.Recorder or *metricsObserver boxed into the
+// interface), which would otherwise both survive the composition and crash
+// on first call. Zero survivors yield a true nil Observer, preserving the
+// unobserved fast path: ObservedPipeline's nil check short-circuits and an
+// uninstrumented run pays no interface-call cost. A single survivor is
 // returned unwrapped. The harness chains its watchdog/fault observer with
-// the trace recorder through this.
+// the trace recorder and the metrics pass collector through this.
 func Observers(obs ...Observer) Observer {
 	var out multiObserver
 	for _, o := range obs {
-		if o != nil {
-			out = append(out, o)
+		if o == nil {
+			continue
 		}
+		if v := reflect.ValueOf(o); v.Kind() == reflect.Pointer && v.IsNil() {
+			continue
+		}
+		out = append(out, o)
 	}
 	switch len(out) {
 	case 0:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"dcelens/internal/ir"
+	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 )
 
@@ -97,6 +98,20 @@ func (c *Config) CompileObserved(m *ir.Module, obs opt.Observer) error {
 		return fmt.Errorf("%s: %w", c.Name(), err)
 	}
 	return nil
+}
+
+// CompileMetered is CompileObserved with campaign telemetry attached: the
+// whole middle-end run is timed into reg's "phase.opt" histogram and an
+// opt.MetricsObserver is chained after obs, feeding the per-pass timing
+// and changed-rate collectors. A nil registry degrades to CompileObserved
+// exactly (opt.Observers drops the nil collector), so callers thread reg
+// unconditionally.
+func (c *Config) CompileMetered(m *ir.Module, obs opt.Observer, reg *metrics.Registry) error {
+	if reg == nil {
+		return c.CompileObserved(m, obs)
+	}
+	defer reg.Time(metrics.PhaseOpt)()
+	return c.CompileObserved(m, opt.Observers(obs, opt.MetricsObserver(reg)))
 }
 
 // New returns the personality at the latest version for the given level.

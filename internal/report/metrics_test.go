@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcelens/internal/metrics"
+)
+
+// populate simulates one campaign's telemetry with run-dependent timings:
+// the identity data (names, counts, changed counts) is fixed, the durations
+// scale with jitter as they would across real runs.
+func populate(reg *metrics.Registry, jitter time.Duration) {
+	for i := 0; i < 10; i++ {
+		reg.Histogram("phase.lower").Observe(time.Millisecond + jitter)
+		reg.Histogram("phase.opt").Observe(10*time.Millisecond + 3*jitter)
+		reg.Histogram("pass.dce").Observe(100*time.Microsecond + jitter)
+		reg.Histogram("pass.gvn").Observe(300*time.Microsecond + jitter)
+	}
+	reg.Counter("pass.dce.changed").Add(4)
+	reg.Counter("pass.gvn.changed").Add(7)
+}
+
+// TestMetricsDeterministicRendering: two runs of the same campaign with
+// different wall-clock behaviour must render byte-identically in
+// deterministic mode — the property -metrics=deterministic promises.
+func TestMetricsDeterministicRendering(t *testing.T) {
+	a, b := metrics.NewDeterministic(), metrics.NewDeterministic()
+	populate(a, 0)
+	populate(b, 5*time.Millisecond) // same campaign, very different timings
+	ra, rb := Metrics(a), Metrics(b)
+	if ra != rb {
+		t.Errorf("deterministic renderings differ:\n--- a ---\n%s--- b ---\n%s", ra, rb)
+	}
+	if strings.Contains(ra, "ms") || strings.Contains(ra, "µs") {
+		t.Errorf("deterministic rendering leaks durations:\n%s", ra)
+	}
+	for _, want := range []string{"pass.dce", "dce", "gvn", "40.0%", "70.0%"} {
+		if !strings.Contains(ra, strings.TrimPrefix(want, "pass.")) {
+			t.Errorf("deterministic rendering missing %q:\n%s", want, ra)
+		}
+	}
+}
+
+// TestMetricsWallRendering: wall mode renders real durations, sorted
+// hottest-first.
+func TestMetricsWallRendering(t *testing.T) {
+	reg := metrics.New()
+	populate(reg, 0)
+	out := Metrics(reg)
+	if !strings.Contains(out, "Phase breakdown") || !strings.Contains(out, "Pass timing") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	if strings.Contains(out, " - ") {
+		t.Errorf("wall rendering redacted values:\n%s", out)
+	}
+	// gvn (300µs×10) outranks dce (100µs×10) in the hottest-first order.
+	if gvn, dce := strings.Index(out, "gvn"), strings.Index(out, "dce"); gvn > dce {
+		t.Errorf("wall mode should sort hottest-first (gvn before dce):\n%s", out)
+	}
+}
+
+// TestMetricsEmpty: nil and empty registries render the placeholder line,
+// not empty tables.
+func TestMetricsEmpty(t *testing.T) {
+	if got := Metrics(nil); !strings.Contains(got, "none recorded") {
+		t.Errorf("nil registry: %q", got)
+	}
+	if got := Metrics(metrics.New()); !strings.Contains(got, "none recorded") {
+		t.Errorf("empty registry: %q", got)
+	}
+}

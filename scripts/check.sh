@@ -16,5 +16,19 @@ go build ./...
 go test ./...
 
 # The campaign layer is the only concurrent code: re-run the harness and
-# corpus suites under the race detector.
-go test -race ./internal/harness ./internal/corpus
+# corpus suites under the race detector (the metrics registry and event log
+# are exercised by the corpus suite's resume test).
+go test -race ./internal/harness ./internal/corpus ./internal/metrics
+
+# Telemetry overhead smoke: the fully-instrumented unit must stay near the
+# uninstrumented one (~5% nominal budget; the gate is lenient because shared
+# CI machines add noise that dwarfs the real cost).
+go test -run '^$' -bench 'BenchmarkMetricsOverhead' -benchtime 2s . | awk '
+    /BenchmarkMetricsOverhead\/off/ { off = $3 }
+    /BenchmarkMetricsOverhead\/on/  { on = $3 }
+    END {
+        if (off == 0 || on == 0) { print "metrics overhead bench did not run" > "/dev/stderr"; exit 1 }
+        ratio = on / off
+        printf "metrics overhead: %.1f%% (budget ~5%%, gate 25%%)\n", (ratio - 1) * 100
+        if (ratio > 1.25) { print "metrics overhead exceeds the gate" > "/dev/stderr"; exit 1 }
+    }'
