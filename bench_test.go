@@ -15,6 +15,8 @@ package dcelens
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"sync"
@@ -29,6 +31,7 @@ import (
 	"dcelens/internal/ir"
 	"dcelens/internal/lower"
 	"dcelens/internal/metrics"
+	"dcelens/internal/monitor"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
@@ -411,6 +414,72 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 				}
 				_ = comp.Missed(truth)
 			}
+		}
+	})
+}
+
+// BenchmarkMonitorOverhead measures what live monitoring costs a campaign:
+// the "off" case runs the metered single-program unit (registry attached,
+// no server — the baseline a monitored campaign starts from), the "on" case
+// runs the identical unit with the monitoring server bound to a real socket,
+// the progress view and event tail wired, and a client polling /progress
+// each iteration — a far harsher poll cadence than a real dashboard. The
+// endpoints only read atomics behind the progress mutex, so "on" must stay
+// within the ~5% budget scripts/check.sh smoke-tests.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	unit := func(b *testing.B, seed int64, reg *metrics.Registry) {
+		b.Helper()
+		stop := reg.Time(metrics.PhaseGenerate)
+		prog := Generate(seed)
+		stop()
+		ins, err := Instrument(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop = reg.Time(metrics.PhaseTruth)
+		truth, err := GroundTruth(ins)
+		stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []*Compiler{GCC(O3), LLVM(O3)} {
+			comp, err := core.CompileMetered(ins, cfg, nil, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = comp.Missed(truth)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		reg := metrics.New()
+		for i := 0; i < b.N; i++ {
+			unit(b, int64(6000+i), reg)
+			reg.Counter(metrics.CounterSeedsAnalyzed).Inc()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := metrics.New()
+		prog := harness.NewProgress(b.N, 1, reg)
+		events := metrics.NewEventLog(io.Discard)
+		events.KeepTail(4096)
+		run, err := monitor.Start("127.0.0.1:0", monitor.New("bench", reg, prog, events))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer run.Close()
+		url := "http://" + run.Addr() + "/progress"
+		client := &http.Client{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			unit(b, int64(6000+i), reg)
+			reg.Counter(metrics.CounterSeedsAnalyzed).Inc()
+			events.Emit("seed_end", map[string]any{"seed": 6000 + i})
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 		}
 	})
 }

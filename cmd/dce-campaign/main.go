@@ -11,24 +11,33 @@
 //	dce-campaign -n 50 -checkpoint cp.json -resume  # skip completed seeds
 //	dce-campaign -n 20 -inject panic:gvn:5,stall:licm:7
 //	dce-campaign -n 20 -halt-after 10 -checkpoint cp.json  # simulate a kill
+//	dce-campaign -n 50 -serve 127.0.0.1:8080        # live monitoring HTTP
+//	dce-campaign -n 50 -history runs/               # run-history snapshot
 //
 // The report (stdout) is deterministic for a given configuration: a
 // resumed campaign prints byte-identical output to an uninterrupted one.
 // Crash reproducers can be persisted with -repro-dir for dce-reduce.
+// -serve exposes /healthz, /metrics, /progress, /findings, and
+// /events?since=N while the campaign runs; -history leaves a fingerprinted
+// snapshot behind for dce-trend's cross-run diffing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"dcelens"
 	"dcelens/internal/cli"
 	"dcelens/internal/harness"
+	"dcelens/internal/history"
 	"dcelens/internal/metrics"
+	"dcelens/internal/monitor"
 	"dcelens/internal/report"
 )
 
@@ -51,6 +60,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the live progress heartbeat")
 	hbInterval := flag.Duration("heartbeat", 2*time.Second, "heartbeat render interval (heartbeat shows only on an interactive stderr)")
 	prof := cli.Profiling()
+	mon := cli.Monitoring()
 	flag.Parse()
 	defer prof.Start(tool)()
 
@@ -102,26 +112,44 @@ func main() {
 		cli.Usagef(tool, "unknown -metrics mode %q (want off, wall, or deterministic)", *metricsMode)
 	}
 	showHeartbeat := !*quiet && metrics.StderrIsTerminal()
-	if showHeartbeat && reg == nil {
-		// The heartbeat reads progress counters, so it needs a registry even
-		// when the report section stays off.
+	if (showHeartbeat || mon.Serving()) && reg == nil {
+		// The heartbeat and the monitor read progress counters, so they
+		// need a registry even when the report section stays off.
 		reg = dcelens.NewMetrics()
 	}
 	opts.Metrics = reg
 
 	var events *dcelens.EventLog
 	if *eventsPath != "" {
-		f, err := os.Create(*eventsPath)
+		var err error
+		events, err = metrics.OpenEventLog(*eventsPath, *resume)
 		if err != nil {
 			cli.Fail(tool, err)
 		}
-		events = dcelens.NewEventLog(f)
+		opts.Events = events
+	} else if mon.Serving() {
+		// /events needs a log even when none is persisted to disk.
+		events = dcelens.NewEventLog(io.Discard)
 		opts.Events = events
 	}
+	if mon.Serving() {
+		events.KeepTail(4096)
+	}
+
+	var prog *harness.Progress
+	if showHeartbeat || mon.Serving() {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		prog = harness.NewProgress(opts.Programs, w, reg)
+		opts.Progress = prog
+	}
+	defer mon.Serve(tool, monitor.New(tool, reg, prog, events))()
 
 	stopHeartbeat := func() {}
 	if showHeartbeat {
-		hb := &metrics.Heartbeat{Reg: reg, Total: opts.Programs, Out: os.Stderr, Interval: *hbInterval, Tool: tool}
+		hb := &metrics.Heartbeat{Reg: reg, Total: opts.Programs, Out: os.Stderr, Interval: *hbInterval, Tool: tool, Progress: prog}
 		stopHeartbeat = hb.Start()
 	}
 
@@ -145,6 +173,9 @@ func main() {
 		fmt.Printf("campaign halted after %d seeds (checkpointed)\n", opts.Programs)
 		return
 	}
+	// A halted campaign never snapshots: its partial finding set would diff
+	// as a wave of spurious fixes against the full runs around it.
+	mon.WriteSnapshot(tool, history.NewSnapshot(tool, c, reg))
 	fmt.Print(dcelens.Report(c))
 	if len(c.Stats.Failures) == 0 {
 		// Summary includes the failure section only when something failed;

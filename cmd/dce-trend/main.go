@@ -1,0 +1,58 @@
+// dce-trend diffs run-history snapshots (dce-campaign -history) across a
+// campaign sequence: which fingerprinted findings appeared, which were
+// fixed, which persist, and which metrics regressed. This is the
+// longitudinal workflow of the paper — campaigns run continuously across
+// compiler versions, and the trajectory of findings (not any single run) is
+// what gets reported.
+//
+// Usage:
+//
+//	dce-trend runs/run-a.json runs/run-b.json           # one delta
+//	dce-trend runs/run-a.json runs/run-b.json runs/run-c.json
+//	dce-trend -rate-drop 0.01 -time-grow 1.0 old.json new.json
+//
+// Snapshots are given oldest first; each consecutive pair renders one trend
+// section. Exit status 0 regardless of findings (the diff is a report, not
+// a gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dcelens/internal/cli"
+	"dcelens/internal/history"
+	"dcelens/internal/report"
+)
+
+const tool = "dce-trend"
+
+func main() {
+	rateDrop := flag.Float64("rate-drop", 0, "elimination-rate drop flagged as a regression (0: default 0.005)")
+	timeGrow := flag.Float64("time-grow", 0, "fractional pass-time growth flagged as a regression (0: default 0.5)")
+	prof := cli.Profiling()
+	flag.Parse()
+	defer prof.Start(tool)()
+
+	paths := flag.Args()
+	if len(paths) < 2 {
+		cli.Usagef(tool, "need at least two snapshot files (oldest first); got %d", len(paths))
+	}
+	snaps := make([]*history.Snapshot, len(paths))
+	for i, p := range paths {
+		s, err := history.Load(p)
+		if err != nil {
+			cli.Fail(tool, err)
+		}
+		snaps[i] = s
+	}
+	opts := history.DiffOptions{RateDrop: *rateDrop, TimeGrow: *timeGrow}
+	for i := 1; i < len(snaps); i++ {
+		if i > 1 {
+			fmt.Println()
+		}
+		d := history.Diff(snaps[i-1], snaps[i], opts)
+		d.OldLabel, d.NewLabel = paths[i-1], paths[i]
+		fmt.Print(report.Trend(d))
+	}
+}

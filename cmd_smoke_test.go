@@ -4,7 +4,11 @@
 package dcelens
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
@@ -256,6 +261,261 @@ func TestCmdCampaignEvents(t *testing.T) {
 	}
 }
 
+// TestCmdCampaignEventsResumeSeq: resuming a halted campaign with the same
+// -events file appends to it and continues the monotonic sequence, so the
+// combined log reads as one totally-ordered stream (the resume-continuity
+// regression test).
+func TestCmdCampaignEventsResumeSeq(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	cp := filepath.Join(dir, "cp.json")
+	runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300",
+		"-halt-after", "2", "-checkpoint", cp, "-events", events)
+	runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300",
+		"-resume", "-checkpoint", cp, "-events", events)
+
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	begins := 0
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		seq, ok := obj["seq"].(float64)
+		if !ok || int64(seq) != int64(i+1) {
+			t.Fatalf("line %d seq = %v, want %d (monotonic across -resume, no restart)",
+				i+1, obj["seq"], i+1)
+		}
+		if obj["event"] == "campaign_begin" {
+			begins++
+		}
+	}
+	if begins != 2 {
+		t.Errorf("combined log has %d campaign_begin events, want 2 (one per process)", begins)
+	}
+	if !strings.Contains(lines[len(lines)-1], "campaign_end") {
+		t.Errorf("last event is not campaign_end: %s", lines[len(lines)-1])
+	}
+}
+
+// TestCmdCampaignServe: a campaign started with -serve answers every
+// monitoring endpoint over real TCP while seeds are still executing.
+func TestCmdCampaignServe(t *testing.T) {
+	bin := filepath.Join(buildCommands(t), "dce-campaign")
+	// A long single-worker campaign so the endpoints are queried mid-run.
+	cmd := exec.Command(bin, "-n", "500", "-seed", "100", "-workers", "1",
+		"-quiet", "-serve", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// The server announces its resolved ephemeral address on stderr.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "monitoring on http://"); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no monitoring address announced (scan err %v)", sc.Err())
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// Wait for the first seed to land (registry names appear on first use),
+	// then require the campaign to still be mid-run.
+	var prog struct {
+		SeedsTotal int `json:"seeds_total"`
+		SeedsDone  int `json:"seeds_done"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := get("/progress")
+		if code != 200 {
+			t.Fatalf("/progress = %d %q", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &prog); err != nil {
+			t.Fatalf("/progress body %q: %v", body, err)
+		}
+		if prog.SeedsDone >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no seed completed within 30s (%d/%d)", prog.SeedsDone, prog.SeedsTotal)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if prog.SeedsTotal != 500 {
+		t.Errorf("/progress seeds_total = %d, want 500", prog.SeedsTotal)
+	}
+	if prog.SeedsDone >= prog.SeedsTotal {
+		t.Errorf("/progress queried after completion (%d/%d); campaign too short for a live check",
+			prog.SeedsDone, prog.SeedsTotal)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "dcelens_campaign_seeds_analyzed") {
+		t.Errorf("/metrics = %d, missing seed counter:\n%s", code, body)
+	}
+	if code, body := get("/findings"); code != 200 || !strings.Contains(body, `"count"`) {
+		t.Errorf("/findings = %d %q", code, body)
+	}
+
+	// /events?since=N resumes the tail without duplicates.
+	code, body := get("/events?since=0")
+	if code != 200 || len(strings.TrimSpace(body)) == 0 {
+		t.Fatalf("/events = %d, empty tail (campaign is mid-run)", code)
+	}
+	first := strings.Split(strings.TrimSpace(body), "\n")
+	var last struct {
+		Seq int64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(first[len(first)-1]), &last); err != nil {
+		t.Fatalf("last event line %q: %v", first[len(first)-1], err)
+	}
+	if code, body := get(fmt.Sprintf("/events?since=%d", last.Seq)); code != 200 {
+		t.Errorf("/events resume = %d %q", code, body)
+	} else {
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if line == "" {
+				continue
+			}
+			var e struct {
+				Seq int64 `json:"seq"`
+			}
+			if err := json.Unmarshal([]byte(line), &e); err != nil || e.Seq <= last.Seq {
+				t.Fatalf("resumed event %q (err %v): seq not beyond %d", line, err, last.Seq)
+			}
+		}
+	}
+	if code, _ := get("/events?since=bogus"); code != 400 {
+		t.Errorf("/events?since=bogus = %d, want 400", code)
+	}
+}
+
+// TestCmdCampaignHistoryDeterminism: -metrics=deterministic -history
+// snapshots are byte-identical across identical runs, landing under the
+// same content-addressed name.
+func TestCmdCampaignHistoryDeterminism(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var paths [2]string
+	var bodies [2][]byte
+	for i, dir := range dirs {
+		runCmdStdout(t, "dce-campaign", "-n", "2", "-seed", "300",
+			"-quiet", "-metrics", "deterministic", "-history", dir)
+		files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("run %d wrote %v (%v), want one snapshot", i+1, files, err)
+		}
+		paths[i] = filepath.Base(files[0])
+		if bodies[i], err = os.ReadFile(files[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if paths[0] != paths[1] {
+		t.Errorf("content-addressed names differ: %s vs %s", paths[0], paths[1])
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Errorf("deterministic snapshots differ:\n--- run 1\n%s\n--- run 2\n%s", bodies[0], bodies[1])
+	}
+}
+
+// TestCmdTrendNewAndFixed is the longitudinal acceptance path: a finding
+// present only in the middle run of three must classify as new in the
+// second snapshot and fixed in the third.
+func TestCmdTrendNewAndFixed(t *testing.T) {
+	// Seeds 300-301 yield two findings; adding seed 302 (-n 3) contributes
+	// two more, which disappear again when the third run drops back to -n 2.
+	snapshot := func(n string) string {
+		t.Helper()
+		dir := t.TempDir()
+		runCmdStdout(t, "dce-campaign", "-n", n, "-seed", "300",
+			"-quiet", "-metrics", "deterministic", "-history", dir)
+		files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("campaign -n %s wrote %v (%v)", n, files, err)
+		}
+		return files[0]
+	}
+	run1, run2, run3 := snapshot("2"), snapshot("3"), snapshot("2")
+
+	out := runCmdStdout(t, "dce-trend", run1, run2, run3)
+	sections := strings.Split(out, "\n\n")
+	if len(sections) != 2 {
+		t.Fatalf("trend over 3 snapshots rendered %d sections, want 2:\n%s", len(sections), out)
+	}
+	if !strings.Contains(sections[0], "2 new, 0 fixed, 2 persistent") {
+		t.Errorf("run1->run2 classification wrong:\n%s", sections[0])
+	}
+	if !strings.Contains(sections[0], "New findings") {
+		t.Errorf("run1->run2 missing the new-findings table:\n%s", sections[0])
+	}
+	if !strings.Contains(sections[1], "0 new, 2 fixed, 2 persistent") {
+		t.Errorf("run2->run3 classification wrong:\n%s", sections[1])
+	}
+	if !strings.Contains(sections[1], "Fixed findings") {
+		t.Errorf("run2->run3 missing the fixed-findings table:\n%s", sections[1])
+	}
+	// The corpora differ in size, so the differ must flag comparability.
+	if !strings.Contains(out, "corpus size differs") {
+		t.Errorf("trend output missing the config-mismatch note:\n%s", out)
+	}
+	// The same fingerprints must appear in both classifications: what was
+	// new in run 2 is exactly what is fixed in run 3.
+	var newFP, fixedFP []string
+	for _, sec := range []struct {
+		text  string
+		title string
+		out   *[]string
+	}{{sections[0], "New findings", &newFP}, {sections[1], "Fixed findings", &fixedFP}} {
+		in := false
+		for _, line := range strings.Split(sec.text, "\n") {
+			switch {
+			case strings.HasPrefix(line, sec.title):
+				in = true
+			case in && strings.HasPrefix(line, "  ") && !strings.Contains(line, "Fingerprint"):
+				*sec.out = append(*sec.out, strings.Fields(line)[0])
+			case in && !strings.HasPrefix(line, "  "):
+				in = false
+			}
+		}
+	}
+	if len(newFP) != 2 || len(fixedFP) != 2 || newFP[0] != fixedFP[0] || newFP[1] != fixedFP[1] {
+		t.Errorf("new fingerprints %v != fixed fingerprints %v", newFP, fixedFP)
+	}
+
+	// Identical snapshots: everything persistent, nothing flagged.
+	same := runCmdStdout(t, "dce-trend", run1, run3)
+	if !strings.Contains(same, "0 new, 0 fixed, 2 persistent") ||
+		!strings.Contains(same, "Metric regressions: none") {
+		t.Errorf("identical-run trend:\n%s", same)
+	}
+}
+
 // TestCmdCampaignQuietAndMetrics: -quiet runs cleanly, -metrics=wall
 // appends the telemetry section, and -metrics=deterministic makes the whole
 // stdout byte-identical across two identical runs.
@@ -311,6 +571,12 @@ func TestCmdExitCodes(t *testing.T) {
 	}
 	if code := exitCode(t, "dce-find", "-file", filepath.Join(t.TempDir(), "absent.c")); code != 1 {
 		t.Errorf("dce-find missing file: exit %d, want 1", code)
+	}
+	if code := exitCode(t, "dce-trend"); code != 2 {
+		t.Errorf("dce-trend without snapshots: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-trend", filepath.Join(t.TempDir(), "a.json"), filepath.Join(t.TempDir(), "b.json")); code != 1 {
+		t.Errorf("dce-trend missing snapshot files: exit %d, want 1", code)
 	}
 }
 

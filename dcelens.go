@@ -30,8 +30,10 @@ import (
 	"dcelens/internal/core"
 	"dcelens/internal/corpus"
 	"dcelens/internal/harness"
+	"dcelens/internal/history"
 	"dcelens/internal/instrument"
 	"dcelens/internal/metrics"
+	"dcelens/internal/monitor"
 	"dcelens/internal/parser"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
@@ -356,6 +358,62 @@ func NewEventLog(w io.Writer) *EventLog { return metrics.NewEventLog(w) }
 // ReportMetrics renders a registry's phase breakdown and campaign-wide
 // pass-time table (total/mean/p50/p90/p99 per pass).
 func ReportMetrics(reg *MetricsRegistry) string { return report.Metrics(reg) }
+
+// ---------------------------------------------------------------------------
+// Live monitoring and run history
+
+// CampaignProgress is the live, lock-guarded view of a running campaign
+// (CampaignOptions.Progress): seeds done, findings so far, failure counts,
+// and the ETA shared by the heartbeat and the monitor server.
+type CampaignProgress = harness.Progress
+
+// NewCampaignProgress starts tracking a campaign of total seeds on workers
+// parallel workers, reading counters from reg.
+func NewCampaignProgress(total, workers int, reg *MetricsRegistry) *CampaignProgress {
+	return harness.NewProgress(total, workers, reg)
+}
+
+// MonitorServer is the embedded campaign monitoring HTTP server
+// (dce-campaign -serve): /healthz, /metrics (JSON + Prometheus text),
+// /progress, /findings, and /events?since=N.
+type MonitorServer = monitor.Server
+
+// NewMonitor assembles a monitoring server over a campaign's registry,
+// progress view, and event log; serve its Handler() or pass it to
+// monitor.Start.
+func NewMonitor(tool string, reg *MetricsRegistry, p *CampaignProgress, events *EventLog) *MonitorServer {
+	return monitor.New(tool, reg, p, events)
+}
+
+// RunSnapshot is one campaign's persisted run-history record: configuration,
+// elimination rates, failure counts, and fingerprinted findings
+// (dce-campaign -history, dce-trend).
+type RunSnapshot = history.Snapshot
+
+// NewRunSnapshot condenses a finished campaign into its history snapshot.
+// Snapshots of -metrics=deterministic campaigns are byte-identical across
+// identical runs.
+func NewRunSnapshot(tool string, c *Campaign, reg *MetricsRegistry) *RunSnapshot {
+	return history.NewSnapshot(tool, c, reg)
+}
+
+// FingerprintFinding derives a finding's stable cross-run identity: a hash
+// of its kind, configuration, primariness, and structural context — never
+// the seed or marker name — so corpus renumbering and test-case reduction
+// preserve it.
+func FingerprintFinding(f Finding) string { return history.Fingerprint(f) }
+
+// TrendDelta classifies two runs' findings as new, fixed, or persistent and
+// lists metric regressions.
+type TrendDelta = history.Delta
+
+// DiffSnapshots diffs two run snapshots (oldest first).
+func DiffSnapshots(old, new *RunSnapshot, o history.DiffOptions) *TrendDelta {
+	return history.Diff(old, new, o)
+}
+
+// ReportTrend renders a cross-run delta as dce-trend prints it.
+func ReportTrend(d *TrendDelta) string { return report.Trend(d) }
 
 // ---------------------------------------------------------------------------
 // Reports

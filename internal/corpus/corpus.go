@@ -77,6 +77,11 @@ type Options struct {
 	// campaign/seed/unit begin-end, failures, and checkpoint writes, each a
 	// single JSON object with a monotonic sequence number. Nil disables it.
 	Events *metrics.EventLog
+	// Progress receives the live campaign view the heartbeat and the
+	// monitor server read: findings are appended as each seed completes
+	// (restored seeds included — the live view reflects the whole
+	// campaign). Nil disables it.
+	Progress *harness.Progress
 }
 
 func (o *Options) fill() {
@@ -162,6 +167,35 @@ type Finding struct {
 	Personality pipeline.Personality // the compiler that missed
 	Level       pipeline.Level       // the level at which it missed
 	Primary     bool
+	// Context is the marker's structural neighbourhood in the marker CFG
+	// (predecessor liveness classes), captured at discovery time. It is the
+	// seed- and name-independent part of the finding's identity: the
+	// internal/history fingerprint hashes Kind, Personality, Level,
+	// Primary, and Context — never Seed or Marker — so renumbering the
+	// corpus or reducing the program does not change the fingerprint.
+	Context string `json:"context,omitempty"`
+}
+
+// findingContext renders a marker's structural neighbourhood: how many of
+// its marker-CFG predecessors are the live root, alive, dead-but-eliminated
+// by the missing compiler, or dead-and-also-missed. The classification uses
+// counts (not names) so it survives marker renumbering across seeds.
+func findingContext(g *core.MarkerCFG, t *core.Truth, missedSet map[string]bool, marker string) string {
+	var root, alive, deadElim, deadMissed int
+	for _, p := range g.Preds[marker] {
+		switch {
+		case p == core.LiveRoot:
+			root++
+		case t.Alive[p]:
+			alive++
+		case missedSet[p]:
+			deadMissed++
+		default:
+			deadElim++
+		}
+	}
+	return fmt.Sprintf("preds[root=%d alive=%d dead-elim=%d dead-missed=%d]",
+		root, alive, deadElim, deadMissed)
 }
 
 // findingLess is the total order campaign findings are reported in.
@@ -282,6 +316,7 @@ func Run(o Options) (*Campaign, error) {
 					// belong to the process that computed them.
 					outcomes[i] = &restored
 					o.Metrics.Counter(metrics.CounterSeedsRestored).Inc()
+					progressFindings(o.Progress, restored.Findings)
 					o.Events.Emit("seed_end", map[string]any{
 						"seed": seed, "ok": restored.Ok, "restored": true,
 					})
@@ -293,9 +328,10 @@ func Run(o Options) (*Campaign, error) {
 			outcomes[i] = outcomeOf(o, r)
 			results[i] = r
 			d := time.Since(start)
-			o.Metrics.Histogram("campaign.seed").Observe(d)
+			o.Metrics.Histogram(metrics.HistCampaignSeed).Observe(d)
 			o.Metrics.Counter(metrics.CounterSeedsAnalyzed).Inc()
 			countFailures(o.Metrics, outcomes[i].Failures)
+			progressFindings(o.Progress, outcomes[i].Findings)
 			if o.Checkpoint != nil {
 				errs[i] = o.Checkpoint.Save(seed, outcomes[i])
 				if errs[i] == nil {
@@ -321,6 +357,19 @@ func Run(o Options) (*Campaign, error) {
 		"seeds": len(c.Outcomes), "failures": len(c.Stats.Failures),
 	})
 	return c, nil
+}
+
+// progressFindings publishes a completed seed's findings to the live
+// progress view.
+func progressFindings(p *harness.Progress, fs []Finding) {
+	if p == nil || len(fs) == 0 {
+		return
+	}
+	anys := make([]any, len(fs))
+	for i, f := range fs {
+		anys[i] = f
+	}
+	p.AddFindings(anys...)
 }
 
 // countFailures increments the campaign failure-kind counters the
@@ -574,10 +623,15 @@ func diffFindings(o Options, r *ProgramResult) []Finding {
 		for _, m := range primary {
 			prim[m] = true
 		}
+		missedSet := map[string]bool{}
+		for _, m := range missed {
+			missedSet[m] = true
+		}
 		for _, m := range missed {
 			out = append(out, Finding{
 				Kind: KindCompilerDiff, Seed: r.Seed, Marker: m,
 				Personality: missedBy, Level: pipeline.O3, Primary: prim[m],
+				Context: findingContext(r.Graph, r.Truth, missedSet, m),
 			})
 		}
 	}
@@ -610,10 +664,15 @@ func levelFindings(o Options, r *ProgramResult) []Finding {
 		for _, m := range primary {
 			prim[m] = true
 		}
+		missedSet := map[string]bool{}
+		for _, m := range missed {
+			missedSet[m] = true
+		}
 		for _, m := range missed {
 			out = append(out, Finding{
 				Kind: KindLevelDiff, Seed: r.Seed, Marker: m,
 				Personality: p, Level: pipeline.O3, Primary: prim[m],
+				Context: findingContext(r.Graph, r.Truth, missedSet, m),
 			})
 		}
 	}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"dcelens/internal/metrics"
+)
+
+// Progress is the live, lock-guarded view of a running campaign: how many
+// seeds are done (read from the campaign's metrics counters), the findings
+// discovered so far (appended by the corpus layer as seeds complete), and
+// an ETA derived from the per-seed wall-time histogram. It is the single
+// source both operator surfaces read — the stderr heartbeat
+// (metrics.Heartbeat.Progress) and the monitor's /progress and /findings
+// endpoints — so the terminal and HTTP views never disagree.
+//
+// All methods are nil-safe, matching the metrics registry's design rule: a
+// campaign without monitoring threads a nil *Progress and pays only nil
+// checks.
+type Progress struct {
+	total   int
+	workers int
+	reg     *metrics.Registry
+	start   time.Time
+
+	mu       sync.Mutex
+	findings []any
+}
+
+// NewProgress starts tracking a campaign of total seeds running on workers
+// parallel workers, with reg as the counter/histogram source. The ETA clock
+// starts now.
+func NewProgress(total, workers int, reg *metrics.Registry) *Progress {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Progress{total: total, workers: workers, reg: reg, start: time.Now()}
+}
+
+// Total returns the campaign's seed count.
+func (p *Progress) Total() int {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Done returns the number of completed seeds (freshly analyzed plus
+// checkpoint-restored).
+func (p *Progress) Done() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.reg.Counter(metrics.CounterSeedsAnalyzed).Value() +
+		p.reg.Counter(metrics.CounterSeedsRestored).Value())
+}
+
+// Elapsed returns the wall time since tracking started.
+func (p *Progress) Elapsed() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.start)
+}
+
+// FailureCounts returns the per-kind failure counters (crash, timeout,
+// miscompile, infeasible) as recorded by this process. Restored seeds'
+// failures are not re-counted here (they reach the final report through
+// outcome aggregation instead).
+func (p *Progress) FailureCounts() map[string]int64 {
+	if p == nil {
+		return map[string]int64{}
+	}
+	return map[string]int64{
+		KindCrash.String():      p.reg.Counter(metrics.CounterCrashes).Value(),
+		KindTimeout.String():    p.reg.Counter(metrics.CounterTimeouts).Value(),
+		KindMiscompile.String(): p.reg.Counter(metrics.CounterMiscompiles).Value(),
+		KindInfeasible.String(): p.reg.Counter(metrics.CounterInfeasible).Value(),
+	}
+}
+
+// AddFindings appends findings discovered by a completed seed. The values
+// are opaque to this package (the corpus layer passes its Finding records);
+// they only need to JSON-marshal for the /findings endpoint. Nil-safe.
+func (p *Progress) AddFindings(fs ...any) {
+	if p == nil || len(fs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.findings = append(p.findings, fs...)
+}
+
+// Findings returns a copy of the findings recorded so far.
+func (p *Progress) Findings() []any {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]any, len(p.findings))
+	copy(out, p.findings)
+	return out
+}
+
+// FindingCount returns the number of findings recorded so far.
+func (p *Progress) FindingCount() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.findings)
+}
+
+// ETA estimates the remaining campaign wall time from the per-seed
+// wall-time histogram (metrics.HistCampaignSeed): remaining seeds times the
+// mean seed duration, divided by the worker count. Before any seed
+// completes there is no basis and ok is false; a finished campaign reports
+// (0, true). Restored seeds complete without feeding the histogram, so on a
+// resume the estimate starts once the first fresh seed lands (the mean then
+// reflects this process's real throughput).
+func (p *Progress) ETA() (eta time.Duration, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	remaining := p.total - p.Done()
+	if remaining <= 0 {
+		return 0, true
+	}
+	mean := p.reg.Histogram(metrics.HistCampaignSeed).Mean()
+	if mean <= 0 {
+		return 0, false
+	}
+	return time.Duration(float64(mean) * float64(remaining) / float64(p.workers)), true
+}

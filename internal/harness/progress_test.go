@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"dcelens/internal/metrics"
+)
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	if p.Total() != 0 || p.Done() != 0 || p.FindingCount() != 0 {
+		t.Fatal("nil progress not zero")
+	}
+	p.AddFindings("ignored")
+	if p.Findings() != nil {
+		t.Fatal("nil progress returned findings")
+	}
+	if _, ok := p.ETA(); ok {
+		t.Fatal("nil progress claims an ETA")
+	}
+	if got := p.FailureCounts(); len(got) != 0 {
+		t.Fatalf("nil progress failures = %v", got)
+	}
+}
+
+func TestProgressCounts(t *testing.T) {
+	reg := metrics.New()
+	p := NewProgress(10, 2, reg)
+	if p.Total() != 10 || p.Done() != 0 {
+		t.Fatalf("fresh progress = %d/%d", p.Done(), p.Total())
+	}
+	reg.Counter(metrics.CounterSeedsAnalyzed).Add(3)
+	reg.Counter(metrics.CounterSeedsRestored).Add(2)
+	if p.Done() != 5 {
+		t.Fatalf("done = %d, want 5 (analyzed + restored)", p.Done())
+	}
+	reg.Counter(metrics.CounterTimeouts).Add(4)
+	if got := p.FailureCounts()["timeout"]; got != 4 {
+		t.Fatalf("timeout count = %d, want 4", got)
+	}
+}
+
+func TestProgressFindings(t *testing.T) {
+	p := NewProgress(1, 1, nil)
+	p.AddFindings("a", "b")
+	p.AddFindings() // no-op
+	p.AddFindings("c")
+	if p.FindingCount() != 3 {
+		t.Fatalf("count = %d, want 3", p.FindingCount())
+	}
+	fs := p.Findings()
+	fs[0] = "mutated" // the returned slice is a copy
+	if p.Findings()[0] != "a" {
+		t.Fatal("Findings exposed internal state")
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	reg := metrics.New()
+	p := NewProgress(4, 2, reg)
+	if _, ok := p.ETA(); ok {
+		t.Fatal("ETA known before any seed completed")
+	}
+	// Two seeds done at ~100ms each, two remain on two workers: ~100ms.
+	reg.Counter(metrics.CounterSeedsAnalyzed).Add(2)
+	reg.Histogram(metrics.HistCampaignSeed).Observe(100 * time.Millisecond)
+	reg.Histogram(metrics.HistCampaignSeed).Observe(100 * time.Millisecond)
+	eta, ok := p.ETA()
+	if !ok {
+		t.Fatal("ETA unknown after observations")
+	}
+	if eta < 50*time.Millisecond || eta > 200*time.Millisecond {
+		t.Fatalf("eta = %v, want ~100ms", eta)
+	}
+	// Finished campaigns report a known zero ETA.
+	reg.Counter(metrics.CounterSeedsAnalyzed).Add(2)
+	if eta, ok := p.ETA(); !ok || eta != 0 {
+		t.Fatalf("finished eta = %v/%v, want 0/true", eta, ok)
+	}
+}

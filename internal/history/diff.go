@@ -1,0 +1,141 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions tunes the regression thresholds.
+type DiffOptions struct {
+	// RateDrop is the elimination-rate decrease (absolute, per
+	// configuration) flagged as a regression; <= 0 means 0.005 (half a
+	// percentage point of the dead-marker set).
+	RateDrop float64
+	// TimeGrow is the fractional per-pass total-time increase flagged as a
+	// regression; <= 0 means 0.5 (pass got 50% slower). Timing is compared
+	// only when both snapshots carry wall-clock data, and the generous
+	// default reflects how noisy wall time is.
+	TimeGrow float64
+}
+
+func (o *DiffOptions) fill() {
+	if o.RateDrop <= 0 {
+		o.RateDrop = 0.005
+	}
+	if o.TimeGrow <= 0 {
+		o.TimeGrow = 0.5
+	}
+}
+
+// Change is one fingerprint's cross-run classification row.
+type Change struct {
+	// Record is the finding's aggregate record — from the new run when it
+	// is present there (new, persistent), else from the old run (fixed).
+	Record FindingRecord `json:"record"`
+	// OldCount and NewCount are the sighting counts in each run (0 when
+	// absent).
+	OldCount int `json:"old_count"`
+	NewCount int `json:"new_count"`
+}
+
+// Regression is one metric that moved the wrong way between runs.
+type Regression struct {
+	// Metric names what regressed: "elimination gcc-sim -O3" or
+	// "pass.gvn total time".
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+}
+
+// Delta is the classified difference between two runs.
+type Delta struct {
+	OldLabel, NewLabel string
+	// New: fingerprints only in the new run — findings that appeared.
+	// Fixed: only in the old run — the compiler stopped missing them.
+	// Persistent: in both. Each list is sorted by fingerprint.
+	New, Fixed, Persistent []Change
+	// Regressions are the flagged metric movements, sorted by metric name.
+	Regressions []Regression
+	// ConfigMismatch warns when the two runs' campaign configurations
+	// (programs, base seed, personalities, levels) differ — their finding
+	// sets are still diffable, but absences may reflect coverage, not
+	// fixes.
+	ConfigMismatch string
+}
+
+// Diff classifies new against old: which fingerprinted findings appeared,
+// disappeared, or persisted, and which metrics regressed.
+func Diff(old, new *Snapshot, o DiffOptions) *Delta {
+	o.fill()
+	d := &Delta{ConfigMismatch: configMismatch(old, new)}
+
+	oldBy := map[string]FindingRecord{}
+	for _, r := range old.Findings {
+		oldBy[r.Fingerprint] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range new.Findings {
+		seen[r.Fingerprint] = true
+		if prev, ok := oldBy[r.Fingerprint]; ok {
+			d.Persistent = append(d.Persistent, Change{Record: r, OldCount: prev.Count, NewCount: r.Count})
+		} else {
+			d.New = append(d.New, Change{Record: r, NewCount: r.Count})
+		}
+	}
+	for _, r := range old.Findings {
+		if !seen[r.Fingerprint] {
+			d.Fixed = append(d.Fixed, Change{Record: r, OldCount: r.Count})
+		}
+	}
+	// Snapshot findings are fingerprint-sorted, so the classified lists
+	// inherit the order; sort anyway to be robust to hand-edited files.
+	for _, list := range [][]Change{d.New, d.Fixed, d.Persistent} {
+		sort.Slice(list, func(i, j int) bool {
+			return list[i].Record.Fingerprint < list[j].Record.Fingerprint
+		})
+	}
+
+	for cfg, oldRate := range old.Elimination {
+		newRate, ok := new.Elimination[cfg]
+		if !ok {
+			continue
+		}
+		if oldRate-newRate > o.RateDrop {
+			d.Regressions = append(d.Regressions, Regression{
+				Metric: "elimination " + cfg, Old: oldRate, New: newRate,
+			})
+		}
+	}
+	for pass, oldNs := range old.PassTotalNs {
+		newNs, ok := new.PassTotalNs[pass]
+		if !ok || oldNs <= 0 {
+			continue
+		}
+		if float64(newNs) > float64(oldNs)*(1+o.TimeGrow) {
+			d.Regressions = append(d.Regressions, Regression{
+				Metric: "pass." + pass + " total time",
+				Old:    float64(oldNs) / 1e6, New: float64(newNs) / 1e6, // ms
+			})
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool {
+		return d.Regressions[i].Metric < d.Regressions[j].Metric
+	})
+	return d
+}
+
+// configMismatch describes the first configuration difference between two
+// runs, or "" when they are comparable.
+func configMismatch(a, b *Snapshot) string {
+	switch {
+	case a.Programs != b.Programs:
+		return fmt.Sprintf("corpus size differs (%d vs %d programs)", a.Programs, b.Programs)
+	case a.BaseSeed != b.BaseSeed:
+		return fmt.Sprintf("base seed differs (%d vs %d)", a.BaseSeed, b.BaseSeed)
+	case fmt.Sprint(a.Personalities) != fmt.Sprint(b.Personalities):
+		return fmt.Sprintf("personalities differ (%v vs %v)", a.Personalities, b.Personalities)
+	case fmt.Sprint(a.Levels) != fmt.Sprint(b.Levels):
+		return fmt.Sprintf("levels differ (%v vs %v)", a.Levels, b.Levels)
+	}
+	return ""
+}

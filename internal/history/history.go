@@ -1,0 +1,250 @@
+// Package history is the longitudinal layer of the checker: where a single
+// campaign answers "what does this compiler miss today", history answers
+// "what changed since last time". The paper's campaigns ran continuously
+// across compiler releases, watching findings appear, get fixed, and
+// regress; this package gives dcelens the same trajectory view.
+//
+// Three pieces:
+//
+//   - Fingerprint: a stable identity for a finding, hashed from its kind,
+//     the missing configuration, primariness, and the marker's structural
+//     context — never the seed or the marker name — so renumbering the
+//     corpus or reducing the program does not change the identity.
+//   - Snapshot: the JSON record one campaign leaves behind (dce-campaign
+//     -history dir): configuration, elimination rates, failure counts,
+//     per-pass times, and the fingerprinted findings. Snapshots from
+//     -metrics=deterministic runs contain no wall-clock data and are
+//     byte-identical across identical runs.
+//   - Diff (diff.go): classifies two snapshots' findings as new, fixed, or
+//     persistent and flags metric regressions (dce-trend).
+package history
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dcelens/internal/corpus"
+	"dcelens/internal/metrics"
+)
+
+// SchemaVersion is the snapshot schema this package writes and reads.
+const SchemaVersion = 1
+
+// Fingerprint derives a finding's stable identity: the first 16 hex digits
+// of the SHA-256 over (kind, personality, level, primary, context). Two
+// findings with equal fingerprints are "the same missed optimization" for
+// cross-run diffing; seeds and marker names are deliberately excluded
+// (multiple concrete sightings of one fingerprint aggregate into a single
+// FindingRecord with a count).
+func Fingerprint(f corpus.Finding) string {
+	id := strings.Join([]string{
+		f.Kind.String(),
+		string(f.Personality),
+		f.Level.String(),
+		fmt.Sprint(f.Primary),
+		f.Context,
+	}, "\x00")
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:])[:16]
+}
+
+// FindingRecord aggregates every sighting of one fingerprint in a run.
+type FindingRecord struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Personality string `json:"personality"`
+	Level       string `json:"level"`
+	Primary     bool   `json:"primary,omitempty"`
+	Context     string `json:"context,omitempty"`
+	// Count is how many concrete (seed, marker) sightings collapsed into
+	// this fingerprint.
+	Count int `json:"count"`
+	// Seeds samples the sighting seeds (sorted, deduplicated, capped) as a
+	// reproduction aid; it is not part of the identity.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// seedSampleCap bounds the per-record seed sample.
+const seedSampleCap = 8
+
+// Snapshot is one campaign's persisted run record.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool,omitempty"`
+	// Time is the run's RFC3339 end time; omitted for deterministic
+	// registries so identical runs snapshot byte-identically.
+	Time string `json:"time,omitempty"`
+
+	// Campaign configuration (the comparability key: dce-trend warns when
+	// diffing runs with different configurations).
+	Programs      int      `json:"programs"`
+	BaseSeed      int64    `json:"base_seed"`
+	Personalities []string `json:"personalities"`
+	Levels        []string `json:"levels"`
+
+	// Aggregate corpus statistics.
+	TotalMarkers int `json:"total_markers"`
+	DeadMarkers  int `json:"dead_markers"`
+
+	// Elimination maps each configuration ("gcc-sim -O3") to the fraction
+	// of dead markers it eliminated — the headline rate whose drop across
+	// runs is a regression.
+	Elimination map[string]float64 `json:"elimination_rate"`
+
+	// Failures is the per-kind failure count (crash/timeout/...).
+	Failures map[string]int `json:"failures,omitempty"`
+
+	// PassTotalNs records each pass's total middle-end wall time; present
+	// only for wall-clock registries (deterministic runs redact it).
+	PassTotalNs map[string]int64 `json:"pass_total_ns,omitempty"`
+
+	// Findings are the run's fingerprinted findings, sorted by
+	// fingerprint.
+	Findings []FindingRecord `json:"findings"`
+}
+
+// NewSnapshot condenses a finished campaign (plus its optional registry)
+// into a snapshot. Wall-clock fields (Time, PassTotalNs) are included only
+// when reg is a non-deterministic registry, so `-metrics=deterministic`
+// campaigns produce byte-identical snapshots across identical runs.
+func NewSnapshot(tool string, c *corpus.Campaign, reg *metrics.Registry) *Snapshot {
+	s := &Snapshot{
+		Schema:      SchemaVersion,
+		Tool:        tool,
+		Programs:    c.Opts.Programs,
+		BaseSeed:    c.Opts.BaseSeed,
+		Elimination: map[string]float64{},
+		Failures:    map[string]int{},
+	}
+	for _, p := range c.Opts.Personalities {
+		s.Personalities = append(s.Personalities, string(p))
+	}
+	for _, l := range c.Opts.Levels {
+		s.Levels = append(s.Levels, l.String())
+	}
+	s.TotalMarkers = c.Stats.TotalMarkers
+	s.DeadMarkers = c.Stats.DeadMarkers
+	if c.Stats.DeadMarkers > 0 {
+		for key, missed := range c.Stats.Missed {
+			s.Elimination[key.String()] = 1 - float64(missed)/float64(c.Stats.DeadMarkers)
+		}
+	}
+	for kind, n := range map[string]int{
+		"crash": c.Stats.Crashes, "timeout": c.Stats.Timeouts,
+		"miscompile": c.Stats.Miscompiles, "infeasible": c.Stats.Infeasible,
+	} {
+		if n > 0 {
+			s.Failures[kind] = n
+		}
+	}
+	if reg != nil && !reg.Deterministic {
+		s.Time = time.Now().UTC().Format(time.RFC3339)
+		for _, name := range reg.HistogramNames() {
+			if pass, ok := strings.CutPrefix(name, "pass."); ok {
+				if h := reg.Histogram(name); h.Count() > 0 {
+					if s.PassTotalNs == nil {
+						s.PassTotalNs = map[string]int64{}
+					}
+					s.PassTotalNs[pass] = int64(h.Sum())
+				}
+			}
+		}
+	}
+	s.Findings = fingerprintFindings(c.Findings)
+	return s
+}
+
+// fingerprintFindings aggregates concrete findings into fingerprint
+// records, sorted by fingerprint for deterministic output.
+func fingerprintFindings(fs []corpus.Finding) []FindingRecord {
+	idx := map[string]int{}
+	var out []FindingRecord
+	for _, f := range fs {
+		fp := Fingerprint(f)
+		i, ok := idx[fp]
+		if !ok {
+			i = len(out)
+			idx[fp] = i
+			out = append(out, FindingRecord{
+				Fingerprint: fp,
+				Kind:        f.Kind.String(),
+				Personality: string(f.Personality),
+				Level:       f.Level.String(),
+				Primary:     f.Primary,
+				Context:     f.Context,
+			})
+		}
+		out[i].Count++
+		out[i].Seeds = append(out[i].Seeds, f.Seed)
+	}
+	for i := range out {
+		seeds := out[i].Seeds
+		sort.Slice(seeds, func(a, b int) bool { return seeds[a] < seeds[b] })
+		dedup := seeds[:0]
+		for _, s := range seeds {
+			if len(dedup) == 0 || dedup[len(dedup)-1] != s {
+				dedup = append(dedup, s)
+			}
+		}
+		if len(dedup) > seedSampleCap {
+			dedup = dedup[:seedSampleCap]
+		}
+		out[i].Seeds = dedup
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Fingerprint < out[b].Fingerprint })
+	return out
+}
+
+// Marshal renders the snapshot's canonical JSON form (indented, trailing
+// newline).
+func (s *Snapshot) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Write persists the snapshot into dir (created if needed) under a
+// content-addressed name, run-<hash>.json, and returns the full path.
+// Content addressing makes deterministic snapshots idempotent: re-running
+// an identical campaign rewrites the same file with the same bytes instead
+// of accumulating duplicates.
+func (s *Snapshot) Write(dir string) (string, error) {
+	b, err := s.Marshal()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	path := filepath.Join(dir, "run-"+hex.EncodeToString(sum[:])[:12]+".json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads a snapshot file written by Write.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("history: %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("history: %s: schema %d, want %d", path, s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}

@@ -1,0 +1,253 @@
+package history
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcelens/internal/corpus"
+	"dcelens/internal/metrics"
+	"dcelens/internal/pipeline"
+)
+
+func finding() corpus.Finding {
+	return corpus.Finding{
+		Kind:        corpus.KindCompilerDiff,
+		Seed:        42,
+		Marker:      "m7",
+		Personality: pipeline.GCC,
+		Level:       pipeline.O3,
+		Primary:     true,
+		Context:     "preds[root=1 alive=0 dead-elim=2 dead-missed=0]",
+	}
+}
+
+// TestFingerprintInvariance: the identity must survive exactly the
+// transformations the longitudinal workflow applies — corpus renumbering
+// (seed changes) and test-case reduction (marker renaming) — while any
+// change to what was actually missed must produce a different fingerprint.
+func TestFingerprintInvariance(t *testing.T) {
+	base := Fingerprint(finding())
+	if len(base) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex digits", base)
+	}
+
+	renumbered := finding()
+	renumbered.Seed = 9001
+	renumbered.Marker = "m3"
+	if got := Fingerprint(renumbered); got != base {
+		t.Fatalf("fingerprint changed under seed/marker renaming: %q vs %q", got, base)
+	}
+
+	for name, mutate := range map[string]func(*corpus.Finding){
+		"kind":        func(f *corpus.Finding) { f.Kind = corpus.KindLevelDiff },
+		"personality": func(f *corpus.Finding) { f.Personality = pipeline.LLVM },
+		"level":       func(f *corpus.Finding) { f.Level = pipeline.O2 },
+		"primary":     func(f *corpus.Finding) { f.Primary = false },
+		"context":     func(f *corpus.Finding) { f.Context = "preds[root=0 alive=1 dead-elim=2 dead-missed=0]" },
+	} {
+		f := finding()
+		mutate(&f)
+		if got := Fingerprint(f); got == base {
+			t.Fatalf("fingerprint insensitive to %s", name)
+		}
+	}
+}
+
+// campaign fabricates a finished campaign shaped like a real run.
+func campaign(findings ...corpus.Finding) *corpus.Campaign {
+	c := &corpus.Campaign{
+		Opts: corpus.Options{
+			Programs:      3,
+			BaseSeed:      100,
+			Personalities: []pipeline.Personality{pipeline.GCC, pipeline.LLVM},
+			Levels:        []pipeline.Level{pipeline.O1, pipeline.O3},
+		},
+		Stats: &corpus.Stats{
+			TotalMarkers: 40,
+			DeadMarkers:  20,
+			Missed: map[corpus.ConfigKey]int{
+				{Personality: pipeline.GCC, Level: pipeline.O3}: 2,
+			},
+			Crashes: 1,
+		},
+		Findings: findings,
+	}
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	f1, f2 := finding(), finding()
+	f2.Seed = 55 // same fingerprint, second sighting
+	f3 := finding()
+	f3.Personality = pipeline.LLVM
+	s := NewSnapshot("dce-test", campaign(f1, f2, f3), nil)
+
+	if s.Schema != SchemaVersion {
+		t.Fatalf("schema = %d", s.Schema)
+	}
+	if len(s.Findings) != 2 {
+		t.Fatalf("records = %d, want 2 (two sightings collapse)", len(s.Findings))
+	}
+	var both *FindingRecord
+	for i := range s.Findings {
+		if s.Findings[i].Count == 2 {
+			both = &s.Findings[i]
+		}
+	}
+	if both == nil {
+		t.Fatalf("no record with count 2: %+v", s.Findings)
+	}
+	if len(both.Seeds) != 2 || both.Seeds[0] != 42 || both.Seeds[1] != 55 {
+		t.Fatalf("seed sample = %v, want [42 55]", both.Seeds)
+	}
+	if rate := s.Elimination["gcc-sim -O3"]; rate != 0.9 {
+		t.Fatalf("elimination rate = %v, want 0.9 (2 missed of 20 dead)", rate)
+	}
+	if s.Failures["crash"] != 1 {
+		t.Fatalf("failures = %v", s.Failures)
+	}
+
+	dir := t.TempDir()
+	path, err := s.Write(dir)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.HasPrefix(filepath.Base(path), "run-") {
+		t.Fatalf("snapshot name %q not content-addressed", path)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, _ := s.Marshal()
+	b, _ := loaded.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed snapshot:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSnapshotDeterministicOmitsWallClock: snapshots of deterministic
+// registries must carry no wall-clock data so identical runs write
+// byte-identical files.
+func TestSnapshotDeterministicOmitsWallClock(t *testing.T) {
+	reg := metrics.NewDeterministic()
+	reg.Histogram("pass.gvn").Observe(1000)
+	s := NewSnapshot("dce-test", campaign(), reg)
+	if s.Time != "" || s.PassTotalNs != nil {
+		t.Fatalf("deterministic snapshot has wall-clock data: time=%q pass=%v", s.Time, s.PassTotalNs)
+	}
+	a, _ := NewSnapshot("dce-test", campaign(), reg).Marshal()
+	b, _ := s.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministic snapshots are not byte-identical")
+	}
+
+	wall := metrics.New()
+	wall.Histogram("pass.gvn").Observe(1000)
+	w := NewSnapshot("dce-test", campaign(), wall)
+	if w.Time == "" || w.PassTotalNs["gvn"] != 1000 {
+		t.Fatalf("wall snapshot missing wall-clock data: time=%q pass=%v", w.Time, w.PassTotalNs)
+	}
+}
+
+func TestSnapshotWriteIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapshot("dce-test", campaign(finding()), nil)
+	p1, err := s.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("identical snapshots wrote two files: %s, %s", p1, p2)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("dir has %d snapshots, want 1", len(files))
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapshot("dce-test", campaign(), nil)
+	s.Schema = SchemaVersion + 1
+	path, err := s.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load accepted wrong schema (err %v)", err)
+	}
+}
+
+func TestDiffClassification(t *testing.T) {
+	persistent := finding()
+	fixed := finding()
+	fixed.Personality = pipeline.LLVM
+	appeared := finding()
+	appeared.Context = "preds[root=0 alive=3 dead-elim=0 dead-missed=1]"
+
+	old := NewSnapshot("dce-test", campaign(persistent, fixed), nil)
+	now := NewSnapshot("dce-test", campaign(persistent, persistent, appeared), nil)
+
+	d := Diff(old, now, DiffOptions{})
+	if len(d.New) != 1 || d.New[0].Record.Fingerprint != Fingerprint(appeared) {
+		t.Fatalf("new = %+v", d.New)
+	}
+	if len(d.Fixed) != 1 || d.Fixed[0].Record.Fingerprint != Fingerprint(fixed) {
+		t.Fatalf("fixed = %+v", d.Fixed)
+	}
+	if len(d.Persistent) != 1 {
+		t.Fatalf("persistent = %+v", d.Persistent)
+	}
+	p := d.Persistent[0]
+	if p.OldCount != 1 || p.NewCount != 2 {
+		t.Fatalf("persistent counts = %d->%d, want 1->2", p.OldCount, p.NewCount)
+	}
+	if d.ConfigMismatch != "" {
+		t.Fatalf("unexpected config mismatch %q", d.ConfigMismatch)
+	}
+}
+
+func TestDiffRegressions(t *testing.T) {
+	old := NewSnapshot("dce-test", campaign(), nil)
+	now := NewSnapshot("dce-test", campaign(), nil)
+	old.Elimination["gcc-sim -O3"] = 0.95
+	now.Elimination["gcc-sim -O3"] = 0.90 // drop 0.05 > default 0.005
+	old.Elimination["llvm-sim -O3"] = 0.95
+	now.Elimination["llvm-sim -O3"] = 0.949 // within tolerance
+	old.PassTotalNs = map[string]int64{"gvn": 1000, "licm": 1000}
+	now.PassTotalNs = map[string]int64{"gvn": 2000, "licm": 1200} // gvn doubled
+
+	d := Diff(old, now, DiffOptions{})
+	if len(d.Regressions) != 2 {
+		t.Fatalf("regressions = %+v, want elimination gcc + pass.gvn", d.Regressions)
+	}
+	if d.Regressions[0].Metric != "elimination gcc-sim -O3" {
+		t.Fatalf("regression[0] = %+v", d.Regressions[0])
+	}
+	if d.Regressions[1].Metric != "pass.gvn total time" {
+		t.Fatalf("regression[1] = %+v", d.Regressions[1])
+	}
+
+	// Custom thresholds silence both.
+	quiet := Diff(old, now, DiffOptions{RateDrop: 0.1, TimeGrow: 2.0})
+	if len(quiet.Regressions) != 0 {
+		t.Fatalf("lenient thresholds still flag %+v", quiet.Regressions)
+	}
+}
+
+func TestDiffConfigMismatch(t *testing.T) {
+	a := NewSnapshot("dce-test", campaign(), nil)
+	b := NewSnapshot("dce-test", campaign(), nil)
+	b.Programs = 99
+	d := Diff(a, b, DiffOptions{})
+	if !strings.Contains(d.ConfigMismatch, "corpus size differs") {
+		t.Fatalf("mismatch = %q", d.ConfigMismatch)
+	}
+}

@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -25,6 +27,20 @@ type EventLog struct {
 	start time.Time
 	seq   int64
 	err   error
+
+	// tail is the optional in-memory ring of recent events (KeepTail): the
+	// monitor's /events endpoint serves resumable reads from it without
+	// re-reading the backing file. tailHead indexes the oldest entry.
+	tail     []Event
+	tailLen  int
+	tailHead int
+}
+
+// Event is one rendered event line held in the in-memory tail: its sequence
+// number and the JSON text (no trailing newline).
+type Event struct {
+	Seq  int64
+	Line string
 }
 
 // NewEventLog writes events to w; if w is also an io.Closer, Close closes
@@ -62,7 +78,52 @@ func (l *EventLog) Emit(event string, fields map[string]any) {
 		l.err = fmt.Errorf("metrics: event %s: %w", event, err)
 		return
 	}
+	if len(l.tail) > 0 {
+		i := (l.tailHead + l.tailLen) % len(l.tail)
+		l.tail[i] = Event{Seq: l.seq, Line: string(b)}
+		if l.tailLen < len(l.tail) {
+			l.tailLen++
+		} else {
+			l.tailHead = (l.tailHead + 1) % len(l.tail)
+		}
+	}
 	_, l.err = l.w.Write(append(b, '\n'))
+}
+
+// KeepTail enables the in-memory event tail with capacity n (the newest n
+// events are retained); n <= 0 disables it. Call before emitting. Nil-safe.
+func (l *EventLog) KeepTail(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		l.tail, l.tailLen, l.tailHead = nil, 0, 0
+		return
+	}
+	l.tail = make([]Event, n)
+	l.tailLen, l.tailHead = 0, 0
+}
+
+// TailSince returns the buffered events with sequence numbers strictly
+// greater than since, oldest first. Events older than the tail's capacity
+// are gone; callers detect the gap when the first returned seq exceeds
+// since+1. Nil-safe (and empty without KeepTail).
+func (l *EventLog) TailSince(since int64) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for i := 0; i < l.tailLen; i++ {
+		e := l.tail[(l.tailHead+i)%len(l.tail)]
+		if e.Seq > since {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Seq returns the sequence number of the last emitted event (0 before the
@@ -74,6 +135,68 @@ func (l *EventLog) Seq() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
+}
+
+// OpenEventLog opens a file-backed event log. With resume false the file is
+// truncated and sequence numbers start at 1, as NewEventLog(os.Create(...))
+// would. With resume true an existing file is appended to and the sequence
+// continues from its last record, so a resumed campaign's log reads as one
+// continuous, totally-ordered stream (t_ms stays relative to each process's
+// own start; seq is the cross-resume key). A missing file resumes from 0.
+func OpenEventLog(path string, resume bool) (*EventLog, error) {
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return NewEventLog(f), nil
+	}
+	last, err := lastSeq(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := NewEventLog(f)
+	l.seq = last
+	return l, nil
+}
+
+// lastSeq scans a JSONL event file for the final record's sequence number;
+// a missing file is seq 0 (nothing to continue from). Malformed trailing
+// lines (a torn write from a killed campaign) are skipped backwards until a
+// parseable record is found.
+func lastSeq(path string) (int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("metrics: scanning event log %s: %w", path, err)
+	}
+	for i := len(lines) - 1; i >= 0; i-- {
+		var rec struct {
+			Seq int64 `json:"seq"`
+		}
+		if json.Unmarshal([]byte(lines[i]), &rec) == nil && rec.Seq > 0 {
+			return rec.Seq, nil
+		}
+	}
+	return 0, nil
 }
 
 // Close closes the underlying writer when it is closable and returns the

@@ -20,6 +20,23 @@ const (
 	CounterInfeasible    = "campaign.failures.infeasible"
 )
 
+// HistCampaignSeed is the per-seed wall-time histogram internal/corpus
+// observes; the live ETA estimate (harness.Progress) is derived from its
+// mean.
+const HistCampaignSeed = "campaign.seed"
+
+// ProgressInfo is the live campaign view shared by the heartbeat and the
+// monitor's /progress endpoint (implemented by harness.Progress). Routing
+// both displays through one implementation keeps the terminal and HTTP
+// views agreeing on the finding count and the ETA estimate.
+type ProgressInfo interface {
+	// FindingCount is the number of findings discovered so far.
+	FindingCount() int
+	// ETA estimates the remaining campaign wall time; ok is false while
+	// there is no basis for an estimate yet.
+	ETA() (eta time.Duration, ok bool)
+}
+
 // Heartbeat periodically renders a one-line progress summary of a running
 // campaign from its registry counters: seeds done/total, throughput,
 // failure counts, and an ETA. It is purely an operator aid — nothing in the
@@ -37,6 +54,10 @@ type Heartbeat struct {
 	Interval time.Duration
 	// Tool prefixes each line, e.g. "dce-campaign".
 	Tool string
+	// Progress, when set, enriches the line with the live finding count
+	// and replaces the rate-extrapolated ETA with Progress.ETA() — the
+	// same estimate the monitor's /progress endpoint serves.
+	Progress ProgressInfo
 }
 
 // Start launches the heartbeat goroutine and returns a stop function that
@@ -84,14 +105,23 @@ func (h *Heartbeat) line(start time.Time) string {
 		rate = float64(seeds) / elapsed
 	}
 	eta := "?"
-	if rate > 0 && h.Total > 0 && int(seeds) < h.Total {
+	switch {
+	case h.Total > 0 && int(seeds) >= h.Total:
+		eta = "done"
+	case h.Progress != nil:
+		if d, ok := h.Progress.ETA(); ok {
+			eta = d.Round(time.Second).String()
+		}
+	case rate > 0 && h.Total > 0:
 		d := time.Duration(float64(h.Total-int(seeds)) / rate * float64(time.Second))
 		eta = d.Round(time.Second).String()
-	} else if h.Total > 0 && int(seeds) >= h.Total {
-		eta = "done"
 	}
-	return fmt.Sprintf("%s: %d/%d seeds, %.1f seeds/s, %d crashes, %d timeouts, ETA %s",
-		h.Tool, seeds, h.Total, rate, crashes, timeouts, eta)
+	findings := ""
+	if h.Progress != nil {
+		findings = fmt.Sprintf("%d findings, ", h.Progress.FindingCount())
+	}
+	return fmt.Sprintf("%s: %d/%d seeds, %.1f seeds/s, %s%d crashes, %d timeouts, ETA %s",
+		h.Tool, seeds, h.Total, rate, findings, crashes, timeouts, eta)
 }
 
 // StderrIsTerminal reports whether stderr is attached to an interactive

@@ -1,0 +1,84 @@
+package metrics
+
+import "math"
+
+// BucketCount is one non-empty histogram bucket in a snapshot. LeNs is the
+// bucket's inclusive upper bound in nanoseconds; the overflow bucket reports
+// math.MaxInt64 (rendered as +Inf by the Prometheus exposition).
+type BucketCount struct {
+	LeNs  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's point-in-time summary: totals, the
+// rendered quantiles, and the cumulative non-empty buckets.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumNs   int64         `json:"sum_ns"`
+	MaxNs   int64         `json:"max_ns"`
+	P50Ns   int64         `json:"p50_ns"`
+	P90Ns   int64         `json:"p90_ns"`
+	P99Ns   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// RegistrySnapshot is a registry's full point-in-time export: every named
+// counter, gauge, and histogram, keyed by name. It is the JSON body of the
+// monitor's /metrics endpoint and the source the Prometheus text exposition
+// is rendered from. Values read while writers are active are approximate in
+// the same way Histogram reads are; identity (which names exist) is exact.
+type RegistrySnapshot struct {
+	Deterministic bool                         `json:"deterministic,omitempty"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the registry's current state. A nil registry exports an
+// empty (but non-nil) snapshot, so callers can serve it unconditionally.
+func (r *Registry) Snapshot() *RegistrySnapshot {
+	s := &RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.Deterministic = r.Deterministic
+	for _, name := range r.CounterNames() {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range r.GaugeNames() {
+		s.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range r.HistogramNames() {
+		s.Histograms[name] = r.Histogram(name).snapshot()
+	}
+	return s
+}
+
+// snapshot summarizes one histogram; only non-empty buckets are exported
+// (cumulative counts are reconstructed by the exposition renderer).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		SumNs: int64(h.Sum()),
+		MaxNs: int64(h.Max()),
+		P50Ns: int64(h.P50()),
+		P90Ns: int64(h.P90()),
+		P99Ns: int64(h.P99()),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(math.MaxInt64)
+		if i < len(bucketBounds) {
+			le = bucketBounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LeNs: le, Count: n})
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+// Package monitor is the live campaign monitoring server: a stdlib-only
+// net/http server embedded in a running campaign (dce-campaign -serve) that
+// exposes the telemetry the campaign is already collecting — the metrics
+// registry, the harness progress view, and the JSONL event log — over five
+// read-only endpoints:
+//
+//	/healthz            liveness: tool name and uptime
+//	/metrics            Prometheus-style text exposition of the registry
+//	/metrics?format=json  the registry snapshot as JSON
+//	/progress           seeds done/total, failure-kind counts, ETA
+//	/findings           the findings discovered so far, as JSON
+//	/events?since=N     resumable tail of the event log (JSONL, seq > N)
+//
+// The server only reads; every source it serves is already safe for
+// concurrent use (atomic registry collectors, the progress mutex, the event
+// log's tail ring), so serving adds nothing to the campaign's hot path
+// beyond what a request itself costs (BenchmarkMonitorOverhead gates this).
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
+)
+
+// Server bundles a campaign's observable state behind an http.Handler. Any
+// field may be nil; the corresponding endpoints degrade to empty-but-valid
+// responses (the sources' nil-safety does the work).
+type Server struct {
+	// Tool names the serving binary in /healthz, e.g. "dce-campaign".
+	Tool string
+	// Reg is the campaign's metrics registry (/metrics).
+	Reg *metrics.Registry
+	// Progress is the live campaign view (/progress, /findings).
+	Progress *harness.Progress
+	// Events is the campaign event log; /events serves its in-memory tail
+	// (enable with Events.KeepTail before the campaign starts).
+	Events *metrics.EventLog
+
+	start time.Time
+}
+
+// New assembles a server for one campaign. The uptime clock starts now.
+func New(tool string, reg *metrics.Registry, progress *harness.Progress, events *metrics.EventLog) *Server {
+	return &Server{Tool: tool, Reg: reg, Progress: progress, Events: events, start: time.Now()}
+}
+
+// Handler returns the monitoring mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/findings", s.handleFindings)
+	mux.HandleFunc("/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"tool":      s.Tool,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, Exposition(snap))
+}
+
+// ProgressReply is the /progress body.
+type ProgressReply struct {
+	SeedsTotal int              `json:"seeds_total"`
+	SeedsDone  int              `json:"seeds_done"`
+	Findings   int              `json:"findings"`
+	Failures   map[string]int64 `json:"failures"`
+	ElapsedMs  int64            `json:"elapsed_ms"`
+	EtaMs      int64            `json:"eta_ms"`
+	EtaKnown   bool             `json:"eta_known"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	p := s.Progress
+	eta, ok := p.ETA()
+	writeJSON(w, ProgressReply{
+		SeedsTotal: p.Total(),
+		SeedsDone:  p.Done(),
+		Findings:   p.FindingCount(),
+		Failures:   p.FailureCounts(),
+		ElapsedMs:  p.Elapsed().Milliseconds(),
+		EtaMs:      eta.Milliseconds(),
+		EtaKnown:   ok,
+	})
+}
+
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	fs := s.Progress.Findings()
+	if fs == nil {
+		fs = []any{}
+	}
+	writeJSON(w, map[string]any{"count": len(fs), "findings": fs})
+}
+
+// handleEvents serves the event-log tail as JSONL. The since parameter is
+// the last sequence number the client has seen (default 0: everything
+// buffered); the response carries only events with seq > since, so a client
+// that remembers the last seq it read resumes without duplicates. The
+// current head seq is exposed in the X-Dcelens-Last-Seq header even when no
+// new events match.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(s.Events.Seq(), 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range s.Events.TailSince(since) {
+		fmt.Fprintln(w, e.Line)
+	}
+}
+
+// Exposition renders a registry snapshot in the Prometheus text format:
+// counters and gauges as single samples, histograms as cumulative _bucket
+// series (seconds, le-labelled) plus _sum and _count. Names are prefixed
+// with "dcelens_" and sanitized (non-alphanumeric runs become "_"); output
+// is sorted by name, so identical snapshots render byte-identically.
+func Exposition(s *metrics.RegistrySnapshot) string {
+	var sb strings.Builder
+	emit := func(m map[string]int64, kind string) {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pn := promName(n)
+			fmt.Fprintf(&sb, "# TYPE %s %s\n%s %d\n", pn, kind, pn, m[n])
+		}
+	}
+	emit(s.Counters, "counter")
+	emit(s.Gauges, "gauge")
+
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n) + "_seconds"
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.LeNs != math.MaxInt64 {
+				le = strconv.FormatFloat(float64(b.LeNs)/1e9, 'g', -1, 64)
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].LeNs != math.MaxInt64 {
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		}
+		fmt.Fprintf(&sb, "%s_sum %g\n%s_count %d\n", pn, float64(h.SumNs)/1e9, pn, h.Count)
+	}
+	return sb.String()
+}
+
+// promName maps a dotted registry name into the Prometheus identifier
+// space: "campaign.seeds.analyzed" → "dcelens_campaign_seeds_analyzed".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dcelens_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Running is a started monitoring server; Close shuts it down.
+type Running struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (port 0 picks an ephemeral port) and serves s in a
+// background goroutine. The returned Running reports the bound address and
+// stops the server on Close.
+func Start(addr string, s *Server) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Running{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (r *Running) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (r *Running) Close() error { return r.srv.Close() }

@@ -1,0 +1,272 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
+)
+
+// get performs one request against the server's mux and returns the
+// response.
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func decode(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %q)", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding body %q: %v", rec.Body.String(), err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := New("dce-test", nil, nil, nil)
+	var body struct {
+		Status string `json:"status"`
+		Tool   string `json:"tool"`
+	}
+	decode(t, get(t, s, "/healthz"), &body)
+	if body.Status != "ok" || body.Tool != "dce-test" {
+		t.Fatalf("healthz = %+v, want status ok, tool dce-test", body)
+	}
+}
+
+func TestMetricsJSONAndExposition(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("campaign.seeds.analyzed").Add(7)
+	reg.Gauge("campaign.workers").Set(3)
+	reg.Histogram("pass.gvn").Observe(2 * time.Millisecond)
+	s := New("dce-test", reg, nil, nil)
+
+	var snap metrics.RegistrySnapshot
+	decode(t, get(t, s, "/metrics?format=json"), &snap)
+	if snap.Counters["campaign.seeds.analyzed"] != 7 {
+		t.Fatalf("json counter = %d, want 7", snap.Counters["campaign.seeds.analyzed"])
+	}
+	if snap.Histograms["pass.gvn"].Count != 1 {
+		t.Fatalf("json histogram count = %d, want 1", snap.Histograms["pass.gvn"].Count)
+	}
+
+	rec := get(t, s, "/metrics")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("exposition content type = %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE dcelens_campaign_seeds_analyzed counter",
+		"dcelens_campaign_seeds_analyzed 7",
+		"dcelens_campaign_workers 3",
+		"# TYPE dcelens_pass_gvn_seconds histogram",
+		"dcelens_pass_gvn_seconds_count 1",
+		`dcelens_pass_gvn_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsNilRegistry: a server over a nil registry serves empty but
+// valid bodies rather than panicking.
+func TestMetricsNilRegistry(t *testing.T) {
+	s := New("dce-test", nil, nil, nil)
+	var snap metrics.RegistrySnapshot
+	decode(t, get(t, s, "/metrics?format=json"), &snap)
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	if rec := get(t, s, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("nil registry exposition status = %d", rec.Code)
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter(metrics.CounterSeedsAnalyzed).Add(4)
+	reg.Counter(metrics.CounterCrashes).Add(2)
+	reg.Histogram(metrics.HistCampaignSeed).Observe(10 * time.Millisecond)
+	p := harness.NewProgress(10, 2, reg)
+	p.AddFindings("f1", "f2")
+	s := New("dce-test", reg, p, nil)
+
+	var body ProgressReply
+	decode(t, get(t, s, "/progress"), &body)
+	if body.SeedsTotal != 10 || body.SeedsDone != 4 {
+		t.Fatalf("progress seeds = %d/%d, want 4/10", body.SeedsDone, body.SeedsTotal)
+	}
+	if body.Findings != 2 {
+		t.Fatalf("progress findings = %d, want 2", body.Findings)
+	}
+	if body.Failures["crash"] != 2 {
+		t.Fatalf("progress failures = %v, want crash=2", body.Failures)
+	}
+	if !body.EtaKnown {
+		t.Fatal("ETA should be known after an observed seed")
+	}
+}
+
+// TestProgressNil: /progress over a nil Progress reports a zero campaign.
+func TestProgressNil(t *testing.T) {
+	s := New("dce-test", nil, nil, nil)
+	var body ProgressReply
+	decode(t, get(t, s, "/progress"), &body)
+	if body.SeedsTotal != 0 || body.SeedsDone != 0 || body.EtaKnown {
+		t.Fatalf("nil progress = %+v, want zeroes", body)
+	}
+}
+
+func TestFindingsEndpoint(t *testing.T) {
+	p := harness.NewProgress(1, 1, nil)
+	p.AddFindings(map[string]any{"kind": "compiler-diff", "seed": 3})
+	s := New("dce-test", nil, p, nil)
+
+	var body struct {
+		Count    int              `json:"count"`
+		Findings []map[string]any `json:"findings"`
+	}
+	decode(t, get(t, s, "/findings"), &body)
+	if body.Count != 1 || len(body.Findings) != 1 {
+		t.Fatalf("findings = %+v, want one", body)
+	}
+	if body.Findings[0]["kind"] != "compiler-diff" {
+		t.Fatalf("finding = %v", body.Findings[0])
+	}
+
+	// Empty progress serves an empty array, not null.
+	empty := New("dce-test", nil, nil, nil)
+	rec := get(t, empty, "/findings")
+	if !strings.Contains(rec.Body.String(), `"findings": []`) {
+		t.Fatalf("empty findings body = %q, want empty array", rec.Body.String())
+	}
+}
+
+func TestEventsSinceFiltering(t *testing.T) {
+	log := metrics.NewEventLog(io.Discard)
+	log.KeepTail(16)
+	for i := 0; i < 5; i++ {
+		log.Emit("seed_end", map[string]any{"seed": i})
+	}
+	s := New("dce-test", nil, nil, log)
+
+	rec := get(t, s, "/events?since=3")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	if got := rec.Header().Get("X-Dcelens-Last-Seq"); got != "5" {
+		t.Fatalf("last-seq header = %q, want 5", got)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("since=3 returned %d lines, want 2: %q", len(lines), rec.Body.String())
+	}
+	var first struct {
+		Seq int64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil || first.Seq != 4 {
+		t.Fatalf("first resumed event = %q (err %v), want seq 4", lines[0], err)
+	}
+
+	// since defaults to 0: the whole buffered tail.
+	all := get(t, s, "/events")
+	if n := len(strings.Split(strings.TrimSpace(all.Body.String()), "\n")); n != 5 {
+		t.Fatalf("unfiltered tail has %d lines, want 5", n)
+	}
+	// Caught-up client: empty body, header still reports the head.
+	caught := get(t, s, "/events?since=5")
+	if caught.Body.Len() != 0 || caught.Header().Get("X-Dcelens-Last-Seq") != "5" {
+		t.Fatalf("caught-up read = %q / seq %q", caught.Body.String(), caught.Header().Get("X-Dcelens-Last-Seq"))
+	}
+}
+
+func TestEventsBadSince(t *testing.T) {
+	s := New("dce-test", nil, nil, nil)
+	for _, bad := range []string{"x", "-1", "1.5"} {
+		rec := get(t, s, "/events?since="+bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("since=%s status = %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// TestStartEphemeral: Start on port 0 binds an ephemeral port and serves
+// over real TCP.
+func TestStartEphemeral(t *testing.T) {
+	s := New("dce-test", nil, nil, nil)
+	run, err := Start("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer run.Close()
+	resp, err := http.Get("http://" + run.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"ok"`) {
+		t.Fatalf("healthz over TCP = %d %q", resp.StatusCode, b)
+	}
+}
+
+// TestExpositionCumulativeBuckets: bucket counts accumulate and end at the
+// +Inf bucket equal to _count.
+func TestExpositionCumulativeBuckets(t *testing.T) {
+	reg := metrics.New()
+	h := reg.Histogram("pass.x")
+	h.Observe(1 * time.Microsecond)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(1 * time.Hour) // overflow bucket
+	text := Exposition(reg.Snapshot())
+	if !strings.Contains(text, `dcelens_pass_x_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, "dcelens_pass_x_seconds_count 3") {
+		t.Fatalf("missing count:\n%s", text)
+	}
+	// Cumulative: every bucket value must be non-decreasing in render order.
+	last := int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "dcelens_pass_x_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscan(line, &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+// fmtSscan pulls the trailing integer sample value off an exposition line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := json.Number(line[i+1:]).Int64()
+	*v = n
+	return 1, err
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("campaign.seeds.analyzed"); got != "dcelens_campaign_seeds_analyzed" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("pass.dce-sweep"); got != "dcelens_pass_dce_sweep" {
+		t.Fatalf("promName = %q", got)
+	}
+}

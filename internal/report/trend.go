@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dcelens/internal/history"
+)
+
+// Trend renders one cross-run delta: the new/fixed/persistent finding
+// classification and the flagged metric regressions (dce-trend's output).
+func Trend(d *history.Delta) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Trend: %s -> %s\n", d.OldLabel, d.NewLabel)
+	if d.ConfigMismatch != "" {
+		fmt.Fprintf(&sb, "  note: %s; absences may be coverage, not fixes\n", d.ConfigMismatch)
+	}
+	fmt.Fprintf(&sb, "Findings: %d new, %d fixed, %d persistent\n",
+		len(d.New), len(d.Fixed), len(d.Persistent))
+	changeTable(&sb, "New findings", d.New, false)
+	changeTable(&sb, "Fixed findings", d.Fixed, false)
+	changeTable(&sb, "Persistent findings", d.Persistent, true)
+	if len(d.Regressions) == 0 {
+		sb.WriteString("Metric regressions: none\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "Metric regressions: %d\n", len(d.Regressions))
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&sb, "  %-34s %10.4f -> %10.4f (%+.4f)\n", r.Metric, r.Old, r.New, r.New-r.Old)
+	}
+	return sb.String()
+}
+
+// changeTable renders one classification's rows; empty classes render
+// nothing (the summary line already reports the zero).
+func changeTable(sb *strings.Builder, title string, changes []history.Change, withOld bool) {
+	if len(changes) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "%s\n", title)
+	counts := "count"
+	if withOld {
+		counts = "old->new"
+	}
+	fmt.Fprintf(sb, "  %-16s %-14s %-9s %-5s %-8s %8s  %s\n",
+		"Fingerprint", "Kind", "Compiler", "Level", "Primary", counts, "Seeds")
+	for _, c := range changes {
+		r := c.Record
+		count := fmt.Sprint(max(c.OldCount, c.NewCount))
+		if withOld {
+			count = fmt.Sprintf("%d->%d", c.OldCount, c.NewCount)
+		}
+		seeds := make([]string, 0, len(r.Seeds))
+		for _, s := range r.Seeds {
+			seeds = append(seeds, fmt.Sprint(s))
+		}
+		fmt.Fprintf(sb, "  %-16s %-14s %-9s %-5s %-8v %8s  %s\n",
+			r.Fingerprint, r.Kind, r.Personality, r.Level, r.Primary,
+			count, strings.Join(seeds, ","))
+	}
+}

@@ -17,8 +17,10 @@ go test ./...
 
 # The campaign layer is the only concurrent code: re-run the harness and
 # corpus suites under the race detector (the metrics registry and event log
-# are exercised by the corpus suite's resume test).
-go test -race ./internal/harness ./internal/corpus ./internal/metrics
+# are exercised by the corpus suite's resume test), plus the monitoring
+# server and run-history layers that read campaign state while it mutates.
+go test -race ./internal/harness ./internal/corpus ./internal/metrics \
+    ./internal/monitor ./internal/history
 
 # Telemetry overhead smoke: the fully-instrumented unit must stay near the
 # uninstrumented one (~5% nominal budget; the gate is lenient because shared
@@ -31,4 +33,17 @@ go test -run '^$' -bench 'BenchmarkMetricsOverhead' -benchtime 2s . | awk '
         ratio = on / off
         printf "metrics overhead: %.1f%% (budget ~5%%, gate 25%%)\n", (ratio - 1) * 100
         if (ratio > 1.25) { print "metrics overhead exceeds the gate" > "/dev/stderr"; exit 1 }
+    }'
+
+# Monitoring overhead smoke: a campaign with the live HTTP server bound and
+# polled must stay near the server-less metered unit (~5% nominal budget,
+# same lenient gate as the metrics smoke for the same noise reasons).
+go test -run '^$' -bench 'BenchmarkMonitorOverhead' -benchtime 2s . | awk '
+    /BenchmarkMonitorOverhead\/off/ { off = $3 }
+    /BenchmarkMonitorOverhead\/on/  { on = $3 }
+    END {
+        if (off == 0 || on == 0) { print "monitor overhead bench did not run" > "/dev/stderr"; exit 1 }
+        ratio = on / off
+        printf "monitor overhead: %.1f%% (budget ~5%%, gate 25%%)\n", (ratio - 1) * 100
+        if (ratio > 1.25) { print "monitor overhead exceeds the gate" > "/dev/stderr"; exit 1 }
     }'
