@@ -18,6 +18,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -337,6 +338,39 @@ func BenchmarkTraceOverhead(b *testing.B) {
 
 // BenchmarkHarnessOverhead measures what fault isolation costs: the "off"
 // case runs the plain single-program unit, the "on" case runs the identical
+// BenchmarkCampaignParallel measures campaign throughput across worker
+// counts: the same fixed corpus on 1, 2, and 4 workers plus GOMAXPROCS.
+// Per-seed-per-config units are independent, so on a multi-core machine
+// the campaign should scale close to linearly until the core count bounds
+// it (scripts/check.sh gates ≥1.5× at -j 4 on machines with ≥4 CPUs; on
+// fewer cores the workers time-slice one CPU and no speedup is possible).
+// The byte-identity of the outputs across these worker counts is asserted
+// separately (TestParallelCampaignByteIdentity).
+func BenchmarkCampaignParallel(b *testing.B) {
+	const programs = 12
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"j1", 1}, {"j2", 2}, {"j4", 4}, {"jmax", runtime.GOMAXPROCS(0)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := corpus.Run(corpus.Options{
+					Programs: programs, BaseSeed: 9000, Workers: v.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Stats.Programs != programs {
+					b.Fatalf("short campaign: %d of %d programs", c.Stats.Programs, programs)
+				}
+			}
+		})
+	}
+}
+
 // unit with every compilation wrapped in harness.Protect (defer/recover plus
 // the step-budget watchdog counting pass instances). The wrapper should be
 // within a few percent of the unprotected run — campaigns pay essentially

@@ -13,6 +13,10 @@
 //	dce-campaign -n 20 -halt-after 10 -checkpoint cp.json  # simulate a kill
 //	dce-campaign -n 50 -serve 127.0.0.1:8080        # live monitoring HTTP
 //	dce-campaign -n 50 -history runs/               # run-history snapshot
+//	dce-campaign -n 50 -j 8                         # 8 in-process workers
+//	dce-campaign -n 50 -shard 0/2 -checkpoint a.json  # half the corpus...
+//	dce-campaign -n 50 -shard 1/2 -checkpoint b.json  # ...the other half
+//	dce-report -merge a.json,b.json                 # ...merged losslessly
 //
 // The report (stdout) is deterministic for a given configuration: a
 // resumed campaign prints byte-identical output to an uninterrupted one.
@@ -28,7 +32,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
@@ -46,7 +49,6 @@ const tool = "dce-campaign"
 func main() {
 	n := flag.Int("n", 30, "corpus size")
 	seed := flag.Int64("seed", 1, "base seed")
-	workers := flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
 	doTrace := flag.Bool("trace", false, "record per-pass profiles and marker provenance")
 	verify := flag.Bool("verify", false, "execute every compiled module against ground truth (miscompile detection; slower)")
 	budget := flag.Int("budget", 0, "per-compilation pass-step budget (0: harness default)")
@@ -59,6 +61,7 @@ func main() {
 	eventsPath := flag.String("events", "", "write a JSONL campaign event log to this file")
 	quiet := flag.Bool("quiet", false, "suppress the live progress heartbeat")
 	hbInterval := flag.Duration("heartbeat", 2*time.Second, "heartbeat render interval (heartbeat shows only on an interactive stderr)")
+	par := cli.Parallelism()
 	prof := cli.Profiling()
 	mon := cli.Monitoring()
 	flag.Parse()
@@ -67,7 +70,8 @@ func main() {
 	opts := dcelens.CampaignOptions{
 		Programs:        *n,
 		BaseSeed:        *seed,
-		Workers:         *workers,
+		Workers:         par.Workers(tool),
+		Shard:           par.Shard(tool),
 		Trace:           *doTrace,
 		VerifySemantics: *verify,
 		StepBudget:      *budget,
@@ -136,24 +140,28 @@ func main() {
 		events.KeepTail(4096)
 	}
 
+	// The live surfaces (heartbeat, /progress, ETA) count the seeds this
+	// process will actually run: a shard's total is its slice of the corpus.
+	liveTotal := opts.Shard.Size(opts.Programs)
 	var prog *harness.Progress
 	if showHeartbeat || mon.Serving() {
-		w := opts.Workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
-		prog = harness.NewProgress(opts.Programs, w, reg)
+		prog = harness.NewProgress(liveTotal, opts.Workers, reg)
 		opts.Progress = prog
 	}
 	defer mon.Serve(tool, monitor.New(tool, reg, prog, events))()
 
 	stopHeartbeat := func() {}
 	if showHeartbeat {
-		hb := &metrics.Heartbeat{Reg: reg, Total: opts.Programs, Out: os.Stderr, Interval: *hbInterval, Tool: tool, Progress: prog}
+		hb := &metrics.Heartbeat{Reg: reg, Total: liveTotal, Out: os.Stderr, Interval: *hbInterval, Tool: tool, Progress: prog}
 		stopHeartbeat = hb.Start()
 	}
 
-	fmt.Fprintf(os.Stderr, "%s: running a %d-program campaign (base seed %d)...\n", tool, opts.Programs, opts.BaseSeed)
+	if opts.Shard.Sharded() {
+		fmt.Fprintf(os.Stderr, "%s: running shard %s of a %d-program campaign (%d seeds here, base seed %d)...\n",
+			tool, opts.Shard, opts.Programs, liveTotal, opts.BaseSeed)
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: running a %d-program campaign (base seed %d)...\n", tool, opts.Programs, opts.BaseSeed)
+	}
 	c, err := dcelens.RunCampaign(opts)
 	stopHeartbeat()
 	if err != nil {

@@ -7,15 +7,20 @@
 // Usage:
 //
 //	dce-report [-n programs] [-seed base] [-triage] [-bisect]
+//	dce-report -merge a.json,b.json
 //
 // Without flags it prints prevalence + Tables 1/2 + differential counts;
 // -bisect adds Tables 3/4; -triage adds Table 5 (slow: it reduces cases).
+// -merge skips the campaign and instead recombines the checkpoints of a
+// sharded campaign (dce-campaign -shard) into the whole-corpus report,
+// byte-identical to the report of an unsharded run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dcelens"
 	"dcelens/internal/bisect"
@@ -29,16 +34,34 @@ import (
 func main() {
 	n := flag.Int("n", 30, "corpus size")
 	seed := flag.Int64("seed", 1, "base seed")
+	merge := flag.String("merge", "", "comma-separated shard checkpoint files to merge into one report (skips the campaign)")
 	doTriage := flag.Bool("triage", false, "reduce + deduplicate + triage findings (Table 5; slow)")
 	doBisect := flag.Bool("bisect", false, "bisect level regressions (Tables 3/4)")
 	maxBisect := flag.Int("max-bisect", 60, "bisection budget per compiler")
 	maxReduce := flag.Int("max-reduce", 12, "reduction budget per compiler for triage")
+	par := cli.Parallelism()
 	prof := cli.Profiling()
 	flag.Parse()
 	defer prof.Start("dce-report")()
 
-	fmt.Fprintf(os.Stderr, "running a %d-program campaign...\n", *n)
-	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{Programs: *n, BaseSeed: *seed})
+	var c *dcelens.Campaign
+	var err error
+	if *merge != "" {
+		// Bisection and triage need the in-memory programs a merge cannot
+		// reconstruct from outcomes alone.
+		if *doBisect || *doTriage {
+			cli.Usagef("dce-report", "-merge is incompatible with -bisect and -triage (merged campaigns carry outcomes, not programs)")
+		}
+		paths := strings.Split(*merge, ",")
+		fmt.Fprintf(os.Stderr, "merging %d shard checkpoints...\n", len(paths))
+		c, err = dcelens.MergeCheckpoints(paths)
+	} else {
+		fmt.Fprintf(os.Stderr, "running a %d-program campaign...\n", *n)
+		c, err = dcelens.RunCampaign(dcelens.CampaignOptions{
+			Programs: *n, BaseSeed: *seed,
+			Workers: par.Workers("dce-report"), Shard: par.Shard("dce-report"),
+		})
+	}
 	if err != nil {
 		fail(err)
 	}

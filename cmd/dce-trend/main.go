@@ -10,15 +10,20 @@
 //	dce-trend runs/run-a.json runs/run-b.json           # one delta
 //	dce-trend runs/run-a.json runs/run-b.json runs/run-c.json
 //	dce-trend -rate-drop 0.01 -time-grow 1.0 old.json new.json
+//	dce-trend old.json shard0.json,shard1.json          # merge a shard group
 //
 // Snapshots are given oldest first; each consecutive pair renders one trend
-// section. Exit status 0 regardless of findings (the diff is a report, not
-// a gate).
+// section. A comma-separated group of per-shard snapshots (dce-campaign
+// -shard -history) is merged into one whole-corpus snapshot before
+// diffing; a shard snapshot outside a complete group is refused, since a
+// corpus slice would diff as a wave of spurious fixes. Exit status 0
+// regardless of findings (the diff is a report, not a gate).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"dcelens/internal/cli"
 	"dcelens/internal/history"
@@ -40,7 +45,7 @@ func main() {
 	}
 	snaps := make([]*history.Snapshot, len(paths))
 	for i, p := range paths {
-		s, err := history.Load(p)
+		s, err := loadGroup(p)
 		if err != nil {
 			cli.Fail(tool, err)
 		}
@@ -55,4 +60,32 @@ func main() {
 		d.OldLabel, d.NewLabel = paths[i-1], paths[i]
 		fmt.Print(report.Trend(d))
 	}
+}
+
+// loadGroup loads one argument: a single snapshot file, or a
+// comma-separated group of per-shard snapshots merged into the
+// whole-corpus snapshot. A lone shard snapshot is refused — diffing a
+// corpus slice against whole runs would report every missing finding as
+// fixed.
+func loadGroup(arg string) (*history.Snapshot, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) == 1 {
+		s, err := history.Load(arg)
+		if err != nil {
+			return nil, err
+		}
+		if s.Shard != "" {
+			return nil, fmt.Errorf("%s covers only shard %s; list its whole shard group comma-separated (a.json,b.json)", arg, s.Shard)
+		}
+		return s, nil
+	}
+	snaps := make([]*history.Snapshot, len(parts))
+	for i, p := range parts {
+		s, err := history.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = s
+	}
+	return history.MergeShards(snaps)
 }

@@ -307,7 +307,7 @@ func TestCmdCampaignEventsResumeSeq(t *testing.T) {
 func TestCmdCampaignServe(t *testing.T) {
 	bin := filepath.Join(buildCommands(t), "dce-campaign")
 	// A long single-worker campaign so the endpoints are queried mid-run.
-	cmd := exec.Command(bin, "-n", "500", "-seed", "100", "-workers", "1",
+	cmd := exec.Command(bin, "-n", "500", "-seed", "100", "-j", "1",
 		"-quiet", "-serve", "127.0.0.1:0")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -353,6 +353,7 @@ func TestCmdCampaignServe(t *testing.T) {
 	var prog struct {
 		SeedsTotal int `json:"seeds_total"`
 		SeedsDone  int `json:"seeds_done"`
+		Workers    int `json:"workers"`
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -373,6 +374,9 @@ func TestCmdCampaignServe(t *testing.T) {
 	}
 	if prog.SeedsTotal != 500 {
 		t.Errorf("/progress seeds_total = %d, want 500", prog.SeedsTotal)
+	}
+	if prog.Workers != 1 {
+		t.Errorf("/progress workers = %d, want the campaign's -j 1", prog.Workers)
 	}
 	if prog.SeedsDone >= prog.SeedsTotal {
 		t.Errorf("/progress queried after completion (%d/%d); campaign too short for a live check",

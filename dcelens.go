@@ -38,6 +38,7 @@ import (
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
 	"dcelens/internal/report"
+	"dcelens/internal/sched"
 	"dcelens/internal/sema"
 	"dcelens/internal/trace"
 )
@@ -197,8 +198,25 @@ type Campaign = corpus.Campaign
 type Finding = corpus.Finding
 
 // RunCampaign generates a corpus, compiles every program under every
-// configuration, and aggregates the paper's statistics.
+// configuration, and aggregates the paper's statistics. Campaigns run on
+// the internal/sched worker pool (CampaignOptions.Workers); every output is
+// deterministic in corpus order, so a parallel run's report is
+// byte-identical to a serial run's.
 func RunCampaign(o CampaignOptions) (*Campaign, error) { return corpus.Run(o) }
+
+// CampaignShard selects a deterministic corpus slice for one process of a
+// multi-process campaign (CampaignOptions.Shard, dce-campaign -shard): of
+// Count cooperating processes, this one runs the seed indices congruent to
+// Index modulo Count.
+type CampaignShard = sched.Shard
+
+// ParseShard parses an "index/count" shard spec, e.g. "0/2".
+func ParseShard(spec string) (CampaignShard, error) { return sched.ParseShard(spec) }
+
+// MergeCheckpoints recombines the checkpoints of a sharded campaign into
+// one Campaign whose report is byte-identical to an unsharded run's
+// (dce-report -merge).
+func MergeCheckpoints(paths []string) (*Campaign, error) { return corpus.MergeCheckpoints(paths) }
 
 // ---------------------------------------------------------------------------
 // Harness: fault tolerance, checkpointing, fault injection
@@ -395,6 +413,13 @@ type RunSnapshot = history.Snapshot
 // identical runs.
 func NewRunSnapshot(tool string, c *Campaign, reg *MetricsRegistry) *RunSnapshot {
 	return history.NewSnapshot(tool, c, reg)
+}
+
+// MergeRunSnapshots recombines a complete set of per-shard run snapshots
+// into the whole-corpus snapshot the unsharded run would have written
+// (dce-trend's comma-grouped arguments).
+func MergeRunSnapshots(snaps []*RunSnapshot) (*RunSnapshot, error) {
+	return history.MergeShards(snaps)
 }
 
 // FingerprintFinding derives a finding's stable cross-run identity: a hash

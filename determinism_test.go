@@ -1,0 +1,110 @@
+// Parallel-execution acceptance tests: a campaign's observable outputs —
+// the rendered report, the deterministic metrics tables, and the run-
+// history snapshot — must be byte-identical whether the campaign ran
+// serially, on 8 workers, or as two shard processes merged afterwards.
+package dcelens
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// campaignArtifacts runs one campaign variant and renders every
+// deterministic artifact.
+type campaignArtifacts struct {
+	report   string
+	metrics  string
+	snapshot string
+}
+
+func artifactsOf(t *testing.T, c *Campaign, reg *MetricsRegistry) campaignArtifacts {
+	t.Helper()
+	snap, err := NewRunSnapshot("dce-campaign", c, reg).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignArtifacts{
+		report:   Report(c),
+		metrics:  ReportMetrics(reg),
+		snapshot: string(snap),
+	}
+}
+
+// TestParallelCampaignByteIdentity: serial vs 8 workers vs two merged
+// shard halves.
+func TestParallelCampaignByteIdentity(t *testing.T) {
+	const programs, baseSeed = 5, 900
+	run := func(workers int, shard CampaignShard, cp *Checkpoint) (campaignArtifacts, *MetricsRegistry) {
+		t.Helper()
+		reg := NewDeterministicMetrics()
+		c, err := RunCampaign(CampaignOptions{
+			Programs: programs, BaseSeed: baseSeed,
+			Workers: workers, Shard: shard,
+			Metrics: reg, Checkpoint: cp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return artifactsOf(t, c, reg), reg
+	}
+
+	serial, _ := run(1, CampaignShard{}, nil)
+	parallel, _ := run(8, CampaignShard{}, nil)
+	if parallel != serial {
+		t.Errorf("8-worker artifacts differ from serial:\n--- serial\n%s%s%s\n--- parallel\n%s%s%s",
+			serial.report, serial.metrics, serial.snapshot,
+			parallel.report, parallel.metrics, parallel.snapshot)
+	}
+
+	// Two shard processes, each with its own checkpoint, registry, and
+	// history snapshot.
+	dir := t.TempDir()
+	var paths []string
+	var shardRegs []*MetricsRegistry
+	var shardSnaps []*RunSnapshot
+	for i := 0; i < 2; i++ {
+		shard := CampaignShard{Index: i, Count: 2}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		reg := NewDeterministicMetrics()
+		c, err := RunCampaign(CampaignOptions{
+			Programs: programs, BaseSeed: baseSeed,
+			Workers: 4, Shard: shard,
+			Metrics: reg, Checkpoint: NewCheckpoint(path),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		shardRegs = append(shardRegs, reg)
+		shardSnaps = append(shardSnaps, NewRunSnapshot("dce-campaign", c, reg))
+	}
+
+	merged, err := MergeCheckpoints(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Report(merged); got != serial.report {
+		t.Errorf("merged-shard report differs from serial:\n--- serial\n%s\n--- merged\n%s", serial.report, got)
+	}
+
+	mergedReg := NewDeterministicMetrics()
+	for _, reg := range shardRegs {
+		mergedReg.Absorb(reg.Snapshot())
+	}
+	if got := ReportMetrics(mergedReg); got != serial.metrics {
+		t.Errorf("absorbed shard metrics differ from serial:\n--- serial\n%s\n--- merged\n%s", serial.metrics, got)
+	}
+
+	mergedSnap, err := MergeRunSnapshots(shardSnaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mergedSnap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != serial.snapshot {
+		t.Errorf("merged shard snapshot differs from serial:\n--- serial\n%s\n--- merged\n%s", serial.snapshot, b)
+	}
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"flag"
+	"runtime"
+
+	"dcelens/internal/sched"
+)
+
+// Parallel is the shared -j/-shard flag pair: the worker count of the
+// in-process scheduler and the deterministic corpus slice of a multi-
+// process campaign. Registered like Profiling and Monitoring, so every
+// campaign-shaped binary opts in with one call:
+//
+//	par := cli.Parallelism()
+//	flag.Parse()
+//	opts.Workers = par.Workers(tool)
+//	opts.Shard = par.Shard(tool)
+type Parallel struct {
+	j     *int
+	shard *string
+}
+
+// Parallelism registers the parallelism flags on the default FlagSet. Call
+// before flag.Parse.
+func Parallelism() *Parallel {
+	return &Parallel{
+		j:     flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers (per-seed-per-config units in flight; default GOMAXPROCS)"),
+		shard: flag.String("shard", "", "run one corpus slice of a multi-process campaign, as index/count (e.g. 0/2); merge with dce-report -merge"),
+	}
+}
+
+// Workers validates and returns the -j worker count; zero or negative
+// counts are usage errors (the explicit default is already GOMAXPROCS).
+func (p *Parallel) Workers(tool string) int {
+	if *p.j <= 0 {
+		Usagef(tool, "-j %d: want a positive worker count", *p.j)
+	}
+	return *p.j
+}
+
+// Shard parses the -shard spec; empty means the whole corpus. Malformed or
+// out-of-range specs are usage errors.
+func (p *Parallel) Shard(tool string) sched.Shard {
+	if *p.shard == "" {
+		return sched.Shard{}
+	}
+	s, err := sched.ParseShard(*p.shard)
+	if err != nil {
+		Usagef(tool, "%v", err)
+	}
+	return s
+}

@@ -11,14 +11,20 @@
 // deadline, failed configs degrade gracefully (one retry without tracing,
 // then the failure is recorded and the seed's remaining configs keep their
 // analyses), and a checkpoint makes interrupted campaigns resumable.
+//
+// Campaigns execute on the internal/sched engine: each seed is a fork-join
+// job whose units are the (personality, level) configurations, scheduled
+// across Options.Workers pull-based workers (job.go). Every observable
+// output — seed outcomes, findings, metrics tables, event-log sequence
+// numbers, live-progress appends — is deterministic in corpus order, so a
+// parallel run's report is byte-identical to a serial run's, and a sharded
+// run (Options.Shard) recombines losslessly via MergeCheckpoints.
 package corpus
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"time"
 
 	"dcelens/internal/ast"
 	"dcelens/internal/cgen"
@@ -28,6 +34,7 @@ import (
 	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
+	"dcelens/internal/sched"
 )
 
 // Options configures a campaign.
@@ -49,6 +56,11 @@ type Options struct {
 	Trace bool
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
 	Workers int
+	// Shard restricts the campaign to a deterministic corpus slice: seed
+	// index i runs iff i % Shard.Count == Shard.Index (the zero value runs
+	// everything). Non-member indices produce no outcomes, events, or
+	// metrics; shard checkpoints recombine via MergeCheckpoints.
+	Shard sched.Shard
 	// Personalities and Levels default to both compilers and all levels.
 	Personalities []pipeline.Personality
 	Levels        []pipeline.Level
@@ -274,7 +286,11 @@ type Campaign struct {
 	Findings []Finding
 }
 
-// Run executes a campaign.
+// Run executes a campaign on the internal/sched engine: one fork-join job
+// per member seed, one unit per (personality, level) configuration, at
+// most Options.Workers units in flight. Every observable output is
+// released in corpus order (job.go), so the report, metrics tables, event
+// log, and live progress are byte-identical to a serial run's.
 func Run(o Options) (*Campaign, error) {
 	o.fill()
 	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults, Metrics: o.Metrics}
@@ -283,72 +299,35 @@ func Run(o Options) (*Campaign, error) {
 			return nil, err
 		}
 	}
-	o.Events.Emit("campaign_begin", map[string]any{
+	begin := map[string]any{
 		"programs": o.Programs, "base_seed": o.BaseSeed, "workers": o.Workers,
-	})
+	}
+	if o.Shard.Sharded() {
+		begin["shard"] = o.Shard.String()
+	}
+	o.Events.Emit("campaign_begin", begin)
 
+	cfgs := o.configKeys()
+	var members []int
+	for i := 0; i < o.Programs; i++ {
+		if o.Shard.Member(i) {
+			members = append(members, i)
+		}
+	}
 	results := make([]*ProgramResult, o.Programs)
 	outcomes := make([]*SeedOutcome, o.Programs)
-	errs := make([]error, o.Programs)
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
-	for i := 0; i < o.Programs; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			seed := o.BaseSeed + int64(i)
-			o.Events.Emit("seed_begin", map[string]any{"seed": seed})
-			if o.Checkpoint != nil {
-				var restored SeedOutcome
-				ok, err := o.Checkpoint.Restore(seed, &restored)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				if ok {
-					// A restored seed contributes its checkpointed outcome
-					// to aggregation but adds nothing to the live registry
-					// beyond the restored count: its failures and timings
-					// belong to the process that computed them.
-					outcomes[i] = &restored
-					o.Metrics.Counter(metrics.CounterSeedsRestored).Inc()
-					progressFindings(o.Progress, restored.Findings)
-					o.Events.Emit("seed_end", map[string]any{
-						"seed": seed, "ok": restored.Ok, "restored": true,
-					})
-					return
-				}
-			}
-			start := time.Now()
-			r := analyzeProgram(o, h, seed)
-			outcomes[i] = outcomeOf(o, r)
-			results[i] = r
-			d := time.Since(start)
-			o.Metrics.Histogram(metrics.HistCampaignSeed).Observe(d)
-			o.Metrics.Counter(metrics.CounterSeedsAnalyzed).Inc()
-			countFailures(o.Metrics, outcomes[i].Failures)
-			progressFindings(o.Progress, outcomes[i].Findings)
-			if o.Checkpoint != nil {
-				errs[i] = o.Checkpoint.Save(seed, outcomes[i])
-				if errs[i] == nil {
-					o.Events.Emit("checkpoint", map[string]any{"seed": seed})
-				}
-			}
-			o.Events.Emit("seed_end", map[string]any{
-				"seed": seed, "ok": outcomes[i].Ok,
-				"failures": len(outcomes[i].Failures), "d_us": d.Microseconds(),
-			})
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	seq := sched.NewSequencer()
+	err := sched.Run(o.Workers, len(members), func(m int) *sched.Job {
+		j := &seedJob{
+			o: &o, h: h, idx: members[m], cfgs: cfgs,
+			slot: m * (len(cfgs) + 2), seq: seq,
+			results: results, outcomes: outcomes,
 		}
+		j.seed = o.BaseSeed + int64(j.idx)
+		return &sched.Job{Prepare: j.prepare, Unit: j.unit, Finalize: j.finalize}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	c := &Campaign{Opts: o, Programs: results, Outcomes: outcomes}
@@ -357,6 +336,18 @@ func Run(o Options) (*Campaign, error) {
 		"seeds": len(c.Outcomes), "failures": len(c.Stats.Failures),
 	})
 	return c, nil
+}
+
+// configKeys returns the campaign's configurations in (personality, level)
+// option order — the unit order of every seed.
+func (o *Options) configKeys() []ConfigKey {
+	keys := make([]ConfigKey, 0, len(o.Personalities)*len(o.Levels))
+	for _, p := range o.Personalities {
+		for _, l := range o.Levels {
+			keys = append(keys, ConfigKey{p, l})
+		}
+	}
+	return keys
 }
 
 // progressFindings publishes a completed seed's findings to the live
@@ -394,11 +385,11 @@ func countFailures(reg *metrics.Registry, failures []harness.Failure) {
 	}
 }
 
-// analyzeProgram runs one seed's full unit of work under the harness:
-// program construction first (failures are infeasible-kind and abandon the
-// seed), then every configuration in isolation (failures are recorded and
-// the remaining configs keep their analyses).
-func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
+// buildProgram runs the program-construction half of a seed under the
+// harness: generation, instrumentation, ground truth, and the marker CFG.
+// Failures are infeasible-kind and abandon the seed; the failure event is
+// buffered into ev for sequenced emission.
+func buildProgram(o Options, h *harness.Harness, seed int64, ev *eventBuf) *ProgramResult {
 	r := &ProgramResult{Seed: seed, PerCfg: map[ConfigKey]*core.Analysis{}}
 	if fail := h.Protect(seed, "", "", func(opt.Observer) error {
 		stop := o.Metrics.Time(metrics.PhaseGenerate)
@@ -427,28 +418,7 @@ func analyzeProgram(o Options, h *harness.Harness, seed int64) *ProgramResult {
 	}); fail != nil {
 		r.Err = fmt.Errorf("seed %d: %s: %s", seed, fail.Kind, fail.Message)
 		r.Failures = append(r.Failures, *fail)
-		o.Events.Emit("failure", failureFields(fail))
-		return r
-	}
-
-	src := ast.Print(r.Ins.Prog)
-	for _, p := range o.Personalities {
-		for _, lvl := range o.Levels {
-			key := ConfigKey{p, lvl}
-			fail := runConfig(o, h, r, key, src, o.Trace)
-			if fail != nil && o.Trace {
-				// Graceful degradation: the recorder itself (or its extra
-				// per-pass IR scans) may be what broke — retry once
-				// untraced before giving up on the config.
-				if retry := runConfig(o, h, r, key, src, false); retry == nil {
-					fail = nil
-				}
-			}
-			if fail != nil {
-				r.Failures = append(r.Failures, *fail)
-				o.Events.Emit("failure", failureFields(fail))
-			}
-		}
+		ev.emit("failure", failureFields(fail))
 	}
 	return r
 }
@@ -465,9 +435,13 @@ func failureFields(f *harness.Failure) map[string]any {
 }
 
 // runConfig compiles and analyzes one configuration under the harness.
-func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool) *harness.Failure {
+// It touches no shared state: the analysis is returned for the seed's
+// finalize stage to merge, and events are buffered into ev for sequenced
+// emission, which is what lets a seed's units run concurrently.
+func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool, ev *eventBuf) (*core.Analysis, *harness.Failure) {
 	cfg := pipeline.New(key.Personality, key.Level)
-	o.Events.Emit("unit_begin", map[string]any{"seed": r.Seed, "config": key.String()})
+	ev.emit("unit_begin", map[string]any{"seed": r.Seed, "config": key.String()})
+	var out *core.Analysis
 	fail := h.Protect(r.Seed, key.String(), src, func(obs opt.Observer) error {
 		var an *core.Analysis
 		var err error
@@ -484,14 +458,17 @@ func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, s
 				return fmt.Errorf("%w: %v", harness.ErrMiscompile, verr)
 			}
 		}
-		r.PerCfg[key] = an
+		out = an
 		return nil
 	})
 	o.Metrics.Counter(metrics.CounterUnits).Inc()
-	o.Events.Emit("unit_end", map[string]any{
+	ev.emit("unit_end", map[string]any{
 		"seed": r.Seed, "config": key.String(), "ok": fail == nil,
 	})
-	return fail
+	if fail != nil {
+		return nil, fail
+	}
+	return out, nil
 }
 
 // aggregate derives Stats and Findings from the seed outcomes alone, so a

@@ -1,0 +1,194 @@
+package corpus
+
+import (
+	"time"
+
+	"dcelens/internal/ast"
+	"dcelens/internal/core"
+	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
+	"dcelens/internal/sched"
+)
+
+// bufEvent is one deferred event-log emission.
+type bufEvent struct {
+	name   string
+	fields map[string]any
+}
+
+// eventBuf collects a stage's events for deferred, sequenced emission:
+// workers record what happened as it happens, but nothing reaches the
+// campaign event log until the owning slot's turn comes up in corpus
+// order. That is what keeps event-log sequence numbers — and the live
+// findings order — independent of how the scheduler interleaved the work.
+type eventBuf []bufEvent
+
+func (b *eventBuf) emit(name string, fields map[string]any) {
+	*b = append(*b, bufEvent{name, fields})
+}
+
+func (b eventBuf) flush(l *metrics.EventLog) {
+	for _, e := range b {
+		l.Emit(e.name, e.fields)
+	}
+}
+
+// seedJob is one seed's fork-join job on the sched engine. Its sequencer
+// slots reproduce the serial event order exactly: slot `slot` carries
+// seed_begin plus the prepare stage's events, slots slot+1+u carry unit
+// u's events in config order, and the final slot carries the checkpoint
+// event, seed_end, and the live-progress findings append.
+//
+// All mutable fields are written by at most one stage at a time; the
+// engine's lock provides the prepare→units→finalize happens-before edges,
+// and each unit writes only its own index of the unit slices.
+type seedJob struct {
+	o    *Options
+	h    *harness.Harness
+	idx  int   // corpus index
+	seed int64 // o.BaseSeed + idx
+	cfgs []ConfigKey
+	slot int // first sequencer slot of this seed's block
+	seq  *sched.Sequencer
+
+	results  []*ProgramResult
+	outcomes []*SeedOutcome
+
+	start    time.Time
+	r        *ProgramResult
+	src      string
+	restored bool
+	unitEv   []eventBuf
+	unitAn   []*core.Analysis
+	unitFail []*harness.Failure
+}
+
+// prepare restores the seed from the checkpoint or builds its program,
+// reporting how many config units follow (0 for restored and
+// program-failed seeds).
+func (j *seedJob) prepare() (int, error) {
+	var ev eventBuf
+	ev.emit("seed_begin", map[string]any{"seed": j.seed})
+	if j.o.Checkpoint != nil {
+		var restored SeedOutcome
+		ok, err := j.o.Checkpoint.Restore(j.seed, &restored)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			// A restored seed contributes its checkpointed outcome to
+			// aggregation but adds nothing to the live registry beyond the
+			// restored count: its failures and timings belong to the
+			// process that computed them.
+			j.restored = true
+			j.outcomes[j.idx] = &restored
+			j.o.Metrics.Counter(metrics.CounterSeedsRestored).Inc()
+			ev.emit("seed_end", map[string]any{
+				"seed": j.seed, "ok": restored.Ok, "restored": true,
+			})
+			j.flush(j.slot, ev, restored.Findings)
+			j.skipUnits()
+			j.seq.Done(j.lastSlot(), nil)
+			return 0, nil
+		}
+	}
+	j.start = time.Now()
+	j.r = buildProgram(*j.o, j.h, j.seed, &ev)
+	if j.r.Err != nil {
+		// Program-level failure: no config units; finalize still records
+		// the outcome, checkpoint, and seed_end.
+		j.flush(j.slot, ev, nil)
+		j.skipUnits()
+		return 0, nil
+	}
+	j.src = ast.Print(j.r.Ins.Prog)
+	j.unitEv = make([]eventBuf, len(j.cfgs))
+	j.unitAn = make([]*core.Analysis, len(j.cfgs))
+	j.unitFail = make([]*harness.Failure, len(j.cfgs))
+	j.flush(j.slot, ev, nil)
+	return len(j.cfgs), nil
+}
+
+// unit compiles and analyzes one configuration, storing its result in the
+// unit's own slot for finalize to merge.
+func (j *seedJob) unit(u int) error {
+	key := j.cfgs[u]
+	ev := &j.unitEv[u]
+	an, fail := runConfig(*j.o, j.h, j.r, key, j.src, j.o.Trace, ev)
+	if fail != nil && j.o.Trace {
+		// Graceful degradation: the recorder itself (or its extra per-pass
+		// IR scans) may be what broke — retry once untraced before giving
+		// up on the config.
+		if ran, retry := runConfig(*j.o, j.h, j.r, key, j.src, false, ev); retry == nil {
+			an, fail = ran, nil
+		}
+	}
+	j.unitAn[u] = an
+	if fail != nil {
+		j.unitFail[u] = fail
+		ev.emit("failure", failureFields(fail))
+	}
+	j.seq.Done(j.slot+1+u, func() { j.unitEv[u].flush(j.o.Events) })
+	return nil
+}
+
+// finalize merges the unit results into the seed's ProgramResult — the
+// single-writer replacement for the per-config map and slice writes the
+// serial loop did in place — then derives the outcome, feeds the metrics
+// and checkpoint, and schedules the seed's closing events.
+func (j *seedJob) finalize() error {
+	if j.restored {
+		return nil
+	}
+	for u := range j.unitAn {
+		if an := j.unitAn[u]; an != nil {
+			j.r.PerCfg[j.cfgs[u]] = an
+		}
+		if f := j.unitFail[u]; f != nil {
+			j.r.Failures = append(j.r.Failures, *f)
+		}
+	}
+	out := outcomeOf(*j.o, j.r)
+	j.outcomes[j.idx] = out
+	j.results[j.idx] = j.r
+	d := time.Since(j.start)
+	j.o.Metrics.Histogram(metrics.HistCampaignSeed).Observe(d)
+	j.o.Metrics.Counter(metrics.CounterSeedsAnalyzed).Inc()
+	countFailures(j.o.Metrics, out.Failures)
+	var ev eventBuf
+	var ckErr error
+	if j.o.Checkpoint != nil {
+		// Save immediately (crash resilience does not wait for sequencing);
+		// only the checkpoint *event* is deferred to the seed's slot.
+		ckErr = j.o.Checkpoint.Save(j.seed, out)
+		if ckErr == nil {
+			ev.emit("checkpoint", map[string]any{"seed": j.seed})
+		}
+	}
+	ev.emit("seed_end", map[string]any{
+		"seed": j.seed, "ok": out.Ok,
+		"failures": len(out.Failures), "d_us": d.Microseconds(),
+	})
+	j.flush(j.lastSlot(), ev, out.Findings)
+	return ckErr
+}
+
+// flush schedules ev's emissions (and a completed seed's findings) for
+// in-order delivery when slot's turn comes.
+func (j *seedJob) flush(slot int, ev eventBuf, findings []Finding) {
+	j.seq.Done(slot, func() {
+		ev.flush(j.o.Events)
+		progressFindings(j.o.Progress, findings)
+	})
+}
+
+// skipUnits releases the seed's unit slots unused (restored seeds and
+// program-level failures have no config units).
+func (j *seedJob) skipUnits() {
+	for u := range j.cfgs {
+		j.seq.Done(j.slot+1+u, nil)
+	}
+}
+
+// lastSlot is the seed's closing slot (checkpoint + seed_end + findings).
+func (j *seedJob) lastSlot() int { return j.slot + 1 + len(j.cfgs) }

@@ -1,0 +1,196 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/pipeline"
+	"dcelens/internal/sched"
+)
+
+// MergeCheckpoints recombines the checkpoints of a sharded campaign into
+// one Campaign, as if the whole corpus had run in a single process. Each
+// path is one shard's checkpoint file; together they must cover every
+// shard of the campaign exactly once, agree on every campaign option, and
+// hold a contiguous corpus (every seed of every finished shard).
+//
+// Aggregation reruns nothing: Stats and Findings derive from the restored
+// outcomes alone, through the same fully-sorted aggregation a live
+// campaign uses, so the merged report is byte-identical to the report an
+// unsharded run over the same corpus would have produced.
+func MergeCheckpoints(paths []string) (*Campaign, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("corpus: merge: no checkpoints given")
+	}
+	type part struct {
+		path  string
+		cp    *harness.Checkpoint
+		meta  map[string]string
+		shard sched.Shard
+	}
+	parts := make([]*part, 0, len(paths))
+	for _, path := range paths {
+		cp, err := harness.LoadCheckpoint(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: merge: %w", err)
+		}
+		meta := cp.Meta()
+		if meta == nil || cp.Len() == 0 {
+			return nil, fmt.Errorf("corpus: merge: %s: empty checkpoint (no completed seeds)", path)
+		}
+		spec, ok := meta["shard"]
+		if !ok {
+			spec = "0/1" // pre-shard checkpoints are whole campaigns
+		}
+		shard, err := sched.ParseShard(spec)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: merge: %s: %w", path, err)
+		}
+		parts = append(parts, &part{path: path, cp: cp, meta: meta, shard: shard})
+	}
+
+	// Every shard must come from the same campaign (identical meta modulo
+	// the shard key) and the set must tile it: same count, each index once.
+	first := parts[0]
+	for _, p := range parts[1:] {
+		for k, v := range first.meta {
+			if k == "shard" {
+				continue
+			}
+			if got := p.meta[k]; got != v {
+				return nil, fmt.Errorf("corpus: merge: %s: campaign mismatch: %s is %q, %s has %q",
+					p.path, k, got, first.path, v)
+			}
+		}
+		if p.shard.Count != first.shard.Count {
+			return nil, fmt.Errorf("corpus: merge: %s is shard %s but %s is shard %s",
+				p.path, p.shard, first.path, first.shard)
+		}
+	}
+	seen := make(map[int]string, len(parts))
+	for _, p := range parts {
+		if prev, dup := seen[p.shard.Index]; dup {
+			return nil, fmt.Errorf("corpus: merge: shard %s given twice (%s and %s)", p.shard, prev, p.path)
+		}
+		seen[p.shard.Index] = p.path
+	}
+	if len(seen) != first.shard.Count {
+		missing := make([]string, 0)
+		for i := 0; i < first.shard.Count; i++ {
+			if _, ok := seen[i]; !ok {
+				missing = append(missing, fmt.Sprintf("%d/%d", i, first.shard.Count))
+			}
+		}
+		return nil, fmt.Errorf("corpus: merge: incomplete shard set: missing %s", strings.Join(missing, ", "))
+	}
+
+	o, err := optionsFromMeta(first.meta)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: merge: %s: %w", first.path, err)
+	}
+
+	byIdx := map[int]*SeedOutcome{}
+	for _, p := range parts {
+		for _, seed := range p.cp.Seeds() {
+			out := &SeedOutcome{}
+			if _, err := p.cp.Restore(seed, out); err != nil {
+				return nil, fmt.Errorf("corpus: merge: %s: %w", p.path, err)
+			}
+			idx := int(seed - o.BaseSeed)
+			if idx < 0 {
+				return nil, fmt.Errorf("corpus: merge: %s: seed %d precedes base seed %d", p.path, seed, o.BaseSeed)
+			}
+			if !p.shard.Member(idx) {
+				return nil, fmt.Errorf("corpus: merge: %s: seed %d does not belong to shard %s", p.path, seed, p.shard)
+			}
+			if _, dup := byIdx[idx]; dup {
+				return nil, fmt.Errorf("corpus: merge: seed %d present in more than one checkpoint", seed)
+			}
+			byIdx[idx] = out
+		}
+	}
+
+	// The union must be a contiguous corpus prefix: a gap means some shard
+	// was interrupted before finishing, and merging would silently drop
+	// seeds from the middle of the corpus.
+	o.Programs = len(byIdx)
+	idxs := make([]int, 0, len(byIdx))
+	for idx := range byIdx {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for want, idx := range idxs {
+		if idx != want {
+			return nil, fmt.Errorf("corpus: merge: incomplete corpus: seed %d missing (shard %s interrupted?)",
+				o.BaseSeed+int64(want), seen[want%first.shard.Count])
+		}
+	}
+
+	c := &Campaign{
+		Opts:     o,
+		Programs: make([]*ProgramResult, o.Programs),
+		Outcomes: make([]*SeedOutcome, o.Programs),
+	}
+	for idx, out := range byIdx {
+		c.Outcomes[idx] = out
+	}
+	c.aggregate()
+	return c, nil
+}
+
+// optionsFromMeta reconstructs the aggregation-relevant campaign options
+// from checkpoint metadata (the same fields campaignMeta records).
+func optionsFromMeta(meta map[string]string) (Options, error) {
+	var o Options
+	base, err := strconv.ParseInt(meta["base_seed"], 10, 64)
+	if err != nil {
+		return o, fmt.Errorf("bad base_seed %q", meta["base_seed"])
+	}
+	o.BaseSeed = base
+	if o.Trace, err = strconv.ParseBool(meta["trace"]); err != nil {
+		return o, fmt.Errorf("bad trace %q", meta["trace"])
+	}
+	if o.VerifySemantics, err = strconv.ParseBool(meta["verify"]); err != nil {
+		return o, fmt.Errorf("bad verify %q", meta["verify"])
+	}
+	for _, s := range strings.Split(meta["personalities"], ";") {
+		if s == "" {
+			continue
+		}
+		p := pipeline.Personality(s)
+		if p != pipeline.GCC && p != pipeline.LLVM {
+			return o, fmt.Errorf("unknown personality %q", s)
+		}
+		o.Personalities = append(o.Personalities, p)
+	}
+	if len(o.Personalities) == 0 {
+		return o, fmt.Errorf("no personalities recorded")
+	}
+	for _, s := range strings.Split(meta["levels"], ";") {
+		if s == "" {
+			continue
+		}
+		lvl, ok := parseLevel(s)
+		if !ok {
+			return o, fmt.Errorf("unknown level %q", s)
+		}
+		o.Levels = append(o.Levels, lvl)
+	}
+	if len(o.Levels) == 0 {
+		return o, fmt.Errorf("no levels recorded")
+	}
+	return o, nil
+}
+
+// parseLevel maps a rendered level name ("-O2") back to its Level.
+func parseLevel(s string) (pipeline.Level, bool) {
+	for _, l := range pipeline.Levels {
+		if l.String() == s {
+			return l, true
+		}
+	}
+	return 0, false
+}

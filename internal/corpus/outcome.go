@@ -86,5 +86,6 @@ func campaignMeta(o Options) map[string]string {
 		"verify":        fmt.Sprint(o.VerifySemantics),
 		"personalities": perss,
 		"levels":        lvls,
+		"shard":         o.Shard.String(),
 	}
 }

@@ -1,0 +1,258 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcelens/internal/harness"
+	"dcelens/internal/metrics"
+	"dcelens/internal/sched"
+)
+
+// eventIdentity projects a JSONL event stream onto its identity fields:
+// timing fields (t_ms, d_us, workers) vary run to run, everything else —
+// including seq — must be byte-identical between a serial and a parallel
+// campaign.
+func eventIdentity(t *testing.T, raw string) []string {
+	t.Helper()
+	var out []string
+	wantSeq := int64(1)
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		seq := int64(obj["seq"].(float64))
+		if seq != wantSeq {
+			t.Fatalf("event seq %d out of order (want %d): %s", seq, wantSeq, line)
+		}
+		wantSeq++
+		delete(obj, "t_ms")
+		delete(obj, "d_us")
+		delete(obj, "workers")
+		b, err := json.Marshal(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// TestParallelMatchesSerial: a campaign on 8 workers produces outcomes,
+// stats, findings, and an event stream (modulo timing fields)
+// byte-identical to the 1-worker run.
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) (*Campaign, string) {
+		var buf bytes.Buffer
+		ev := metrics.NewEventLog(&buf)
+		c, err := Run(Options{Programs: 6, BaseSeed: 400, Workers: workers, Events: ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, buf.String()
+	}
+	serial, sev := run(1)
+	parallel, pev := run(8)
+
+	for i := range serial.Outcomes {
+		a, _ := json.Marshal(serial.Outcomes[i])
+		b, _ := json.Marshal(parallel.Outcomes[i])
+		if string(a) != string(b) {
+			t.Errorf("outcome %d differs:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Error("stats differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.Findings, parallel.Findings) {
+		t.Error("findings differ between 1 and 8 workers")
+	}
+	sid, pid := eventIdentity(t, sev), eventIdentity(t, pev)
+	if len(sid) != len(pid) {
+		t.Fatalf("event counts differ: %d vs %d", len(sid), len(pid))
+	}
+	for i := range sid {
+		if sid[i] != pid[i] {
+			t.Errorf("event %d differs:\n%s\nvs\n%s", i, sid[i], pid[i])
+		}
+	}
+}
+
+// TestShardMembership: a shard computes exactly its own corpus slice and
+// emits events for no one else's seeds.
+func TestShardMembership(t *testing.T) {
+	var buf bytes.Buffer
+	shard := sched.Shard{Index: 1, Count: 3}
+	c, err := Run(Options{
+		Programs: 10, BaseSeed: 500, Shard: shard,
+		Events: metrics.NewEventLog(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := 0
+	for i, out := range c.Outcomes {
+		if shard.Member(i) {
+			members++
+			if out == nil {
+				t.Errorf("member index %d has no outcome", i)
+			}
+		} else if out != nil {
+			t.Errorf("non-member index %d was computed", i)
+		}
+	}
+	if members != shard.Size(10) {
+		t.Fatalf("computed %d seeds, want %d", members, shard.Size(10))
+	}
+	if c.Stats.Programs != members {
+		t.Errorf("stats count %d programs, want the shard's %d", c.Stats.Programs, members)
+	}
+	for _, line := range eventIdentity(t, buf.String()) {
+		var obj map[string]any
+		json.Unmarshal([]byte(line), &obj)
+		seed, ok := obj["seed"].(float64)
+		if !ok {
+			continue
+		}
+		if idx := int(int64(seed) - 500); !shard.Member(idx) {
+			t.Errorf("event for non-member seed %d: %s", int64(seed), line)
+		}
+	}
+}
+
+// shardedCheckpoints runs every shard of a campaign in its own process
+// image (fresh checkpoint file per shard) and returns the paths.
+func shardedCheckpoints(t *testing.T, o Options, count int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, count)
+	for i := 0; i < count; i++ {
+		so := o
+		so.Shard = sched.Shard{Index: i, Count: count}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		so.Checkpoint = harness.NewCheckpoint(paths[i])
+		if _, err := Run(so); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// TestMergeCheckpoints is the shard acceptance test: two shard halves,
+// run as separate campaigns and merged from their checkpoints, aggregate
+// byte-identically to the unsharded run.
+func TestMergeCheckpoints(t *testing.T) {
+	base := Options{Programs: 6, BaseSeed: 300}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := shardedCheckpoints(t, base, 2)
+	merged, err := MergeCheckpoints(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Opts.Programs != 6 || merged.Opts.BaseSeed != 300 {
+		t.Fatalf("merged options wrong: %+v", merged.Opts)
+	}
+	for i := range full.Outcomes {
+		a, _ := json.Marshal(full.Outcomes[i])
+		b, _ := json.Marshal(merged.Outcomes[i])
+		if string(a) != string(b) {
+			t.Errorf("outcome %d differs:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(full.Stats, merged.Stats) {
+		t.Error("merged stats differ from the unsharded run")
+	}
+	if !reflect.DeepEqual(full.Findings, merged.Findings) {
+		t.Error("merged findings differ from the unsharded run")
+	}
+}
+
+// TestMergeCheckpointErrors: the merge refuses duplicate shards, missing
+// shards, mismatched campaigns, and gapped corpora.
+func TestMergeCheckpointErrors(t *testing.T) {
+	base := Options{Programs: 6, BaseSeed: 300}
+	paths := shardedCheckpoints(t, base, 2)
+
+	if _, err := MergeCheckpoints([]string{paths[0], paths[0]}); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate shard accepted: %v", err)
+	}
+	if _, err := MergeCheckpoints([]string{paths[0]}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("incomplete shard set accepted: %v", err)
+	}
+	other := shardedCheckpoints(t, Options{Programs: 6, BaseSeed: 999}, 2)
+	if _, err := MergeCheckpoints([]string{paths[0], other[1]}); err == nil ||
+		!strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("mixed campaigns accepted: %v", err)
+	}
+
+	// An interrupted shard (half its seeds) leaves a gap in the corpus.
+	dir := t.TempDir()
+	halted := filepath.Join(dir, "halted.json")
+	if _, err := Run(Options{
+		Programs: 2, BaseSeed: 300, Shard: sched.Shard{Index: 1, Count: 2},
+		Checkpoint: harness.NewCheckpoint(halted),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints([]string{paths[0], halted}); err == nil ||
+		!strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("gapped corpus accepted: %v", err)
+	}
+}
+
+// TestShardResume: an interrupted shard resumes from its checkpoint to the
+// same outcomes as an uninterrupted shard run, and a resume that forgets
+// the -shard flag is refused rather than silently recomputing the corpus.
+func TestShardResume(t *testing.T) {
+	shard := sched.Shard{Index: 0, Count: 2}
+	direct, err := Run(Options{Programs: 6, BaseSeed: 300, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if _, err := Run(Options{
+		Programs: 3, BaseSeed: 300, Shard: shard,
+		Checkpoint: harness.NewCheckpoint(path),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := harness.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != shard.Size(3) {
+		t.Fatalf("halted shard checkpointed %d seeds, want %d", cp.Len(), shard.Size(3))
+	}
+
+	// Forgetting -shard on resume must fail the meta check.
+	if _, err := Run(Options{Programs: 6, BaseSeed: 300, Checkpoint: cp}); err == nil {
+		t.Error("resume without the shard flag accepted a shard checkpoint")
+	}
+
+	resumed, err := Run(Options{Programs: 6, BaseSeed: 300, Shard: shard, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Outcomes {
+		a, _ := json.Marshal(direct.Outcomes[i])
+		b, _ := json.Marshal(resumed.Outcomes[i])
+		if string(a) != string(b) {
+			t.Errorf("outcome %d differs after shard resume:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(direct.Stats, resumed.Stats) {
+		t.Error("stats differ after shard resume")
+	}
+}

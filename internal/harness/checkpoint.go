@@ -90,6 +90,22 @@ func (c *Checkpoint) Bind(meta map[string]string) error {
 	return nil
 }
 
+// Meta returns a copy of the campaign identity the checkpoint is bound to
+// (nil for a never-bound checkpoint). Merging tools use it to verify that
+// shard checkpoints came from compatibly-configured campaigns.
+func (c *Checkpoint) Meta() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.meta == nil {
+		return nil
+	}
+	out := make(map[string]string, len(c.meta))
+	for k, v := range c.meta {
+		out[k] = v
+	}
+	return out
+}
+
 // Len reports how many seeds have completed.
 func (c *Checkpoint) Len() int {
 	c.mu.Lock()

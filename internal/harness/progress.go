@@ -46,6 +46,15 @@ func (p *Progress) Total() int {
 	return p.total
 }
 
+// Workers returns the parallel worker count the campaign runs on (the
+// denominator of the ETA estimate; the monitor's /progress reports it).
+func (p *Progress) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
 // Done returns the number of completed seeds (freshly analyzed plus
 // checkpoint-restored).
 func (p *Progress) Done() int {

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"dcelens/internal/metrics"
+)
+
+// TestProgressConcurrentWriters hammers Progress from writer goroutines
+// (the campaign workers appending findings and bumping counters) while
+// readers poll every accessor (the heartbeat and the monitor endpoints).
+// It asserts the end state and, under -race, that no access is unsynchronized.
+func TestProgressConcurrentWriters(t *testing.T) {
+	reg := metrics.New()
+	p := NewProgress(64, 8, reg)
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Done()
+				p.Findings()
+				p.FindingCount()
+				p.FailureCounts()
+				p.ETA()
+				p.Workers()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				p.AddFindings(map[string]any{"writer": w, "i": i})
+				reg.Counter(metrics.CounterSeedsAnalyzed).Inc()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if n := p.FindingCount(); n != writers*perWriter {
+		t.Fatalf("findings lost: %d, want %d", n, writers*perWriter)
+	}
+	if p.Done() != writers*perWriter {
+		t.Fatalf("done count %d, want %d", p.Done(), writers*perWriter)
+	}
+}

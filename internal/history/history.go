@@ -89,6 +89,12 @@ type Snapshot struct {
 	Personalities []string `json:"personalities"`
 	Levels        []string `json:"levels"`
 
+	// Shard marks a partial snapshot: this run covered only the "i/n"
+	// corpus slice. Sharded snapshots are not directly comparable to whole
+	// runs; MergeShards recombines a full set into one whole-corpus
+	// snapshot (and dce-trend refuses ungrouped shard snapshots).
+	Shard string `json:"shard,omitempty"`
+
 	// Aggregate corpus statistics.
 	TotalMarkers int `json:"total_markers"`
 	DeadMarkers  int `json:"dead_markers"`
@@ -97,6 +103,12 @@ type Snapshot struct {
 	// of dead markers it eliminated — the headline rate whose drop across
 	// runs is a regression.
 	Elimination map[string]float64 `json:"elimination_rate"`
+
+	// Missed holds the integer missed-marker counts behind Elimination.
+	// Rates do not merge losslessly across shards; these counts do, and
+	// MergeShards recomputes the merged rates from them with the exact
+	// division an unsharded run would have performed.
+	Missed map[string]int `json:"missed,omitempty"`
 
 	// Failures is the per-kind failure count (crash/timeout/...).
 	Failures map[string]int `json:"failures,omitempty"`
@@ -129,11 +141,20 @@ func NewSnapshot(tool string, c *corpus.Campaign, reg *metrics.Registry) *Snapsh
 	for _, l := range c.Opts.Levels {
 		s.Levels = append(s.Levels, l.String())
 	}
+	if c.Opts.Shard.Sharded() {
+		s.Shard = c.Opts.Shard.String()
+	}
 	s.TotalMarkers = c.Stats.TotalMarkers
 	s.DeadMarkers = c.Stats.DeadMarkers
 	if c.Stats.DeadMarkers > 0 {
 		for key, missed := range c.Stats.Missed {
 			s.Elimination[key.String()] = 1 - float64(missed)/float64(c.Stats.DeadMarkers)
+		}
+	}
+	if len(c.Stats.Missed) > 0 {
+		s.Missed = map[string]int{}
+		for key, missed := range c.Stats.Missed {
+			s.Missed[key.String()] = missed
 		}
 	}
 	for kind, n := range map[string]int{

@@ -1,0 +1,136 @@
+package history
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"dcelens/internal/sched"
+)
+
+// MergeShards recombines the per-shard snapshots of one sharded campaign
+// into the whole-corpus snapshot the unsharded run would have written. The
+// set must be complete (every shard index exactly once, all with the same
+// count) and configuration-consistent; marker counts, missed counts, and
+// failure counts sum, elimination rates are recomputed from the summed
+// integers with the exact division an unsharded run performs, and finding
+// records merge by fingerprint. Deterministic shard snapshots therefore
+// merge to bytes identical to the unsharded run's snapshot.
+func MergeShards(snaps []*Snapshot) (*Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("history: merge: no snapshots given")
+	}
+	shards := make([]sched.Shard, len(snaps))
+	for i, s := range snaps {
+		if s.Shard == "" {
+			return nil, fmt.Errorf("history: merge: snapshot %d is not a shard snapshot", i)
+		}
+		sh, err := sched.ParseShard(s.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("history: merge: snapshot %d: %w", i, err)
+		}
+		shards[i] = sh
+		if s.Missed == nil && len(s.Elimination) > 0 {
+			return nil, fmt.Errorf("history: merge: shard %s predates missed counts; re-run the shard", s.Shard)
+		}
+	}
+	first := snaps[0]
+	seen := map[int]int{}
+	for i, s := range snaps {
+		if shards[i].Count != shards[0].Count {
+			return nil, fmt.Errorf("history: merge: shard %s does not tile with %s", s.Shard, first.Shard)
+		}
+		if prev, dup := seen[shards[i].Index]; dup {
+			return nil, fmt.Errorf("history: merge: shard %s given twice (snapshots %d and %d)", s.Shard, prev, i)
+		}
+		seen[shards[i].Index] = i
+		if s.Tool != first.Tool || s.Programs != first.Programs || s.BaseSeed != first.BaseSeed ||
+			!reflect.DeepEqual(s.Personalities, first.Personalities) ||
+			!reflect.DeepEqual(s.Levels, first.Levels) {
+			return nil, fmt.Errorf("history: merge: shard %s is from a different campaign than %s", s.Shard, first.Shard)
+		}
+	}
+	if len(seen) != shards[0].Count {
+		var missing []string
+		for i := 0; i < shards[0].Count; i++ {
+			if _, ok := seen[i]; !ok {
+				missing = append(missing, fmt.Sprintf("%d/%d", i, shards[0].Count))
+			}
+		}
+		return nil, fmt.Errorf("history: merge: incomplete shard set: missing %s", strings.Join(missing, ", "))
+	}
+
+	m := &Snapshot{
+		Schema:        SchemaVersion,
+		Tool:          first.Tool,
+		Programs:      first.Programs,
+		BaseSeed:      first.BaseSeed,
+		Personalities: first.Personalities,
+		Levels:        first.Levels,
+		Elimination:   map[string]float64{},
+		Failures:      map[string]int{},
+	}
+	byFp := map[string]int{}
+	for _, s := range snaps {
+		m.TotalMarkers += s.TotalMarkers
+		m.DeadMarkers += s.DeadMarkers
+		for key, n := range s.Missed {
+			if m.Missed == nil {
+				m.Missed = map[string]int{}
+			}
+			m.Missed[key] += n
+		}
+		for kind, n := range s.Failures {
+			m.Failures[kind] += n
+		}
+		if s.Time > m.Time {
+			m.Time = s.Time // RFC3339 sorts chronologically; the run ended last
+		}
+		for pass, ns := range s.PassTotalNs {
+			if m.PassTotalNs == nil {
+				m.PassTotalNs = map[string]int64{}
+			}
+			m.PassTotalNs[pass] += ns
+		}
+		for _, fr := range s.Findings {
+			i, ok := byFp[fr.Fingerprint]
+			if !ok {
+				i = len(m.Findings)
+				byFp[fr.Fingerprint] = i
+				rec := fr
+				rec.Count = 0
+				rec.Seeds = nil
+				m.Findings = append(m.Findings, rec)
+			}
+			m.Findings[i].Count += fr.Count
+			m.Findings[i].Seeds = append(m.Findings[i].Seeds, fr.Seeds...)
+		}
+	}
+	if m.DeadMarkers > 0 {
+		for key, missed := range m.Missed {
+			m.Elimination[key] = 1 - float64(missed)/float64(m.DeadMarkers)
+		}
+	}
+	if len(m.Failures) == 0 {
+		m.Failures = map[string]int{}
+	}
+	for i := range m.Findings {
+		seeds := m.Findings[i].Seeds
+		sort.Slice(seeds, func(a, b int) bool { return seeds[a] < seeds[b] })
+		dedup := seeds[:0]
+		for _, s := range seeds {
+			if len(dedup) == 0 || dedup[len(dedup)-1] != s {
+				dedup = append(dedup, s)
+			}
+		}
+		if len(dedup) > seedSampleCap {
+			dedup = dedup[:seedSampleCap]
+		}
+		m.Findings[i].Seeds = dedup
+	}
+	sort.Slice(m.Findings, func(a, b int) bool {
+		return m.Findings[a].Fingerprint < m.Findings[b].Fingerprint
+	})
+	return m, nil
+}

@@ -1,0 +1,85 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcelens/internal/corpus"
+	"dcelens/internal/sched"
+)
+
+// shardSnapshots runs one real campaign whole and as n shards, returning
+// the whole-corpus snapshot and the per-shard snapshots (all from
+// deterministic registries, so byte comparison is meaningful).
+func shardSnapshots(t *testing.T, n int) (*Snapshot, []*Snapshot) {
+	t.Helper()
+	opts := corpus.Options{Programs: 5, BaseSeed: 700}
+	full, err := corpus.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := NewSnapshot("dce-campaign", full, nil)
+	parts := make([]*Snapshot, n)
+	for i := 0; i < n; i++ {
+		so := opts
+		so.Shard = sched.Shard{Index: i, Count: n}
+		c, err := corpus.Run(so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = NewSnapshot("dce-campaign", c, nil)
+		if parts[i].Shard != so.Shard.String() {
+			t.Fatalf("shard snapshot not marked: %q", parts[i].Shard)
+		}
+	}
+	return whole, parts
+}
+
+// TestMergeShardsMatchesWholeRun: merging a complete shard set reproduces
+// the unsharded snapshot byte for byte.
+func TestMergeShardsMatchesWholeRun(t *testing.T) {
+	whole, parts := shardSnapshots(t, 2)
+	merged, err := MergeShards(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := whole.Marshal()
+	b, _ := merged.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Errorf("merged snapshot differs from whole run:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMergeShardsValidation: incomplete, duplicated, unsharded, and
+// mismatched inputs are refused.
+func TestMergeShardsValidation(t *testing.T) {
+	whole, parts := shardSnapshots(t, 2)
+
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MergeShards(parts[:1]); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("incomplete set: %v", err)
+	}
+	if _, err := MergeShards([]*Snapshot{parts[0], parts[0]}); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate shard: %v", err)
+	}
+	if _, err := MergeShards([]*Snapshot{parts[0], whole}); err == nil {
+		t.Error("unsharded snapshot accepted in a shard set")
+	}
+	other := *parts[1]
+	other.BaseSeed++
+	if _, err := MergeShards([]*Snapshot{parts[0], &other}); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Errorf("mismatched campaign: %v", err)
+	}
+	legacy := *parts[1]
+	legacy.Missed = nil
+	if _, err := MergeShards([]*Snapshot{parts[0], &legacy}); err == nil ||
+		!strings.Contains(err.Error(), "missed counts") {
+		t.Errorf("legacy snapshot without missed counts: %v", err)
+	}
+}

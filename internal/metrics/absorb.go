@@ -1,0 +1,56 @@
+package metrics
+
+import "math"
+
+// Absorb folds an exported snapshot into this registry: counters add,
+// gauges keep the larger value (they record campaign-wide peaks), and
+// histograms merge count, sum, max, and per-bucket totals. It is how a
+// merge tool combines the per-shard metrics of a sharded campaign into one
+// table: counts and bucket totals are additive across shards, and with
+// both registries in deterministic mode the merged table renders exactly
+// as an unsharded run's would.
+//
+// Quantiles are recomputed from the merged buckets, not averaged — the
+// merged histogram is indistinguishable from one that observed both
+// shards' durations directly.
+func (r *Registry) Absorb(s *RegistrySnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		if g := r.Gauge(name); v > g.Value() {
+			g.Set(v)
+		}
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name).absorb(hs)
+	}
+}
+
+// absorb merges one exported histogram into h. Snapshot buckets carry their
+// exact upper bounds (every registry shares the fixed bucketBounds), so
+// each maps back onto its own bucket; the overflow bucket travels as
+// math.MaxInt64.
+func (h *Histogram) absorb(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.SumNs)
+	for {
+		cur := h.max.Load()
+		if s.MaxNs <= cur || h.max.CompareAndSwap(cur, s.MaxNs) {
+			break
+		}
+	}
+	for _, b := range s.Buckets {
+		i := len(bucketBounds)
+		if b.LeNs != math.MaxInt64 {
+			i = bucketIndex(b.LeNs)
+		}
+		h.buckets[i].Add(b.Count)
+	}
+}

@@ -94,6 +94,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type ProgressReply struct {
 	SeedsTotal int              `json:"seeds_total"`
 	SeedsDone  int              `json:"seeds_done"`
+	Workers    int              `json:"workers"`
 	Findings   int              `json:"findings"`
 	Failures   map[string]int64 `json:"failures"`
 	ElapsedMs  int64            `json:"elapsed_ms"`
@@ -107,6 +108,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ProgressReply{
 		SeedsTotal: p.Total(),
 		SeedsDone:  p.Done(),
+		Workers:    p.Workers(),
 		Findings:   p.FindingCount(),
 		Failures:   p.FailureCounts(),
 		ElapsedMs:  p.Elapsed().Milliseconds(),

@@ -1,0 +1,238 @@
+// Package sched is the campaign's parallel execution engine: a pull-based
+// scheduler that runs fork-join jobs on a bounded worker pool while keeping
+// every observable output in a deterministic order.
+//
+// The corpus layer decomposes a campaign into one Job per seed: Prepare
+// builds the program (or restores it from a checkpoint), each Unit compiles
+// one (personality, level) configuration, and Finalize merges the units
+// into the seed's outcome. The engine schedules all of it on N workers;
+// the Sequencer (seq.go) then releases side effects — event-log emissions,
+// live-progress appends — in corpus order regardless of completion order,
+// which is what makes a parallel run byte-identical to a serial one.
+//
+// Design rules:
+//
+//   - Pull, don't push: workers take the lowest-ordered ready item from a
+//     shared priority queue. Ordering the queue by (job, stage) keeps the
+//     in-flight window dense, so the Sequencer's reorder buffer stays small.
+//   - Fork-join per job: a job's units only become ready once its Prepare
+//     returns, and its Finalize runs exactly once, after its last unit, on
+//     the worker that finished it. The engine's lock provides the
+//     happens-before edges, so per-job state needs no further synchronization.
+//   - Contain failures: a panic or error in any stage fails that job alone;
+//     the other jobs run to completion and Run reports the first failed
+//     job's error (in job order, matching a serial loop). A dying worker
+//     can therefore never deadlock or abort the campaign.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one fork-join work stream. Prepare reports how many units follow
+// (0 skips straight to Finalize); each Unit call receives its index in
+// [0, units); Finalize runs after the last unit completes. A stage that
+// returns an error (or panics) fails the job: its remaining stages are
+// skipped, and Run returns the error.
+type Job struct {
+	Prepare  func() (units int, err error)
+	Unit     func(u int) error
+	Finalize func() error
+}
+
+// prepareStage orders a job's prepare item ahead of its units in the ready
+// queue.
+const prepareStage = -1
+
+// item is one ready queue entry: a job's prepare (unit == prepareStage) or
+// one of its units.
+type item struct {
+	job  int
+	unit int
+}
+
+// itemHeap orders ready items by (job, stage): earlier jobs first, a job's
+// prepare before its units. Workers always pull the item the deterministic
+// output order is waiting on.
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].job != h[j].job {
+		return h[i].job < h[j].job
+	}
+	return h[i].unit < h[j].unit
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// jobState tracks one job's progress through the engine.
+type jobState struct {
+	job     *Job
+	pending int  // units not yet completed (valid after prepare)
+	failed  bool // a stage errored or panicked; skip what remains
+}
+
+type engine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  itemHeap
+	active int // items currently executing on workers
+	jobs   []*jobState
+	errs   []error
+}
+
+// Run executes jobs 0..jobs-1, built on demand by build, on at most
+// workers concurrent goroutines (workers <= 0 means GOMAXPROCS). It
+// returns after every job has either finished or failed; the result is the
+// first failed job's error in job order, or nil.
+func Run(workers, jobs int, build func(i int) *Job) error {
+	if jobs <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	e := &engine{
+		jobs: make([]*jobState, jobs),
+		errs: make([]error, jobs),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.ready = make(itemHeap, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		e.jobs[i] = &jobState{job: build(i)}
+		heap.Push(&e.ready, item{job: i, unit: prepareStage})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+	wg.Wait()
+	for _, err := range e.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worker pulls ready items until no work remains. The pool is quiescent —
+// and every worker exits — exactly when the queue is empty and nothing is
+// executing, since only executing items enqueue new ones.
+func (e *engine) worker() {
+	e.mu.Lock()
+	for {
+		for len(e.ready) == 0 && e.active > 0 {
+			e.cond.Wait()
+		}
+		if len(e.ready) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&e.ready).(item)
+		e.active++
+		e.mu.Unlock()
+		e.run(it)
+		e.mu.Lock()
+		e.active--
+		if e.active == 0 && len(e.ready) == 0 {
+			e.cond.Broadcast()
+		}
+	}
+}
+
+// run executes one item outside the engine lock and requeues the work it
+// unlocks: a prepared job's units, or (inline) a drained job's finalize.
+func (e *engine) run(it item) {
+	js := e.jobs[it.job]
+	if it.unit == prepareStage {
+		var units int
+		err := capture(it.job, "prepare", func() (err error) {
+			units, err = js.job.Prepare()
+			return err
+		})
+		if err != nil {
+			e.fail(it.job, err)
+			return
+		}
+		if units <= 0 {
+			e.finalize(it.job)
+			return
+		}
+		e.mu.Lock()
+		js.pending = units
+		for u := 0; u < units; u++ {
+			heap.Push(&e.ready, item{job: it.job, unit: u})
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return
+	}
+	err := capture(it.job, fmt.Sprintf("unit %d", it.unit), func() error {
+		return js.job.Unit(it.unit)
+	})
+	e.mu.Lock()
+	if err != nil {
+		if e.errs[it.job] == nil {
+			e.errs[it.job] = err
+		}
+		js.failed = true
+	}
+	js.pending--
+	last := js.pending == 0
+	failed := js.failed
+	e.mu.Unlock()
+	if last && !failed {
+		e.finalize(it.job)
+	}
+}
+
+// finalize runs a job's Finalize on the current worker.
+func (e *engine) finalize(j int) {
+	if e.jobs[j].job.Finalize == nil {
+		return
+	}
+	if err := capture(j, "finalize", e.jobs[j].job.Finalize); err != nil {
+		e.fail(j, err)
+	}
+}
+
+// fail records a job's first error and marks it failed.
+func (e *engine) fail(j int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.errs[j] == nil {
+		e.errs[j] = err
+	}
+	e.jobs[j].failed = true
+}
+
+// capture runs one stage, converting a panic into an error so a dying
+// worker fails its job instead of the process. (The corpus layer's harness
+// already converts panics inside compilation into Failure records; this is
+// the engine's own backstop for everything outside that protection.)
+func capture(job int, stage string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %d: %s: panic: %v", job, stage, r)
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,329 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEngineRunsEveryStage: each job's prepare runs before its units, every
+// unit runs exactly once, and finalize runs after the last unit — across
+// worker counts, including more workers than jobs.
+func TestEngineRunsEveryStage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 32} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const jobs, units = 9, 5
+			prepared := make([]atomic.Bool, jobs)
+			unitRuns := make([][]atomic.Int32, jobs)
+			finalized := make([]atomic.Int32, jobs)
+			for i := range unitRuns {
+				unitRuns[i] = make([]atomic.Int32, units)
+			}
+			err := Run(workers, jobs, func(i int) *Job {
+				return &Job{
+					Prepare: func() (int, error) {
+						prepared[i].Store(true)
+						return units, nil
+					},
+					Unit: func(u int) error {
+						if !prepared[i].Load() {
+							t.Errorf("job %d unit %d ran before prepare", i, u)
+						}
+						unitRuns[i][u].Add(1)
+						return nil
+					},
+					Finalize: func() error {
+						for u := range unitRuns[i] {
+							if n := unitRuns[i][u].Load(); n != 1 {
+								t.Errorf("job %d finalize saw unit %d run %d times", i, u, n)
+							}
+						}
+						finalized[i].Add(1)
+						return nil
+					},
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range finalized {
+				if n := finalized[i].Load(); n != 1 {
+					t.Errorf("job %d finalized %d times, want 1", i, n)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineZeroUnits: a prepare that returns 0 units skips straight to
+// finalize (the checkpoint-restored-seed shape).
+func TestEngineZeroUnits(t *testing.T) {
+	var finalized atomic.Int32
+	err := Run(2, 3, func(i int) *Job {
+		return &Job{
+			Prepare:  func() (int, error) { return 0, nil },
+			Unit:     func(u int) error { t.Errorf("job %d ran unit %d", i, u); return nil },
+			Finalize: func() error { finalized.Add(1); return nil },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalized.Load() != 3 {
+		t.Fatalf("finalized %d jobs, want 3", finalized.Load())
+	}
+}
+
+// TestEngineWorkerBound: no more than the requested number of items
+// executes concurrently.
+func TestEngineWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := Run(workers, 8, func(i int) *Job {
+		busy := func() {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}
+		return &Job{
+			Prepare:  func() (int, error) { busy(); return 2, nil },
+			Unit:     func(int) error { busy(); return nil },
+			Finalize: func() error { busy(); return nil },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestEngineErrorIsolation: a failing job skips its own finalize but does
+// not disturb the other jobs; Run reports the first failure in job order.
+func TestEngineErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	var finals sync.Map
+	err := Run(4, 6, func(i int) *Job {
+		return &Job{
+			Prepare: func() (int, error) { return 2, nil },
+			Unit: func(u int) error {
+				if i == 3 && u == 1 {
+					return fmt.Errorf("job %d: %w", i, boom)
+				}
+				return nil
+			},
+			Finalize: func() error { finals.Store(i, true); return nil },
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want the injected failure", err)
+	}
+	for i := 0; i < 6; i++ {
+		_, ok := finals.Load(i)
+		if i == 3 && ok {
+			t.Error("failed job 3 still finalized")
+		}
+		if i != 3 && !ok {
+			t.Errorf("healthy job %d did not finalize", i)
+		}
+	}
+}
+
+// TestEngineWorkerDeath: a unit that panics (a worker dying mid-unit) is
+// contained — the engine converts it to that job's error, every other job
+// completes, and the pool drains without deadlock.
+func TestEngineWorkerDeath(t *testing.T) {
+	var finalized atomic.Int32
+	err := Run(4, 8, func(i int) *Job {
+		return &Job{
+			Prepare: func() (int, error) { return 3, nil },
+			Unit: func(u int) error {
+				if i == 2 && u == 1 {
+					panic("worker died mid-unit")
+				}
+				return nil
+			},
+			Finalize: func() error { finalized.Add(1); return nil },
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic: worker died mid-unit") {
+		t.Fatalf("Run error = %v, want the recovered panic", err)
+	}
+	if !strings.Contains(err.Error(), "job 2") {
+		t.Fatalf("Run error = %v, want the failing job named", err)
+	}
+	if finalized.Load() != 7 {
+		t.Fatalf("finalized %d jobs, want 7 (all but the dead one)", finalized.Load())
+	}
+}
+
+// TestEnginePrepareError: a failing prepare skips the job's units and
+// finalize entirely.
+func TestEnginePrepareError(t *testing.T) {
+	boom := errors.New("prepare failed")
+	var units, finals atomic.Int32
+	err := Run(2, 4, func(i int) *Job {
+		return &Job{
+			Prepare: func() (int, error) {
+				if i == 1 {
+					return 5, boom
+				}
+				return 1, nil
+			},
+			Unit: func(int) error {
+				units.Add(1)
+				return nil
+			},
+			Finalize: func() error { finals.Add(1); return nil },
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want prepare failure", err)
+	}
+	if units.Load() != 3 || finals.Load() != 3 {
+		t.Fatalf("units=%d finals=%d, want 3 each (failed job fully skipped)", units.Load(), finals.Load())
+	}
+}
+
+// TestEngineFirstErrorInJobOrder: with several failures, Run reports the
+// lowest-numbered job's error, matching what a serial loop would surface.
+func TestEngineFirstErrorInJobOrder(t *testing.T) {
+	err := Run(4, 6, func(i int) *Job {
+		return &Job{
+			Prepare: func() (int, error) { return 1, nil },
+			Unit: func(int) error {
+				if i%2 == 1 {
+					return fmt.Errorf("job %d failed", i)
+				}
+				return nil
+			},
+			Finalize: func() error { return nil },
+		}
+	})
+	if err == nil || err.Error() != "job 1 failed" {
+		t.Fatalf("Run error = %v, want job 1's (first in job order)", err)
+	}
+}
+
+// TestSequencerOrder: flush actions run in slot order even when slots
+// complete in a shuffled order from many goroutines.
+func TestSequencerOrder(t *testing.T) {
+	const slots = 200
+	s := NewSequencer()
+	order := rand.New(rand.NewSource(7)).Perm(slots)
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	for _, slot := range order {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if slot%3 == 0 {
+				s.Done(slot, nil) // nil actions advance the frontier too
+				return
+			}
+			s.Done(slot, func() {
+				mu.Lock()
+				got = append(got, slot)
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	if s.Flushed() != slots {
+		t.Fatalf("frontier = %d, want %d", s.Flushed(), slots)
+	}
+	want := 0
+	for _, slot := range got {
+		for want%3 == 0 {
+			want++ // nil slots recorded nothing
+		}
+		if slot != want {
+			t.Fatalf("flush order %v... broke at slot %d (want %d)", got[:5], slot, want)
+		}
+		want++
+	}
+}
+
+// TestSequencerDoubleCompletePanics: completing a slot twice is a bug the
+// sequencer refuses to absorb silently.
+func TestSequencerDoubleCompletePanics(t *testing.T) {
+	s := NewSequencer()
+	s.Done(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Done(1) did not panic")
+		}
+	}()
+	s.Done(1, nil)
+}
+
+// TestParseShard covers the accepted and rejected spec forms.
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/1": {0, 1},
+		"0/2": {0, 2},
+		"1/2": {1, 2},
+		"7/8": {7, 8},
+	}
+	for spec, want := range good {
+		got, err := ParseShard(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	for _, spec := range []string{"", "3", "3/2", "2/2", "-1/2", "0/0", "0/-1", "a/2", "0/b", "1/2/3"} {
+		if _, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// TestShardPartition: every corpus index belongs to exactly one shard, and
+// Size agrees with Member.
+func TestShardPartition(t *testing.T) {
+	const n = 103
+	for _, count := range []int{1, 2, 3, 7} {
+		total := 0
+		owned := make([]int, n)
+		for idx := 0; idx < count; idx++ {
+			s := Shard{Index: idx, Count: count}
+			size := 0
+			for i := 0; i < n; i++ {
+				if s.Member(i) {
+					owned[i]++
+					size++
+				}
+			}
+			if got := s.Size(n); got != size {
+				t.Errorf("shard %s: Size(%d) = %d, want %d", s, n, got, size)
+			}
+			total += size
+		}
+		if total != n {
+			t.Errorf("count=%d: shard sizes sum to %d, want %d", count, total, n)
+		}
+		for i, c := range owned {
+			if c != 1 {
+				t.Fatalf("count=%d: index %d owned by %d shards", count, i, c)
+			}
+		}
+	}
+	var zero Shard
+	if !zero.Member(5) || zero.Size(10) != 10 || zero.Sharded() || zero.String() != "0/1" {
+		t.Error("zero shard must behave as the unsharded campaign")
+	}
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sequencer is a reorder buffer for side effects: work completes in any
+// order, but the flush actions handed to Done run strictly in slot order
+// (0, 1, 2, ...). The corpus layer gives every seed a contiguous block of
+// slots — one per event batch — and routes all event-log emissions and
+// live-progress appends through flushes, so the campaign's observable
+// stream is identical no matter how the scheduler interleaved the work.
+//
+// Done never blocks waiting for earlier slots: a completion ahead of the
+// frontier parks its action and returns; the completion that fills the gap
+// runs every action the frontier can now reach, on its own goroutine.
+// Actions therefore run serially and in order, under the sequencer's lock.
+type Sequencer struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]func()
+}
+
+// NewSequencer returns a sequencer with its frontier at slot 0.
+func NewSequencer() *Sequencer {
+	return &Sequencer{pending: map[int]func(){}}
+}
+
+// Done marks slot complete with an optional flush action (nil just
+// advances the frontier). Each slot must be completed exactly once;
+// completing a slot twice, or one the frontier has passed, panics — that
+// is a slot-accounting bug, not a runtime condition.
+func (s *Sequencer) Done(slot int, flush func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot < s.next {
+		panic(fmt.Sprintf("sched: sequencer: slot %d completed after being flushed", slot))
+	}
+	if _, dup := s.pending[slot]; dup {
+		panic(fmt.Sprintf("sched: sequencer: slot %d completed twice", slot))
+	}
+	s.pending[slot] = flush
+	for {
+		f, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		if f != nil {
+			f()
+		}
+	}
+}
+
+// Flushed returns the frontier: the number of leading slots whose actions
+// have run.
+func (s *Sequencer) Flushed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}

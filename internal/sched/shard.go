@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects a deterministic slice of a corpus: of Count cooperating
+// processes, this one runs the seed indices congruent to Index modulo
+// Count. The zero value (and any Count <= 1) is the unsharded campaign.
+// Striping by index rather than by contiguous range keeps every shard's
+// workload statistically identical, so equal-sized shards finish together.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses an "index/count" spec, e.g. "0/2". Index must be in
+// [0, count) and count at least 1.
+func ParseShard(spec string) (Shard, error) {
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sched: shard %q: want index/count (e.g. 0/2)", spec)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return Shard{}, fmt.Errorf("sched: shard %q: bad index: %v", spec, err)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return Shard{}, fmt.Errorf("sched: shard %q: bad count: %v", spec, err)
+	}
+	if n < 1 {
+		return Shard{}, fmt.Errorf("sched: shard %q: count must be at least 1", spec)
+	}
+	if i < 0 || i >= n {
+		return Shard{}, fmt.Errorf("sched: shard %q: index must be in [0, %d)", spec, n)
+	}
+	return Shard{Index: i, Count: n}, nil
+}
+
+// Sharded reports whether the shard selects a proper slice (count > 1).
+func (s Shard) Sharded() bool { return s.Count > 1 }
+
+// Member reports whether corpus index i belongs to this shard. The
+// unsharded shard owns every index.
+func (s Shard) Member(i int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return i%s.Count == s.Index
+}
+
+// Size returns how many of the corpus indices 0..n-1 this shard owns.
+func (s Shard) Size(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if s.Count <= 1 {
+		return n
+	}
+	size := n / s.Count
+	if s.Index < n%s.Count {
+		size++
+	}
+	return size
+}
+
+// String renders the canonical spec form; the unsharded shard is "0/1".
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}

@@ -1,0 +1,111 @@
+// Smoke tests for the parallel and sharded campaign surfaces of the cmd/*
+// binaries: -j/-shard validation, parallel resume continuity, the
+// shard-merge pipeline, and dce-trend's shard groups.
+package dcelens
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdParallelFlagValidation: malformed -j and -shard values are usage
+// errors (exit 2), not campaigns.
+func TestCmdParallelFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-j", "0"},
+		{"-j", "-1"},
+		{"-shard", "3/2"},
+		{"-shard", "2/2"},
+		{"-shard", "x"},
+		{"-shard", "0/0"},
+		{"-shard", "1"},
+	}
+	for _, args := range bad {
+		args = append(args, "-n", "1")
+		if code := exitCode(t, "dce-campaign", args...); code != 2 {
+			t.Errorf("dce-campaign %s: exit %d, want 2", strings.Join(args, " "), code)
+		}
+	}
+	if code := exitCode(t, "dce-report", "-merge", "a.json", "-bisect"); code != 2 {
+		t.Errorf("dce-report -merge with -bisect: exit %d, want 2", code)
+	}
+}
+
+// TestCmdCampaignParallelResume: a campaign halted under one worker count
+// and resumed under another prints the same report as an uninterrupted
+// serial run — parallelism composes with checkpoint/resume.
+func TestCmdCampaignParallelResume(t *testing.T) {
+	uninterrupted := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300", "-j", "1")
+
+	cp := filepath.Join(t.TempDir(), "cp.json")
+	halted := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300", "-j", "2",
+		"-halt-after", "2", "-checkpoint", cp)
+	if !strings.Contains(halted, "halted after 2 seeds") {
+		t.Fatalf("halt not reported:\n%s", halted)
+	}
+	resumed := runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "300", "-j", "4",
+		"-resume", "-checkpoint", cp)
+	if resumed != uninterrupted {
+		t.Errorf("parallel resume differs from serial uninterrupted run:\n--- serial\n%s\n--- resumed -j 4\n%s",
+			uninterrupted, resumed)
+	}
+}
+
+// TestCmdShardMergeEndToEnd: two dce-campaign -shard processes merged by
+// dce-report -merge print the report an unsharded dce-report run prints.
+func TestCmdShardMergeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "400", "-shard", "0/2", "-checkpoint", a)
+	runCmdStdout(t, "dce-campaign", "-n", "4", "-seed", "400", "-shard", "1/2", "-checkpoint", b)
+
+	merged := runCmdStdout(t, "dce-report", "-merge", a+","+b)
+	fresh := runCmdStdout(t, "dce-report", "-n", "4", "-seed", "400")
+	if merged != fresh {
+		t.Errorf("merged shard report differs from a fresh unsharded run:\n--- fresh\n%s\n--- merged\n%s",
+			fresh, merged)
+	}
+
+	// A missing half is refused with a runtime error, not a partial report.
+	if code := exitCode(t, "dce-report", "-merge", a); code != 1 {
+		t.Errorf("dce-report -merge with half a shard set: exit %d, want 1", code)
+	}
+}
+
+// TestCmdTrendShardGroups: comma-grouped shard snapshots merge into one
+// run for diffing, and a lone shard snapshot is refused.
+func TestCmdTrendShardGroups(t *testing.T) {
+	snapshot := func(args ...string) string {
+		t.Helper()
+		dir := t.TempDir()
+		args = append(args, "-quiet", "-metrics", "deterministic", "-history", dir)
+		runCmdStdout(t, "dce-campaign", args...)
+		files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("campaign %v wrote %v (%v)", args, files, err)
+		}
+		return files[0]
+	}
+	whole := snapshot("-n", "4", "-seed", "300")
+	shard0 := snapshot("-n", "4", "-seed", "300", "-shard", "0/2")
+	shard1 := snapshot("-n", "4", "-seed", "300", "-shard", "1/2")
+
+	// The merged group diffs against the whole run as identical.
+	out := runCmdStdout(t, "dce-trend", whole, shard0+","+shard1)
+	if !strings.Contains(out, "0 new, 0 fixed") {
+		t.Errorf("merged shard group is not identical to the whole run:\n%s", out)
+	}
+
+	// A lone shard snapshot must be refused with a pointer to grouping.
+	bin := filepath.Join(buildCommands(t), "dce-trend")
+	out2, err := exec.Command(bin, whole, shard0).CombinedOutput()
+	if err == nil {
+		t.Errorf("lone shard snapshot accepted:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), "shard group") {
+		t.Errorf("refusal does not explain shard grouping:\n%s", out2)
+	}
+}

@@ -15,12 +15,13 @@ go vet ./...
 go build ./...
 go test ./...
 
-# The campaign layer is the only concurrent code: re-run the harness and
-# corpus suites under the race detector (the metrics registry and event log
-# are exercised by the corpus suite's resume test), plus the monitoring
-# server and run-history layers that read campaign state while it mutates.
-go test -race ./internal/harness ./internal/corpus ./internal/metrics \
-    ./internal/monitor ./internal/history
+# The campaign layer is the only concurrent code: re-run the scheduler,
+# harness, and corpus suites under the race detector (the metrics registry
+# and event log are exercised by the corpus suite's resume test), plus the
+# monitoring server and run-history layers that read campaign state while
+# it mutates.
+go test -race ./internal/sched ./internal/harness ./internal/corpus \
+    ./internal/metrics ./internal/monitor ./internal/history
 
 # Telemetry overhead smoke: the fully-instrumented unit must stay near the
 # uninstrumented one (~5% nominal budget; the gate is lenient because shared
@@ -47,3 +48,23 @@ go test -run '^$' -bench 'BenchmarkMonitorOverhead' -benchtime 2s . | awk '
         printf "monitor overhead: %.1f%% (budget ~5%%, gate 25%%)\n", (ratio - 1) * 100
         if (ratio > 1.25) { print "monitor overhead exceeds the gate" > "/dev/stderr"; exit 1 }
     }'
+
+# Parallel scaling gate: the scheduler must buy real throughput, not just
+# pass the determinism tests. Requires ≥4 CPUs — with fewer, the workers
+# time-slice the same cores and no wall-clock speedup is physically
+# possible, so the gate is skipped (the determinism and race suites above
+# still exercise the parallel paths).
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [[ "$ncpu" -ge 4 ]]; then
+    go test -run '^$' -bench 'BenchmarkCampaignParallel/(j1|j4)$' -benchtime 3x . | awk '
+        /BenchmarkCampaignParallel\/j1/ { j1 = $3 }
+        /BenchmarkCampaignParallel\/j4/ { j4 = $3 }
+        END {
+            if (j1 == 0 || j4 == 0) { print "parallel campaign bench did not run" > "/dev/stderr"; exit 1 }
+            speedup = j1 / j4
+            printf "campaign -j 4 speedup: %.2fx (gate 1.5x)\n", speedup
+            if (speedup < 1.5) { print "parallel campaign speedup below the gate" > "/dev/stderr"; exit 1 }
+        }'
+else
+    echo "campaign -j 4 speedup gate skipped: only $ncpu CPU(s) available (need >= 4)"
+fi
