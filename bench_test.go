@@ -744,3 +744,105 @@ func BenchmarkRelatedWorkStaticMetrics(b *testing.B) {
 		_ = asm.Measure(an.Compilation.Asm)
 	}
 }
+
+// BenchmarkUnitCompile measures one (seed,config) compilation unit — the
+// atom of campaign throughput: lower + optimize + codegen + marker scan for
+// a single instrumented program under a single configuration. Allocations
+// are reported because the middle-end's allocation churn is the other half
+// of the unit cost (scripts/check.sh gates allocs/op against a recorded
+// baseline).
+func BenchmarkUnitCompile(b *testing.B) {
+	prog := Generate(4242)
+	ins, err := Instrument(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := LLVM(O3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(ins, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPass times each pass of the llvm-sim -O3 schedule in isolation,
+// at its natural schedule position: outside the timer, the IR is rebuilt
+// and advanced through the schedule prefix ahead of the pass's first
+// occurrence; the timed body runs that single pass. A middle-end regression
+// thereby localizes to a pass instead of the whole campaign.
+func BenchmarkPass(b *testing.B) {
+	cfg := pipeline.New(pipeline.LLVM, pipeline.O3)
+	passes := cfg.Passes()
+	o := cfg.Options()
+	prog := Generate(4242)
+	ins, err := Instrument(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for idx, p := range passes {
+		if seen[p.Name] {
+			continue // first occurrence: the most heavily loaded position
+		}
+		seen[p.Name] = true
+		b.Run(p.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, err := lower.Lower(ins.Prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := opt.Pipeline(m, o, passes[:idx], 1); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := opt.Pipeline(m, o, passes[idx:idx+1], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end campaign units/sec — the
+// number the whole middle-end hot-path work optimizes for. Each iteration
+// runs a small real campaign (default personalities × levels, so
+// programs×10 units) serially (j1) and at full width (jmax); the derived
+// units/s metric is what EXPERIMENTS.md tracks before/after.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const programs = 12
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"j1", 1}, {"jmax", runtime.GOMAXPROCS(0)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var units int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg := metrics.New()
+				c, err := corpus.Run(corpus.Options{
+					Programs: programs, BaseSeed: 7100, Workers: v.workers,
+					Metrics: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Stats.Programs != programs {
+					b.Fatalf("short campaign: %d of %d programs", c.Stats.Programs, programs)
+				}
+				units += reg.Counter(metrics.CounterUnits).Value()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(units)/secs, "units/s")
+			}
+		})
+	}
+}

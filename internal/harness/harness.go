@@ -144,7 +144,7 @@ type guard struct {
 
 func (g *guard) BeginPipeline(m *ir.Module) {}
 
-func (g *guard) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+func (g *guard) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st opt.PassStats) {
 	g.last = pass
 	g.tick()
 	for i := range g.faults {

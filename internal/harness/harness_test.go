@@ -6,7 +6,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
 
 	"dcelens/internal/ir"
 	"dcelens/internal/opt"
@@ -15,7 +14,7 @@ import (
 // drive pushes n pass instances through the observer, as a pipeline would.
 func drive(obs opt.Observer, pass string, n int) {
 	for i := 0; i < n; i++ {
-		obs.AfterPass(nil, pass, i, 0, false, time.Duration(0))
+		obs.AfterPass(nil, pass, i, 0, opt.PassStats{})
 	}
 }
 

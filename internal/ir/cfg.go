@@ -22,15 +22,16 @@ func (f *Func) ReversePostorder() []*Block {
 	return post
 }
 
-// Reachable returns the set of blocks reachable from entry.
-func (f *Func) Reachable() map[*Block]bool {
-	r := map[*Block]bool{}
+// Reachable returns the set of blocks reachable from entry, dense by
+// Block.ID.
+func (f *Func) Reachable() []bool {
+	r := make([]bool, f.nextBlockID)
 	var dfs func(b *Block)
 	dfs = func(b *Block) {
-		if r[b] {
+		if r[b.ID] {
 			return
 		}
-		r[b] = true
+		r[b.ID] = true
 		for _, s := range b.Succs() {
 			dfs(s)
 		}
@@ -39,30 +40,37 @@ func (f *Func) Reachable() map[*Block]bool {
 	return r
 }
 
-// DomTree is the dominator tree of a function.
+// DomTree is the dominator tree of a function. All internal tables are
+// dense by Block.ID — the tree is rebuilt by every dominance-consuming pass
+// instance, so its construction cost (formerly dominated by map churn) is
+// squarely on the campaign hot path.
 type DomTree struct {
 	fn    *Func
-	idom  map[*Block]*Block   // immediate dominator; entry maps to nil
-	kids  map[*Block][]*Block // dominator-tree children
-	order map[*Block]int      // reverse postorder index
+	idom  []*Block   // immediate dominator; entry and unreachable → nil
+	kids  [][]*Block // dominator-tree children, in RPO
+	order []int32    // reverse postorder index; -1 = unreachable
 	rpo   []*Block
 }
 
 // Dominators computes the dominator tree with the Cooper-Harvey-Kennedy
 // iterative algorithm over reverse postorder.
 func Dominators(f *Func) *DomTree {
+	n := f.nextBlockID
 	t := &DomTree{
 		fn:    f,
-		idom:  map[*Block]*Block{},
-		kids:  map[*Block][]*Block{},
-		order: map[*Block]int{},
+		idom:  make([]*Block, n),
+		kids:  make([][]*Block, n),
+		order: make([]int32, n),
+	}
+	for i := range t.order {
+		t.order[i] = -1
 	}
 	t.rpo = f.ReversePostorder()
 	for i, b := range t.rpo {
-		t.order[b] = i
+		t.order[b.ID] = int32(i)
 	}
 	entry := f.Entry()
-	t.idom[entry] = entry // sentinel during iteration
+	t.idom[entry.ID] = entry // sentinel during iteration
 	changed := true
 	for changed {
 		changed = false
@@ -72,10 +80,10 @@ func Dominators(f *Func) *DomTree {
 			}
 			var newIdom *Block
 			for _, p := range b.Preds {
-				if _, processed := t.idom[p]; !processed {
-					continue
+				if t.idom[p.ID] == nil {
+					continue // not processed yet
 				}
-				if _, inRPO := t.order[p]; !inRPO {
+				if t.order[p.ID] < 0 {
 					continue // unreachable predecessor
 				}
 				if newIdom == nil {
@@ -87,16 +95,17 @@ func Dominators(f *Func) *DomTree {
 			if newIdom == nil {
 				continue
 			}
-			if t.idom[b] != newIdom {
-				t.idom[b] = newIdom
+			if t.idom[b.ID] != newIdom {
+				t.idom[b.ID] = newIdom
 				changed = true
 			}
 		}
 	}
-	t.idom[entry] = nil
-	for b, d := range t.idom {
-		if d != nil {
-			t.kids[d] = append(t.kids[d], b)
+	t.idom[entry.ID] = nil
+	// Children in RPO: deterministic regardless of map iteration order.
+	for _, b := range t.rpo {
+		if d := t.idom[b.ID]; d != nil {
+			t.kids[d.ID] = append(t.kids[d.ID], b)
 		}
 	}
 	return t
@@ -104,14 +113,14 @@ func Dominators(f *Func) *DomTree {
 
 func (t *DomTree) intersect(a, b *Block) *Block {
 	for a != b {
-		for t.order[a] > t.order[b] {
-			a = t.idom[a]
+		for t.order[a.ID] > t.order[b.ID] {
+			a = t.idom[a.ID]
 			if a == nil {
 				return b
 			}
 		}
-		for t.order[b] > t.order[a] {
-			b = t.idom[b]
+		for t.order[b.ID] > t.order[a.ID] {
+			b = t.idom[b.ID]
 			if b == nil {
 				return a
 			}
@@ -122,10 +131,10 @@ func (t *DomTree) intersect(a, b *Block) *Block {
 
 // Idom returns b's immediate dominator (nil for the entry block and
 // unreachable blocks).
-func (t *DomTree) Idom(b *Block) *Block { return t.idom[b] }
+func (t *DomTree) Idom(b *Block) *Block { return t.idom[b.ID] }
 
-// Children returns the dominator-tree children of b.
-func (t *DomTree) Children(b *Block) []*Block { return t.kids[b] }
+// Children returns the dominator-tree children of b, in reverse postorder.
+func (t *DomTree) Children(b *Block) []*Block { return t.kids[b.ID] }
 
 // RPO returns the reachable blocks in reverse postorder.
 func (t *DomTree) RPO() []*Block { return t.rpo }
@@ -136,29 +145,29 @@ func (t *DomTree) Dominates(a, b *Block) bool {
 		if a == b {
 			return true
 		}
-		b = t.idom[b]
+		b = t.idom[b.ID]
 	}
 	return false
 }
 
 // Frontiers computes the dominance frontier of every reachable block
-// (Cytron et al.), used by mem2reg's phi placement.
-func (t *DomTree) Frontiers() map[*Block][]*Block {
-	df := map[*Block][]*Block{}
+// (Cytron et al.), dense by Block.ID; used by mem2reg's phi placement.
+func (t *DomTree) Frontiers() [][]*Block {
+	df := make([][]*Block, len(t.idom))
 	for _, b := range t.rpo {
 		if len(b.Preds) < 2 {
 			continue
 		}
 		for _, p := range b.Preds {
-			if _, reach := t.order[p]; !reach {
+			if t.order[p.ID] < 0 {
 				continue
 			}
 			runner := p
-			for runner != nil && runner != t.idom[b] {
-				if !contains(df[runner], b) {
-					df[runner] = append(df[runner], b)
+			for runner != nil && runner != t.idom[b.ID] {
+				if !contains(df[runner.ID], b) {
+					df[runner.ID] = append(df[runner.ID], b)
 				}
-				runner = t.idom[runner]
+				runner = t.idom[runner.ID]
 			}
 		}
 	}
@@ -219,7 +228,7 @@ func NaturalLoops(f *Func, t *DomTree) []*Loop {
 					x := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					for _, p := range x.Preds {
-						if _, reach := t.order[p]; !reach {
+						if t.order[p.ID] < 0 {
 							continue
 						}
 						if !l.Blocks[p] {

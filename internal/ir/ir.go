@@ -142,10 +142,23 @@ type Func struct {
 
 	nextBlockID int
 	nextValueID int
+
+	// gen counts observable mutations of the body. The pass manager bumps
+	// it whenever a pass reports changing the function and uses it to skip
+	// re-running passes over functions nothing changed; passes that mutate
+	// a body without reporting it through their changed flag (cleanup
+	// helpers whose result is discarded) call MarkMutated directly.
+	gen uint64
 }
 
 // Entry returns the entry block.
 func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Gen returns the function's mutation generation.
+func (f *Func) Gen() uint64 { return f.gen }
+
+// MarkMutated records an observable mutation of the function body.
+func (f *Func) MarkMutated() { f.gen++ }
 
 // NewBlock appends a fresh empty block.
 func (f *Func) NewBlock() *Block {
@@ -157,6 +170,9 @@ func (f *Func) NewBlock() *Block {
 
 // NumValues returns an upper bound on instruction IDs (for dense maps).
 func (f *Func) NumValues() int { return f.nextValueID }
+
+// NumBlocks returns an upper bound on block IDs (for dense maps).
+func (f *Func) NumBlocks() int { return f.nextBlockID }
 
 // Block is a basic block. Preds is maintained eagerly by the edge-editing
 // helpers below; Succs is derived from the terminator.
@@ -228,11 +244,15 @@ func (b *Block) Append(op Op, typ *types.Type, args ...*Instr) *Instr {
 	return in
 }
 
-// InsertBefore inserts in ahead of pos within b.
+// InsertBefore inserts in ahead of pos within b. The insertion grows the
+// slice by one and shifts the tail with a single copy; the old
+// append(append(...)) idiom allocated and copied the tail twice.
 func (b *Block) InsertBefore(in *Instr, pos *Instr) {
 	for i, x := range b.Instrs {
 		if x == pos {
-			b.Instrs = append(b.Instrs[:i], append([]*Instr{in}, b.Instrs[i:]...)...)
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[i+1:], b.Instrs[i:])
+			b.Instrs[i] = in
 			in.Block = b
 			return
 		}
@@ -241,6 +261,8 @@ func (b *Block) InsertBefore(in *Instr, pos *Instr) {
 }
 
 // Remove deletes in from its block. The instruction must be unused.
+// (Unlike the historical InsertBefore, this append already shifts the tail
+// in place with a single copy and no allocation.)
 func (in *Instr) Remove() {
 	b := in.Block
 	for i, x := range b.Instrs {
@@ -343,6 +365,70 @@ func ReplaceAllUses(old, new *Instr) {
 		}
 	}
 }
+
+// Relocator batches use replacements. ReplaceAllUses costs a full function
+// scan per call, which made replacement the single hottest operation in the
+// middle end; a pass that performs many replacements instead records each
+// one with Add, reads operands through Resolve while it works, and rewrites
+// every argument slot with one Apply sweep at the end — O(function) total
+// instead of O(function) per replacement.
+type Relocator struct {
+	m map[*Instr]*Instr
+}
+
+// Add records that every use of old should become new. Chains (old→a, a→b)
+// are permitted; Resolve and Apply follow them to the final target. A
+// self-mapping (new resolving back to old) is ignored rather than recorded —
+// it could only arise from degenerate IR (a self-referential phi) and would
+// otherwise make Resolve cycle forever.
+func (r *Relocator) Add(old, new *Instr) {
+	if r.m == nil {
+		r.m = make(map[*Instr]*Instr, 16)
+	}
+	if n := r.Resolve(new); n != old {
+		r.m[old] = n
+	}
+}
+
+// Resolve returns the current replacement target for v (v itself when it
+// has none), following chains with path compression.
+func (r *Relocator) Resolve(v *Instr) *Instr {
+	n, ok := r.m[v]
+	if !ok {
+		return v
+	}
+	for {
+		n2, ok := r.m[n]
+		if !ok {
+			break
+		}
+		n = n2
+	}
+	r.m[v] = n
+	return n
+}
+
+// Empty reports whether no replacements are pending.
+func (r *Relocator) Empty() bool { return len(r.m) == 0 }
+
+// Apply rewrites every argument slot in f through the pending replacements.
+func (r *Relocator) Apply(f *Func) {
+	if len(r.m) == 0 {
+		return
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if n := r.Resolve(a); n != a {
+					in.Args[i] = n
+				}
+			}
+		}
+	}
+}
+
+// Reset clears pending replacements, retaining the map for reuse.
+func (r *Relocator) Reset() { clear(r.m) }
 
 // CountUses returns the number of operand slots referencing in.
 func CountUses(in *Instr) int {

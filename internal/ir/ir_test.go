@@ -46,7 +46,7 @@ func naiveDominators(f *Func) map[*Block]map[*Block]bool {
 	reach := f.Reachable()
 	var blocks []*Block
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach[b.ID] {
 			blocks = append(blocks, b)
 		}
 	}
@@ -74,7 +74,7 @@ func naiveDominators(f *Func) map[*Block]map[*Block]bool {
 			}
 			var inter map[*Block]bool
 			for _, p := range b.Preds {
-				if !reach[p] {
+				if !reach[p.ID] {
 					continue
 				}
 				if inter == nil {
@@ -130,7 +130,7 @@ func TestDominatorsAgainstNaive(t *testing.T) {
 		reach := fn.Reachable()
 		for _, a := range fn.Blocks {
 			for _, b := range fn.Blocks {
-				if !reach[a] || !reach[b] {
+				if !reach[a.ID] || !reach[b.ID] {
 					continue
 				}
 				want := naive[b][a] // a dominates b

@@ -139,14 +139,14 @@ func verifyFunc(f *Func) error {
 		}
 	}
 	for _, b := range f.Blocks {
-		if !reach[b] {
+		if !reach[b.ID] {
 			continue
 		}
 		for _, in := range b.Instrs {
 			if in.Op == OpPhi {
 				for i, a := range in.Args {
 					pb := in.PhiPreds[i]
-					if !reach[pb] {
+					if !reach[pb.ID] {
 						continue
 					}
 					db := defBlock[a]

@@ -20,6 +20,14 @@ const (
 	CounterInfeasible    = "campaign.failures.infeasible"
 )
 
+// Middle-end dirty-tracking counters. The metrics pass observer adds every
+// pass instance's visited/skipped function counts here; their ratio is the
+// campaign-wide pass skip rate surfaced by the heartbeat and /progress.
+const (
+	CounterPassVisited = "opt.funcs.visited"
+	CounterPassSkipped = "opt.funcs.skipped"
+)
+
 // HistCampaignSeed is the per-seed wall-time histogram internal/corpus
 // observes; the live ETA estimate (harness.Progress) is derived from its
 // mean.
@@ -120,8 +128,31 @@ func (h *Heartbeat) line(start time.Time) string {
 	if h.Progress != nil {
 		findings = fmt.Sprintf("%d findings, ", h.Progress.FindingCount())
 	}
-	return fmt.Sprintf("%s: %d/%d seeds, %.1f seeds/s, %s%d crashes, %d timeouts, ETA %s",
-		h.Tool, seeds, h.Total, rate, findings, crashes, timeouts, eta)
+	perf := ""
+	if units := h.Reg.Counter(CounterUnits).Value(); units > 0 && elapsed > 0 {
+		perf = fmt.Sprintf(", %.1f units/s", float64(units)/elapsed)
+		if skip, ok := PassSkipRate(h.Reg); ok {
+			perf += fmt.Sprintf(", %.0f%% skipped", skip*100)
+		}
+	}
+	return fmt.Sprintf("%s: %d/%d seeds, %.1f seeds/s, %s%d crashes, %d timeouts%s, ETA %s",
+		h.Tool, seeds, h.Total, rate, findings, crashes, timeouts, perf, eta)
+}
+
+// PassSkipRate computes the campaign-wide middle-end skip rate: the fraction
+// of (function, pass-instance) visits the dirty-tracking pass manager proved
+// clean and skipped. ok is false before any pass has run (or with no
+// registry), so displays can omit the figure rather than print a bogus zero.
+func PassSkipRate(reg *Registry) (rate float64, ok bool) {
+	if reg == nil {
+		return 0, false
+	}
+	visited := reg.Counter(CounterPassVisited).Value()
+	skipped := reg.Counter(CounterPassSkipped).Value()
+	if total := visited + skipped; total > 0 {
+		return float64(skipped) / float64(total), true
+	}
+	return 0, false
 }
 
 // StderrIsTerminal reports whether stderr is attached to an interactive

@@ -236,6 +236,46 @@ func TestHeartbeatLine(t *testing.T) {
 	}
 }
 
+// TestHeartbeatLinePerf: once units flow, the line carries live units/s and
+// the middle-end pass skip rate; before any pass has run the skip figure is
+// omitted rather than rendered as a bogus 0%.
+func TestHeartbeatLinePerf(t *testing.T) {
+	r := New()
+	r.Counter(CounterSeedsAnalyzed).Add(5)
+	r.Counter(CounterUnits).Add(40)
+	h := &Heartbeat{Reg: r, Total: 10, Tool: "t"}
+	line := h.line(time.Now().Add(-2 * time.Second))
+	if !strings.Contains(line, "units/s") {
+		t.Errorf("heartbeat line %q missing units/s", line)
+	}
+	if strings.Contains(line, "skipped") {
+		t.Errorf("heartbeat line %q shows a skip rate with no pass data", line)
+	}
+
+	r.Counter(CounterPassVisited).Add(25)
+	r.Counter(CounterPassSkipped).Add(75)
+	line = h.line(time.Now().Add(-2 * time.Second))
+	if !strings.Contains(line, "75% skipped") {
+		t.Errorf("heartbeat line %q missing skip rate", line)
+	}
+}
+
+// TestPassSkipRate covers the zero-denominator and nil-registry guards.
+func TestPassSkipRate(t *testing.T) {
+	if _, ok := PassSkipRate(nil); ok {
+		t.Error("nil registry reported a known skip rate")
+	}
+	r := New()
+	if _, ok := PassSkipRate(r); ok {
+		t.Error("empty registry reported a known skip rate")
+	}
+	r.Counter(CounterPassVisited).Add(3)
+	r.Counter(CounterPassSkipped).Add(1)
+	if rate, ok := PassSkipRate(r); !ok || rate != 0.25 {
+		t.Errorf("skip rate = %g (known=%v), want 0.25", rate, ok)
+	}
+}
+
 // TestHeartbeatStartStop: Start/stop emits at least the final line and the
 // goroutine exits.
 func TestHeartbeatStartStop(t *testing.T) {

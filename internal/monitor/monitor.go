@@ -90,7 +90,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, Exposition(snap))
 }
 
-// ProgressReply is the /progress body.
+// ProgressReply is the /progress body. The middle-end performance fields
+// (units, units_per_sec, pass_skip_rate) come from the registry rather than
+// the progress view; with no registry attached they stay at their zero
+// values and pass_skip_known is false.
 type ProgressReply struct {
 	SeedsTotal int              `json:"seeds_total"`
 	SeedsDone  int              `json:"seeds_done"`
@@ -100,12 +103,21 @@ type ProgressReply struct {
 	ElapsedMs  int64            `json:"elapsed_ms"`
 	EtaMs      int64            `json:"eta_ms"`
 	EtaKnown   bool             `json:"eta_known"`
+
+	// Units is the number of compilation units optimized so far; UnitsPerSec
+	// is that count over the campaign's elapsed wall time.
+	Units       int64   `json:"units"`
+	UnitsPerSec float64 `json:"units_per_sec"`
+	// PassSkipRate is the fraction of (function, pass-instance) visits the
+	// dirty-tracking pass manager skipped as provably clean.
+	PassSkipRate  float64 `json:"pass_skip_rate"`
+	PassSkipKnown bool    `json:"pass_skip_known"`
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	p := s.Progress
 	eta, ok := p.ETA()
-	writeJSON(w, ProgressReply{
+	reply := ProgressReply{
 		SeedsTotal: p.Total(),
 		SeedsDone:  p.Done(),
 		Workers:    p.Workers(),
@@ -114,7 +126,15 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs:  p.Elapsed().Milliseconds(),
 		EtaMs:      eta.Milliseconds(),
 		EtaKnown:   ok,
-	})
+	}
+	if s.Reg != nil {
+		reply.Units = s.Reg.Counter(metrics.CounterUnits).Value()
+		if secs := time.Since(s.start).Seconds(); secs > 0 {
+			reply.UnitsPerSec = float64(reply.Units) / secs
+		}
+		reply.PassSkipRate, reply.PassSkipKnown = metrics.PassSkipRate(s.Reg)
+	}
+	writeJSON(w, reply)
 }
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {

@@ -99,6 +99,9 @@ func TestProgressEndpoint(t *testing.T) {
 	reg.Counter(metrics.CounterSeedsAnalyzed).Add(4)
 	reg.Counter(metrics.CounterCrashes).Add(2)
 	reg.Histogram(metrics.HistCampaignSeed).Observe(10 * time.Millisecond)
+	reg.Counter(metrics.CounterUnits).Add(8)
+	reg.Counter(metrics.CounterPassVisited).Add(30)
+	reg.Counter(metrics.CounterPassSkipped).Add(70)
 	p := harness.NewProgress(10, 2, reg)
 	p.AddFindings("f1", "f2")
 	s := New("dce-test", reg, p, nil)
@@ -116,6 +119,12 @@ func TestProgressEndpoint(t *testing.T) {
 	}
 	if !body.EtaKnown {
 		t.Fatal("ETA should be known after an observed seed")
+	}
+	if body.Units != 8 || body.UnitsPerSec <= 0 {
+		t.Fatalf("progress units = %d at %g/s, want 8 at > 0", body.Units, body.UnitsPerSec)
+	}
+	if !body.PassSkipKnown || body.PassSkipRate != 0.7 {
+		t.Fatalf("progress skip rate = %g (known=%v), want 0.7", body.PassSkipRate, body.PassSkipKnown)
 	}
 }
 

@@ -40,7 +40,7 @@ func ResolveLoc(addr *ir.Instr) Loc {
 // AliasCtx caches per-function exposure information for alias queries.
 type AliasCtx struct {
 	Level   AliasLevel
-	exposed map[*ir.Instr]bool
+	exposed []bool // dense by instruction ID at context-build time
 }
 
 // NewAliasCtx builds an alias-query context for f at the given precision.
@@ -48,6 +48,14 @@ type AliasCtx struct {
 // accurate.
 func NewAliasCtx(f *ir.Func, level AliasLevel) *AliasCtx {
 	return &AliasCtx{Level: level, exposed: exposedValues(f)}
+}
+
+// isExposed reports whether a (an alloca) was address-exposed when the
+// context was built. Values created after that point are out of range and
+// report false — passes never create allocas mid-flight, so every queried
+// base predates the context.
+func (c *AliasCtx) isExposed(a *ir.Instr) bool {
+	return a.ID < len(c.exposed) && c.exposed[a.ID]
 }
 
 // MayAlias reports whether two locations can overlap, at the configured
@@ -86,7 +94,7 @@ func (c *AliasCtx) MayAlias(a, b Loc) bool {
 	case known.G != nil:
 		return known.G.AddrExposed
 	case known.A != nil:
-		return c.exposed[known.A]
+		return c.isExposed(known.A)
 	default:
 		// both unknown: same base SSA value → offset logic; different
 		// bases → maybe.

@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"testing"
+
+	"dcelens/internal/cgen"
+	"dcelens/internal/ir"
+	"dcelens/internal/lower"
+	"dcelens/internal/token"
+	"dcelens/internal/types"
+)
+
+// newFunc builds a one-function module around a single entry block.
+func newFunc() (*ir.Module, *ir.Func, *ir.Block) {
+	f := &ir.Func{Name: "main", Ret: types.I32Type}
+	b := f.NewBlock()
+	m := &ir.Module{Funcs: []*ir.Func{f}}
+	return m, f, b
+}
+
+func mkConst(b *ir.Block, v int64, t *types.Type) *ir.Instr {
+	c := b.Append(ir.OpConst, t)
+	c.IntVal = t.WrapValue(v)
+	return c
+}
+
+func TestCompactFoldsConstBin(t *testing.T) {
+	m, f, b := newFunc()
+	x := mkConst(b, 6, types.I32Type)
+	y := mkConst(b, 7, types.I32Type)
+	mul := b.Append(ir.OpBin, types.I32Type, x, y)
+	mul.BinOp = token.Star
+	b.Append(ir.OpRet, nil, mul)
+	f.RecomputePreds()
+
+	if !compactFunc(f, Options{}) {
+		t.Fatal("compact reported no change")
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("broken IR: %v\n%s", err, m)
+	}
+	// The fold is in place: the same instruction becomes the constant, so
+	// the ret operand needs no rewriting.
+	if mul.Op != ir.OpConst || mul.IntVal != 42 {
+		t.Fatalf("want in-place fold to const 42, got %v %d", mul.Op, mul.IntVal)
+	}
+}
+
+func TestCompactFoldsCastOfConst(t *testing.T) {
+	m, f, b := newFunc()
+	x := mkConst(b, 300, types.I64Type)
+	cast := b.Append(ir.OpCast, types.I8Type, x)
+	ret := b.Append(ir.OpRet, nil, cast)
+	f.RecomputePreds()
+
+	if !compactFunc(f, Options{}) {
+		t.Fatal("compact reported no change")
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("broken IR: %v\n%s", err, m)
+	}
+	if cast.Op != ir.OpConst {
+		t.Fatalf("cast not folded: %v", cast.Op)
+	}
+	// 300 truncated to i8 must be canonical for the type (44).
+	if got := cast.IntVal; got != types.I8Type.WrapValue(300) {
+		t.Fatalf("cast fold = %d, want %d", got, types.I8Type.WrapValue(300))
+	}
+	if ret.Args[0] != cast {
+		t.Fatal("ret operand should be untouched by an in-place fold")
+	}
+}
+
+func TestCompactFoldsSelectOnConst(t *testing.T) {
+	m, f, b := newFunc()
+	cond := mkConst(b, 1, types.I32Type)
+	a := mkConst(b, 10, types.I32Type)
+	c := mkConst(b, 20, types.I32Type)
+	sel := b.Append(ir.OpSelect, types.I32Type, cond, a, c)
+	ret := b.Append(ir.OpRet, nil, sel)
+	f.RecomputePreds()
+
+	if !compactFunc(f, Options{}) {
+		t.Fatal("compact reported no change")
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("broken IR: %v\n%s", err, m)
+	}
+	if ret.Args[0] != a {
+		t.Fatalf("select not forwarded to taken arm: ret uses %v", ret.Args[0])
+	}
+	for _, in := range b.Instrs {
+		if in == sel {
+			t.Fatal("folded select still present in block")
+		}
+	}
+}
+
+func TestCompactFoldsBranchAndDropsUnreachable(t *testing.T) {
+	m := buildIR(t, `
+int main(void) {
+  if (0) { return 1; }
+  return 2;
+}`)
+	f := m.LookupFunc("main")
+	nBefore := len(f.Blocks)
+	if !compactFunc(f, Options{}) {
+		t.Fatal("compact reported no change")
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("broken IR: %v\n%s", err, m)
+	}
+	for _, b := range f.Blocks {
+		if tm := b.Term(); tm != nil && tm.Op == ir.OpCondBr {
+			t.Fatal("condbr on constant survived compact")
+		}
+	}
+	if len(f.Blocks) >= nBefore {
+		t.Fatalf("no blocks dropped: %d -> %d", nBefore, len(f.Blocks))
+	}
+	if got := exec(t, m).ExitCode; got != 2 {
+		t.Fatalf("semantics changed: exit %d, want 2", got)
+	}
+}
+
+// TestCompactPreservesNonConstant: no rule may fire on symbolic operands.
+func TestCompactPreservesNonConstant(t *testing.T) {
+	m, f, b := newFunc()
+	p := b.Append(ir.OpParam, types.I32Type)
+	f.ParamTys = []*types.Type{types.I32Type}
+	add := b.Append(ir.OpBin, types.I32Type, p, p)
+	add.BinOp = token.Plus
+	b.Append(ir.OpRet, nil, add)
+	f.RecomputePreds()
+	_ = m
+
+	if compactFunc(f, Options{}) {
+		t.Fatal("compact changed a function with nothing to fold")
+	}
+	if add.Op != ir.OpBin {
+		t.Fatal("symbolic bin was rewritten")
+	}
+}
+
+// TestCompactIdempotent: a second application of compact on freshly lowered
+// (generated) programs must change nothing, structurally.
+func TestCompactIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		m, err := lower.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, f := range m.Funcs {
+			if !f.External {
+				compactFunc(f, Options{})
+			}
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("seed %d: broken IR after compact: %v", seed, err)
+		}
+		once := m.String()
+		for _, f := range m.Funcs {
+			if !f.External && compactFunc(f, Options{}) {
+				t.Fatalf("seed %d: second compact still reported changes", seed)
+			}
+		}
+		if twice := m.String(); twice != once {
+			t.Fatalf("seed %d: compact not idempotent:\n--- once ---\n%s\n--- twice ---\n%s",
+				seed, once, twice)
+		}
+	}
+}
+
+// TestCompactSoundOnGeneratedPrograms: compact alone must preserve observable
+// behaviour (exit status) on random programs.
+func TestCompactSoundOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		prog := cgen.Generate(cgen.DefaultConfig(seed))
+		ref, err := lower.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := lower.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, f := range opt.Funcs {
+			if !f.External {
+				compactFunc(f, Options{})
+			}
+		}
+		want, err := ir.Execute(ref, ir.ExecOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: ref exec: %v", seed, err)
+		}
+		got, err := ir.Execute(opt, ir.ExecOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: compacted exec: %v", seed, err)
+		}
+		if want.ExitCode != got.ExitCode || want.Checksum != got.Checksum {
+			t.Fatalf("seed %d: exit %d != %d after compact", seed, got.ExitCode, want.ExitCode)
+		}
+	}
+}

@@ -9,19 +9,18 @@ import (
 // This is the sink transformation of the whole reproduction: every other
 // pass exists to make more code eligible for this one and for SimplifyCFG's
 // unreachable-block removal.
-var DCE = Pass{Name: "dce", Run: dce}
-
-func dce(m *ir.Module, o Options) bool {
-	return forEachDefined(m, dceFunc)
-}
+var DCE = Pass{Name: "dce", Fn: func(f *ir.Func, o Options) bool { return dceFunc(f) }}
 
 func dceFunc(f *ir.Func) bool {
-	// Use counts over the whole function.
-	uses := map[*ir.Instr]int{}
+	// Use counts over the whole function, dense by instruction ID —
+	// replacing the pointer-keyed maps that made this pass one of the
+	// hottest allocation sites in the campaign.
+	n := f.NumValues()
+	uses := make([]int32, n)
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for _, a := range in.Args {
-				uses[a]++
+				uses[a.ID]++
 			}
 		}
 	}
@@ -41,23 +40,26 @@ func dceFunc(f *ir.Func) bool {
 	var work []*ir.Instr
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
-			if uses[in] == 0 && in.Typ != nil && deletable(in) {
+			if uses[in.ID] == 0 && in.Typ != nil && deletable(in) {
 				work = append(work, in)
 			}
 		}
 	}
-	dead := map[*ir.Instr]bool{}
+	if len(work) == 0 {
+		return false
+	}
+	dead := make([]bool, n)
 	for len(work) > 0 {
 		in := work[len(work)-1]
 		work = work[:len(work)-1]
-		if dead[in] {
+		if dead[in.ID] {
 			continue
 		}
-		dead[in] = true
+		dead[in.ID] = true
 		changed = true
 		for _, a := range in.Args {
-			uses[a]--
-			if uses[a] == 0 && a.Typ != nil && deletable(a) {
+			uses[a.ID]--
+			if uses[a.ID] == 0 && a.Typ != nil && deletable(a) {
 				work = append(work, a)
 			}
 		}
@@ -66,9 +68,9 @@ func dceFunc(f *ir.Func) bool {
 		return false
 	}
 	for _, b := range f.Blocks {
-		var keep []*ir.Instr
+		keep := b.Instrs[:0]
 		for _, in := range b.Instrs {
-			if !dead[in] {
+			if !dead[in.ID] {
 				keep = append(keep, in)
 			}
 		}

@@ -10,20 +10,17 @@ import (
 // (no mod/ref summaries), calls to external functions for escaping
 // storage, and the end of the block (the store may be observed later, e.g.
 // by the whole-program checksum, so stores live at block exit are kept).
-var DSE = Pass{Name: "dse", Run: dse}
+var DSE = Pass{Name: "dse", Pre: ComputeEscapesOpt, Fn: dseFunc}
 
-func dse(m *ir.Module, o Options) bool {
-	ComputeEscapesOpt(m, o)
-	return forEachDefined(m, func(f *ir.Func) bool {
-		ac := NewAliasCtx(f, o.Alias)
-		changed := false
-		for _, b := range f.Blocks {
-			if dseBlock(b, ac) {
-				changed = true
-			}
+func dseFunc(f *ir.Func, o Options) bool {
+	ac := NewAliasCtx(f, o.Alias)
+	changed := false
+	for _, b := range f.Blocks {
+		if dseBlock(b, ac) {
+			changed = true
 		}
-		return changed
-	})
+	}
+	return changed
 }
 
 func dseBlock(b *ir.Block, ac *AliasCtx) bool {
@@ -69,7 +66,7 @@ func dseBlock(b *ir.Block, ac *AliasCtx) bool {
 					case l.G != nil:
 						return l.G.Escapes
 					case l.A != nil:
-						return ac.exposed[l.A]
+						return ac.isExposed(l.A)
 					default:
 						return true
 					}

@@ -11,25 +11,48 @@ import (
 // setup: calls to bodyless marker functions cannot clobber a static global
 // whose address never escapes, so constant propagation may look straight
 // through them.
-var Escape = Pass{Name: "escape", Run: func(m *ir.Module, o Options) bool {
-	ComputeEscapesOpt(m, o)
+var Escape = Pass{Name: "escape", Run: func(m *ir.Module, o Options, inv *Invalidation) bool {
+	if ComputeEscapesOpt(m, o) {
+		inv.Facts()
+	}
 	return false // analysis only
 }}
 
-// ComputeEscapesOpt honours the PessimisticEscape ablation knob.
-func ComputeEscapesOpt(m *ir.Module, o Options) {
+// ComputeEscapesOpt honours the PessimisticEscape ablation knob. It reports
+// whether any global's flags changed — the signal the pass manager uses to
+// re-visit otherwise-clean functions in passes that consume the facts.
+func ComputeEscapesOpt(m *ir.Module, o Options) bool {
 	if o.PessimisticEscape {
+		changed := false
 		for _, g := range m.Globals {
+			if !g.Escapes || !g.AddrExposed {
+				changed = true
+			}
 			g.Escapes = true
 			g.AddrExposed = true
 		}
-		return
+		return changed
 	}
-	ComputeEscapes(m)
+	return ComputeEscapes(m)
 }
 
-// ComputeEscapes (re)computes Global.Escapes and Global.AddrExposed.
-func ComputeEscapes(m *ir.Module) {
+// ComputeEscapes (re)computes Global.Escapes and Global.AddrExposed,
+// reporting whether any flag changed.
+func ComputeEscapes(m *ir.Module) bool {
+	old := make([]bool, 0, 2*len(m.Globals))
+	for _, g := range m.Globals {
+		old = append(old, g.Escapes, g.AddrExposed)
+	}
+	computeEscapes(m)
+	for i, g := range m.Globals {
+		if g.Escapes != old[2*i] || g.AddrExposed != old[2*i+1] {
+			return true
+		}
+	}
+	return false
+}
+
+func computeEscapes(m *ir.Module) {
 	// Step 1: per-function parameter escape summaries, to a fixpoint: does
 	// the value passed for parameter i escape to external code (stored to
 	// memory, passed to an external call, returned, or passed to an
@@ -49,7 +72,7 @@ func ComputeEscapes(m *ir.Module) {
 			esc := escapingValues(f, summaries)
 			for _, b := range f.Blocks {
 				for _, in := range b.Instrs {
-					if in.Op == ir.OpParam && esc[in] && !summaries[f][in.ParamIdx] {
+					if in.Op == ir.OpParam && esc[in.ID] && !summaries[f][in.ParamIdx] {
 						summaries[f][in.ParamIdx] = true
 						changed = true
 					}
@@ -89,10 +112,10 @@ func ComputeEscapes(m *ir.Module) {
 				if in.Op != ir.OpGlobalAddr {
 					continue
 				}
-				if esc[in] {
+				if esc[in.ID] {
 					in.Global.Escapes = true
 				}
-				if exposed[in] {
+				if exposed[in.ID] {
 					in.Global.AddrExposed = true
 				}
 			}
@@ -107,15 +130,15 @@ func ComputeEscapes(m *ir.Module) {
 }
 
 // escapingValues computes the set of SSA values in f whose pointee may be
-// accessed by external code.
-func escapingValues(f *ir.Func, summaries map[*ir.Func][]bool) map[*ir.Instr]bool {
-	esc := map[*ir.Instr]bool{}
+// accessed by external code, dense by instruction ID.
+func escapingValues(f *ir.Func, summaries map[*ir.Func][]bool) []bool {
+	esc := make([]bool, f.NumValues())
 	var mark func(v *ir.Instr)
 	mark = func(v *ir.Instr) {
-		if esc[v] {
+		if esc[v.ID] {
 			return
 		}
-		esc[v] = true
+		esc[v.ID] = true
 		// Derived pointers escape with their source: if v escapes and v is
 		// a GEP/cast/phi/select, its inputs escape too.
 		switch v.Op {
@@ -159,16 +182,16 @@ func escapingValues(f *ir.Func, summaries map[*ir.Func][]bool) map[*ir.Instr]boo
 }
 
 // exposedValues computes values whose address identity leaks beyond direct
-// memory accesses and comparisons: such objects can be pointed at by
-// pointers of unknown provenance.
-func exposedValues(f *ir.Func) map[*ir.Instr]bool {
-	exp := map[*ir.Instr]bool{}
+// memory accesses and comparisons, dense by instruction ID: such objects can
+// be pointed at by pointers of unknown provenance.
+func exposedValues(f *ir.Func) []bool {
+	exp := make([]bool, f.NumValues())
 	var mark func(v *ir.Instr)
 	mark = func(v *ir.Instr) {
-		if exp[v] {
+		if exp[v.ID] {
 			return
 		}
-		exp[v] = true
+		exp[v.ID] = true
 		switch v.Op {
 		case ir.OpGEP:
 			mark(v.Args[0])

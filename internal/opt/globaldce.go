@@ -15,7 +15,9 @@ import (
 // "unused" global is still observable state.
 var GlobalDCE = Pass{Name: "globaldce", Run: globalDCE}
 
-func globalDCE(m *ir.Module, o Options) bool {
+// globalDCE only removes whole functions; surviving bodies are untouched,
+// so it reports no per-function invalidations.
+func globalDCE(m *ir.Module, o Options, inv *Invalidation) bool {
 	live := map[*ir.Func]bool{}
 	var mark func(f *ir.Func)
 	mark = func(f *ir.Func) {

@@ -1,11 +1,8 @@
 package opt
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"dcelens/internal/ir"
+	"dcelens/internal/token"
 	"dcelens/internal/types"
 )
 
@@ -18,17 +15,16 @@ import (
 // the enabling property of the paper's instrumentation. Stores marked
 // Widened by the store-widening pass never forward, reproducing the
 // type-mismatch blockage of paper Listing 9e.
-var GVN = Pass{Name: "gvn", Run: gvn}
+var GVN = Pass{Name: "gvn", Pre: ComputeEscapesOpt, Fn: gvnFunc, Post: gvnForward}
 
-func gvn(m *ir.Module, o Options) bool {
-	ComputeEscapesOpt(m, o)
-	changed := forEachDefined(m, func(f *ir.Func) bool {
-		return gvnFunc(f, o)
-	})
-	if o.LoadForwarding && singleStoreForward(m) {
-		changed = true
+// gvnForward is GVN's module-scoped epilogue: cross-function single-store
+// forwarding after the per-function sweep. Functions it strips loads from
+// are reported through inv so dirty tracking stays exact.
+func gvnForward(m *ir.Module, o Options, inv *Invalidation) bool {
+	if !o.LoadForwarding {
+		return false
 	}
-	return changed
+	return singleStoreForward(m, inv)
 }
 
 // singleStoreForward is the cross-block forwarding rule: for a non-exposed
@@ -38,13 +34,14 @@ func gvn(m *ir.Module, o Options) bool {
 // regardless of loops or intervening calls. This models the part of
 // GVN/FRE both real compilers get right that the block-local pass above
 // would miss.
-func singleStoreForward(m *ir.Module) bool {
+func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
 	changed := false
+	ai := buildAccessIndex(m)
 	for _, g := range m.Globals {
 		if g.Escapes || g.AddrExposed || g.Len != 1 {
 			continue
 		}
-		loads, stores, ok := globalAccesses(m, g, false)
+		loads, stores, ok := ai.accesses(g, false)
 		if !ok || len(stores) != 1 || len(loads) == 0 {
 			continue
 		}
@@ -70,6 +67,7 @@ func singleStoreForward(m *ir.Module) bool {
 		for i, in := range s.Block.Instrs {
 			pos[in] = i
 		}
+		forwarded := false
 		for _, l := range loads {
 			if l.Block.Func != f {
 				continue
@@ -86,7 +84,15 @@ func singleStoreForward(m *ir.Module) bool {
 			}
 			ir.ReplaceAllUses(l, v)
 			l.Remove()
+			inv.Func(l.Block.Func)
 			changed = true
+			forwarded = true
+		}
+		if forwarded && (v.Op == ir.OpGlobalAddr || v.Op == ir.OpGEP) {
+			// Uses of the deleted loads now reference an address value
+			// directly — new accesses of that address's global. Reindex so
+			// later globals see them.
+			ai.rebuild(m)
 		}
 	}
 	return changed
@@ -96,23 +102,63 @@ func gvnFunc(f *ir.Func, o Options) bool {
 	dt := ir.Dominators(f)
 	ac := NewAliasCtx(f, o.Alias)
 	g := &gvnState{
-		o:     o,
-		ac:    ac,
-		table: map[string]*ir.Instr{},
+		o:       o,
+		ac:      ac,
+		table:   map[gvnKey]*ir.Instr{},
+		typeIDs: map[*types.Type]int{},
+		typeStr: map[string]int{},
 	}
-	return g.walk(f.Entry(), dt)
+	changed := g.walk(f.Entry(), dt)
+	// One sweep repairs every remaining stale operand (phis visited before
+	// the value they reference was replaced).
+	g.reloc.Apply(f)
+	return changed
 }
 
 type gvnState struct {
 	o     Options
 	ac    *AliasCtx
-	table map[string]*ir.Instr
+	table map[gvnKey]*ir.Instr
+	reloc ir.Relocator
+	// Type interning: structurally identical types can be distinct
+	// pointers, so key equality goes through a string-deduplicated id —
+	// computed once per distinct pointer, not once per instruction.
+	typeIDs map[*types.Type]int
+	typeStr map[string]int
+}
+
+// gvnKey is the structural identity of a pure instruction — a comparable
+// struct, so table lookups cost a hash of a few words instead of the
+// fmt-formatted string key this pass started with (which was ~4% of total
+// campaign CPU). n disambiguates arity within the fixed arg array.
+type gvnKey struct {
+	op         ir.Op
+	typ        int
+	bin        token.Kind
+	aux        int64
+	g          *ir.Global
+	a0, a1, a2 int
+	n          int8
+}
+
+func (g *gvnState) typeID(t *types.Type) int {
+	if id, ok := g.typeIDs[t]; ok {
+		return id
+	}
+	s := t.String()
+	id, ok := g.typeStr[s]
+	if !ok {
+		id = len(g.typeStr) + 1
+		g.typeStr[s] = id
+	}
+	g.typeIDs[t] = id
+	return id
 }
 
 // walk performs a preorder dominator-tree traversal with a scoped table.
 func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 	changed := false
-	var added []string
+	var added []gvnKey
 
 	// Block-local memory state for forwarding.
 	type memEntry struct {
@@ -132,13 +178,23 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 
 	var keep []*ir.Instr
 	for _, in := range b.Instrs {
+		// Canonicalize operands through pending replacements first: value
+		// numbering and location resolution must see the representative,
+		// exactly as an eager rewriter would.
+		if !g.reloc.Empty() {
+			for i, a := range in.Args {
+				if n := g.reloc.Resolve(a); n != a {
+					in.Args[i] = n
+				}
+			}
+		}
 		switch in.Op {
 		case ir.OpLoad:
 			loc := ResolveLoc(in.Args[0])
 			forwarded := false
 			for _, e := range avail {
 				if MustAlias(e.loc, loc) && e.val.Typ != nil && types.Identical(e.val.Typ, in.Typ) {
-					ir.ReplaceAllUses(in, e.val)
+					g.reloc.Add(in, e.val)
 					forwarded = true
 					changed = true
 					break
@@ -164,7 +220,7 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 					case l.G != nil:
 						return l.G.Escapes
 					case l.A != nil:
-						return g.ac.exposed[l.A]
+						return g.ac.isExposed(l.A)
 					default:
 						return true
 					}
@@ -175,9 +231,12 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 
 		default:
 			if in.Typ != nil && in.IsPure() && in.Op != ir.OpPhi && in.Op != ir.OpAlloca && in.Op != ir.OpParam {
-				key := g.key(in)
+				key, exact := g.key(in)
+				if !exact {
+					break
+				}
 				if rep, ok := g.table[key]; ok {
-					ir.ReplaceAllUses(in, rep)
+					g.reloc.Add(in, rep)
 					changed = true
 					continue // drop the duplicate
 				}
@@ -200,30 +259,43 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 	return changed
 }
 
-// key builds a structural hash key for a pure instruction.
-func (g *gvnState) key(in *ir.Instr) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%s|", int(in.Op), in.Typ)
+// key builds the structural identity of a pure instruction; ok is false for
+// shapes the fixed-arity key cannot represent exactly (which simply opt out
+// of CSE — never a wrong merge).
+func (g *gvnState) key(in *ir.Instr) (gvnKey, bool) {
+	k := gvnKey{op: in.Op, typ: g.typeID(in.Typ)}
 	switch in.Op {
 	case ir.OpConst:
-		fmt.Fprintf(&sb, "c%d", in.IntVal)
-		return sb.String()
+		k.aux = in.IntVal
+		return k, true
 	case ir.OpNull:
-		return sb.String()
+		return k, true
 	case ir.OpGlobalAddr:
-		fmt.Fprintf(&sb, "g%s", in.Global.Name)
-		return sb.String()
+		// Globals are unique per name, so pointer identity is name identity.
+		k.g = in.Global
+		return k, true
 	case ir.OpBin:
-		ids := []int{in.Args[0].ID, in.Args[1].ID}
-		if isCommutative(in.BinOp) {
-			sort.Ints(ids)
+		k.bin = in.BinOp
+		a, b := in.Args[0].ID, in.Args[1].ID
+		if isCommutative(in.BinOp) && b < a {
+			a, b = b, a
 		}
-		fmt.Fprintf(&sb, "b%v|%d,%d", in.BinOp, ids[0], ids[1])
-		return sb.String()
+		k.a0, k.a1, k.n = a, b, 2
+		return k, true
 	default:
-		for _, a := range in.Args {
-			fmt.Fprintf(&sb, "%d,", a.ID)
+		if len(in.Args) > 3 {
+			return k, false
 		}
-		return sb.String()
+		k.n = int8(len(in.Args))
+		if k.n > 0 {
+			k.a0 = in.Args[0].ID
+		}
+		if k.n > 1 {
+			k.a1 = in.Args[1].ID
+		}
+		if k.n > 2 {
+			k.a2 = in.Args[2].ID
+		}
+		return k, true
 	}
 }

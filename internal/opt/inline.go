@@ -11,7 +11,7 @@ import (
 // paper's bisected regressions live in inlining heuristics (Table 4).
 var Inline = Pass{Name: "inline", Run: inline}
 
-func inline(m *ir.Module, o Options) bool {
+func inline(m *ir.Module, o Options, inv *Invalidation) bool {
 	if o.InlineBudget <= 0 {
 		return false
 	}
@@ -32,6 +32,9 @@ func inline(m *ir.Module, o Options) bool {
 			inlineCall(caller, call)
 			grown += funcSize(call.Callee)
 			changed = true
+			// Splicing mutates only the caller; callee bodies are read,
+			// never written, so callers are the precise invalidation set.
+			inv.Func(caller)
 		}
 	}
 	return changed

@@ -11,29 +11,40 @@ import (
 // single instructions (plus their operands' shapes). Mirrors the role of
 // LLVM's instcombine / GCC's match.pd folders. The paper bisects several
 // missed optimizations to peephole-pattern changes (Tables 3/4).
-var InstCombine = Pass{Name: "instcombine", Run: instCombine}
+var InstCombine = Pass{Name: "instcombine", Fn: instCombineFunc}
 
-func instCombine(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		changed := false
-		for {
-			local := false
-			for _, b := range f.Blocks {
-				for _, in := range b.Instrs {
-					if rep := combine(in, o); rep != nil && rep != in {
-						ir.ReplaceAllUses(in, rep)
-						local = true
+func instCombineFunc(f *ir.Func, o Options) bool {
+	changed := false
+	var reloc ir.Relocator
+	for {
+		local := false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				// Canonicalize operands through this sweep's pending
+				// replacements so combine sees what an eager rewriter
+				// would have seen.
+				if !reloc.Empty() {
+					for i, a := range in.Args {
+						if n := reloc.Resolve(a); n != a {
+							in.Args[i] = n
+						}
 					}
 				}
+				if rep := combine(in, o); rep != nil && rep != in {
+					reloc.Add(in, rep)
+					local = true
+				}
 			}
-			if !local {
-				break
-			}
-			changed = true
-			dceFunc(f) // drop the now-dead originals before the next sweep
 		}
-		return changed
-	})
+		if !local {
+			break
+		}
+		changed = true
+		reloc.Apply(f)
+		reloc.Reset()
+		dceFunc(f) // drop the now-dead originals before the next sweep
+	}
+	return changed
 }
 
 // isConst returns the operand's constant value if it is an integer constant.

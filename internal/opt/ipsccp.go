@@ -28,22 +28,25 @@ import (
 // 9f: `b[a]` where b = {0, 0}).
 var IPSCCP = Pass{Name: "ipsccp", Run: ipsccp}
 
-func ipsccp(m *ir.Module, o Options) bool {
+func ipsccp(m *ir.Module, o Options, inv *Invalidation) bool {
 	if o.GlobalProp == GlobalPropNone {
 		return false
 	}
-	ComputeEscapesOpt(m, o)
+	if ComputeEscapesOpt(m, o) {
+		inv.Facts()
+	}
+	ai := buildAccessIndex(m)
 	changed := false
 	for _, g := range m.Globals {
 		if g.Escapes || g.AddrExposed {
 			continue // other code can touch it: no module-wide view
 		}
 		if g.Len == 1 {
-			if propagateScalar(m, g, o) {
+			if propagateScalar(m, g, o, ai, inv) {
 				changed = true
 			}
 		} else if o.ConstArrayLoadFold {
-			if propagateConstArray(m, g) {
+			if propagateConstArray(m, g, ai, inv) {
 				changed = true
 			}
 		}
@@ -51,84 +54,143 @@ func ipsccp(m *ir.Module, o Options) bool {
 	return changed
 }
 
-// globalAccesses collects all direct loads and stores of g. ok is false if
-// g's address is used in any other way (e.g. behind non-constant GEPs for
-// scalars — cannot happen for in-bounds MiniC scalars, but be safe).
-func globalAccesses(m *ir.Module, g *ir.Global, allowGEP bool) (loads, stores []*ir.Instr, ok bool) {
+// accessIndex answers "all loads and stores of global g" for every global at
+// once from a single module sweep. Its predecessor rescanned the enclosing
+// function once per OpGlobalAddr instance per queried global — quadratic on
+// real units and ~9% of campaign CPU. Consumers must rebuild the index after
+// a transformation that materializes new address instructions (folding a
+// pointer global rewrites loads into fresh OpGlobalAddr/OpGEP values, i.e.
+// brand-new accesses of the *target* global); all other propagations only
+// delete accesses of the already-queried global and replace values with
+// non-address constants, which cannot grow any other global's access set.
+type accessIndex struct {
+	info map[*ir.Global]*globalAccessInfo
+}
+
+type globalAccessInfo struct {
+	loads, stores       []*ir.Instr // through the raw address
+	gepLoads, gepStores []*ir.Instr // through GEP chains rooted at the address
+	hasGEP              bool        // some GEP consumes the raw address
+	badDirect           bool        // disallowed use of the raw address
+	badGEP              bool        // disallowed use within a GEP chain
+}
+
+func buildAccessIndex(m *ir.Module) *accessIndex {
+	ai := &accessIndex{info: make(map[*ir.Global]*globalAccessInfo, len(m.Globals))}
+	get := func(g *ir.Global) *globalAccessInfo {
+		gi := ai.info[g]
+		if gi == nil {
+			gi = &globalAccessInfo{}
+			ai.info[g] = gi
+		}
+		return gi
+	}
 	for _, f := range m.Funcs {
+		n := f.NumValues()
+		base := make([]*ir.Global, n) // chain base: the global this value addresses
+		chain := make([]bool, n)      // value is a GEP link, not the raw address
+		state := make([]uint8, n)     // GEP memo: 0 unresolved, 1 visiting, 2 done
+		var resolve func(in *ir.Instr) *ir.Global
+		resolve = func(in *ir.Instr) *ir.Global {
+			switch in.Op {
+			case ir.OpGlobalAddr:
+				return in.Global
+			case ir.OpGEP:
+				switch state[in.ID] {
+				case 0:
+					state[in.ID] = 1
+					base[in.ID] = resolve(in.Args[0])
+					state[in.ID] = 2
+				case 1:
+					return nil // defensive: SSA defs cannot cycle
+				}
+				return base[in.ID]
+			}
+			return nil
+		}
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
-				var addrs []*ir.Instr
 				switch in.Op {
 				case ir.OpGlobalAddr:
-					if in.Global == g {
-						addrs = []*ir.Instr{in}
+					base[in.ID] = in.Global
+				case ir.OpGEP:
+					resolve(in)
+					chain[in.ID] = true
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, u := range b.Instrs {
+				for i, a := range u.Args {
+					g := base[a.ID]
+					if g == nil {
+						continue
 					}
-				}
-				if len(addrs) == 0 {
-					continue
-				}
-				// Check every use of this address.
-				for _, b2 := range f.Blocks {
-					for _, u := range b2.Instrs {
-						for i, a := range u.Args {
-							if a != addrs[0] {
-								continue
-							}
-							switch {
-							case u.Op == ir.OpLoad:
-								loads = append(loads, u)
-							case u.Op == ir.OpStore && i == 0:
-								stores = append(stores, u)
-							case u.Op == ir.OpBin:
-								// comparison: fine, no access
-							case u.Op == ir.OpGEP && allowGEP:
-								ls, ss, gok := gepAccesses(f, u)
-								if !gok {
-									return nil, nil, false
-								}
-								loads = append(loads, ls...)
-								stores = append(stores, ss...)
-							default:
-								return nil, nil, false
-							}
+					gi := get(g)
+					if !chain[a.ID] {
+						switch {
+						case u.Op == ir.OpLoad:
+							gi.loads = append(gi.loads, u)
+						case u.Op == ir.OpStore && i == 0:
+							gi.stores = append(gi.stores, u)
+						case u.Op == ir.OpBin:
+							// comparison: fine, no access
+						case u.Op == ir.OpGEP && i == 0:
+							gi.hasGEP = true // the GEP link reports its own uses
+						default:
+							gi.badDirect = true
+							gi.badGEP = true
+						}
+					} else {
+						switch {
+						case u.Op == ir.OpLoad:
+							gi.gepLoads = append(gi.gepLoads, u)
+						case u.Op == ir.OpStore && i == 0:
+							gi.gepStores = append(gi.gepStores, u)
+						case u.Op == ir.OpBin:
+							// comparisons are fine
+						case u.Op == ir.OpGEP && i == 0:
+							// chain continues; the successor link reports its own uses
+						default:
+							gi.badGEP = true
 						}
 					}
 				}
 			}
 		}
 	}
-	return loads, stores, true
+	return ai
 }
 
-// gepAccesses collects loads/stores through a GEP of a known base.
-func gepAccesses(f *ir.Func, gep *ir.Instr) (loads, stores []*ir.Instr, ok bool) {
-	for _, b := range f.Blocks {
-		for _, u := range b.Instrs {
-			for i, a := range u.Args {
-				if a != gep {
-					continue
-				}
-				switch {
-				case u.Op == ir.OpLoad:
-					loads = append(loads, u)
-				case u.Op == ir.OpStore && i == 0:
-					stores = append(stores, u)
-				case u.Op == ir.OpBin:
-					// comparisons are fine
-				case u.Op == ir.OpGEP:
-					ls, ss, gok := gepAccesses(f, u)
-					if !gok {
-						return nil, nil, false
-					}
-					loads = append(loads, ls...)
-					stores = append(stores, ss...)
-				default:
-					return nil, nil, false
-				}
-			}
-		}
+func (ai *accessIndex) rebuild(m *ir.Module) { *ai = *buildAccessIndex(m) }
+
+// accesses collects all direct loads and stores of g. ok is false if g's
+// address is used in any other way (e.g. behind non-constant GEPs for
+// scalars — cannot happen for in-bounds MiniC scalars, but be safe). With
+// allowGEP, accesses through well-formed GEP chains count as loads/stores
+// instead of disqualifying the global.
+func (ai *accessIndex) accesses(g *ir.Global, allowGEP bool) (loads, stores []*ir.Instr, ok bool) {
+	gi := ai.info[g]
+	if gi == nil {
+		return nil, nil, true // address never materialized: no accesses
 	}
+	if gi.badDirect {
+		return nil, nil, false
+	}
+	if !allowGEP {
+		if gi.hasGEP {
+			return nil, nil, false
+		}
+		return gi.loads, gi.stores, true
+	}
+	if gi.badGEP {
+		return nil, nil, false
+	}
+	if len(gi.gepLoads) == 0 && len(gi.gepStores) == 0 {
+		return gi.loads, gi.stores, true
+	}
+	loads = append(append([]*ir.Instr{}, gi.loads...), gi.gepLoads...)
+	stores = append(append([]*ir.Instr{}, gi.stores...), gi.gepStores...)
 	return loads, stores, true
 }
 
@@ -145,7 +207,7 @@ func initConst(g *ir.Global, idx int) (int64, bool) {
 	return 0, true // zero-initialized tail
 }
 
-func propagateScalar(m *ir.Module, g *ir.Global, o Options) bool {
+func propagateScalar(m *ir.Module, g *ir.Global, o Options, ai *accessIndex, inv *Invalidation) bool {
 	if g.Elem.Kind == types.Pointer {
 		// Address-constant propagation for pointer globals requires the
 		// stronger analysis tiers: GCC's flow-insensitive global value
@@ -156,9 +218,17 @@ func propagateScalar(m *ir.Module, g *ir.Global, o Options) bool {
 		if o.GlobalProp < GlobalPropSameConst {
 			return false
 		}
-		return propagatePointerGlobal(m, g)
+		if propagatePointerGlobal(m, g, ai, inv) {
+			// The folded loads became fresh OpGlobalAddr/OpGEP values whose
+			// uses are new accesses of the target global — reindex so a
+			// later-iterated global sees them, exactly as the per-global
+			// rescan used to.
+			ai.rebuild(m)
+			return true
+		}
+		return false
 	}
-	loads, stores, ok := globalAccesses(m, g, false)
+	loads, stores, ok := ai.accesses(g, false)
 	if !ok || (len(loads) == 0 && len(stores) == 0) {
 		return false
 	}
@@ -206,10 +276,12 @@ func propagateScalar(m *ir.Module, g *ir.Global, o Options) bool {
 		l.Block.InsertBefore(c, l)
 		ir.ReplaceAllUses(l, c)
 		l.Remove()
+		inv.Func(l.Block.Func)
 	}
 	if deleteStores {
 		for _, s := range stores {
 			s.Remove()
+			inv.Func(s.Block.Func)
 		}
 	}
 	return len(foldable) > 0 || deleteStores
@@ -293,8 +365,8 @@ func mainIsCalled(m *ir.Module) bool {
 // global to its initializer's address constant (GlobalOpt does the same).
 // The materialized &g+off values are what the pointer-comparison folders
 // (and their precision knobs, paper Listing 3) subsequently act on.
-func propagatePointerGlobal(m *ir.Module, g *ir.Global) bool {
-	loads, stores, ok := globalAccesses(m, g, false)
+func propagatePointerGlobal(m *ir.Module, g *ir.Global, ai *accessIndex, inv *Invalidation) bool {
+	loads, stores, ok := ai.accesses(g, false)
 	if !ok || len(stores) > 0 || len(loads) == 0 {
 		return false
 	}
@@ -329,6 +401,7 @@ func propagatePointerGlobal(m *ir.Module, g *ir.Global) bool {
 		}
 		ir.ReplaceAllUses(l, repl)
 		l.Remove()
+		inv.Func(l.Block.Func)
 	}
 	return true
 }
@@ -337,7 +410,7 @@ func propagatePointerGlobal(m *ir.Module, g *ir.Global) bool {
 // initialized elements are all the same constant (with the
 // zero-initialized tail, that means: all inits equal, and equal to 0 if
 // the initializer does not cover the whole array).
-func propagateConstArray(m *ir.Module, g *ir.Global) bool {
+func propagateConstArray(m *ir.Module, g *ir.Global, ai *accessIndex, inv *Invalidation) bool {
 	if g.Elem.Kind == types.Pointer {
 		return false
 	}
@@ -356,7 +429,7 @@ func propagateConstArray(m *ir.Module, g *ir.Global) bool {
 	if len(g.Init) < g.Len && val != 0 {
 		return false
 	}
-	loads, stores, ok := globalAccesses(m, g, true)
+	loads, stores, ok := ai.accesses(g, true)
 	if !ok || len(stores) > 0 || len(loads) == 0 {
 		return false
 	}
@@ -366,6 +439,7 @@ func propagateConstArray(m *ir.Module, g *ir.Global) bool {
 		l.Block.InsertBefore(c, l)
 		ir.ReplaceAllUses(l, c)
 		l.Remove()
+		inv.Func(l.Block.Func)
 	}
 	return true
 }

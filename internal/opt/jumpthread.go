@@ -15,19 +15,17 @@ import (
 // threaders "threading through dead code" and leaving IR that confused VRP;
 // in this reproduction that corresponds to scheduling this pass after the
 // final cleanup round (see internal/pipeline).
-var JumpThread = Pass{Name: "jumpthread", Run: jumpThread}
+var JumpThread = Pass{Name: "jumpthread", Fn: jumpThreadFunc}
 
-func jumpThread(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		changed := false
-		for {
-			if !jumpThreadOnce(f) {
-				break
-			}
-			changed = true
+func jumpThreadFunc(f *ir.Func, o Options) bool {
+	changed := false
+	for {
+		if !jumpThreadOnce(f) {
+			break
 		}
-		return changed
-	})
+		changed = true
+	}
+	return changed
 }
 
 func jumpThreadOnce(f *ir.Func) bool {

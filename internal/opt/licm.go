@@ -9,23 +9,22 @@ import (
 // loads when nothing in the loop can write the location (no may-aliasing
 // stores, no internal calls, and — for escaping storage — no external
 // calls).
-var LICM = Pass{Name: "licm", Run: licm}
+var LICM = Pass{Name: "licm", Pre: ComputeEscapesOpt, Fn: licmFunc}
 
-func licm(m *ir.Module, o Options) bool {
-	ComputeEscapesOpt(m, o)
-	return forEachDefined(m, func(f *ir.Func) bool {
-		changed := false
-		removeUnreachable(f) // preheader creation assumes reachable preds
-		dt := ir.Dominators(f)
-		loops := ir.NaturalLoops(f, dt)
-		ac := NewAliasCtx(f, o.Alias)
-		for _, l := range loops {
-			if licmLoop(f, l, ac) {
-				changed = true
-			}
+func licmFunc(f *ir.Func, o Options) bool {
+	changed := false
+	if removeUnreachable(f) { // preheader creation assumes reachable preds
+		f.MarkMutated() // unreported mutation; dirty tracking must see it
+	}
+	dt := ir.Dominators(f)
+	loops := ir.NaturalLoops(f, dt)
+	ac := NewAliasCtx(f, o.Alias)
+	for _, l := range loops {
+		if licmLoop(f, l, ac) {
+			changed = true
 		}
-		return changed
-	})
+	}
+	return changed
 }
 
 // preheader finds or creates the unique out-of-loop predecessor block of
@@ -137,19 +136,21 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 		}
 	}
 
-	definedInLoop := map[*ir.Instr]bool{}
+	// Dense by instruction ID; values created later (preheader branch/phis)
+	// are out of range and correctly read as defined outside the loop.
+	definedInLoop := make([]bool, f.NumValues())
 	for _, b := range f.Blocks {
 		if !l.Blocks[b] {
 			continue
 		}
 		for _, in := range b.Instrs {
-			definedInLoop[in] = true
+			definedInLoop[in.ID] = true
 		}
 	}
 
 	invariant := func(in *ir.Instr) bool {
 		for _, a := range in.Args {
-			if definedInLoop[a] {
+			if a.ID < len(definedInLoop) && definedInLoop[a.ID] {
 				return false
 			}
 		}
@@ -171,7 +172,7 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 		}
 		if hasExternalCall {
 			clobbered := (loc.G != nil && loc.G.Escapes) ||
-				(loc.A != nil && ac.exposed[loc.A]) ||
+				(loc.A != nil && ac.isExposed(loc.A)) ||
 				(loc.G == nil && loc.A == nil)
 			if clobbered {
 				return false
@@ -186,6 +187,7 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 	}
 
 	var pre *ir.Block
+	var scratch []*ir.Instr // reused snapshot: hoisting mutates b.Instrs mid-walk
 	changed := false
 	for {
 		moved := false
@@ -193,7 +195,8 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 			if !l.Blocks[b] {
 				continue
 			}
-			for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			scratch = append(scratch[:0], b.Instrs...)
+			for _, in := range scratch {
 				hoist := false
 				switch {
 				case in.Op == ir.OpPhi || in.Op.IsTerminator():
@@ -216,7 +219,7 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 				}
 				in.Remove()
 				pre.InsertBefore(in, pre.Term())
-				definedInLoop[in] = false
+				definedInLoop[in.ID] = false
 				moved = true
 				changed = true
 			}

@@ -22,7 +22,7 @@ import (
 // observable.
 var LocalizeGlobals = Pass{Name: "localize-globals", Run: localizeGlobals}
 
-func localizeGlobals(m *ir.Module, o Options) bool {
+func localizeGlobals(m *ir.Module, o Options, inv *Invalidation) bool {
 	if !o.GlobalLocalize {
 		return false
 	}
@@ -30,7 +30,9 @@ func localizeGlobals(m *ir.Module, o Options) bool {
 	if mainFn == nil || mainFn.External || mainIsCalled(m) {
 		return false
 	}
-	ComputeEscapesOpt(m, o)
+	if ComputeEscapesOpt(m, o) {
+		inv.Facts()
+	}
 	changed := false
 	for _, g := range m.Globals {
 		if g.Escapes || g.AddrExposed || g.Len != 1 {
@@ -38,6 +40,7 @@ func localizeGlobals(m *ir.Module, o Options) bool {
 		}
 		if localizeOne(m, g, mainFn) {
 			changed = true
+			inv.Func(mainFn) // demotion rewrites only main's body
 		}
 	}
 	return changed

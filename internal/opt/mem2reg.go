@@ -14,11 +14,7 @@ import (
 // Almost everything the rest of the pipeline achieves depends on this pass:
 // without promotion, SCCP and GVN see only opaque memory traffic. The
 // ablation benchmark BenchmarkAblationNoMem2Reg quantifies exactly that.
-var Mem2Reg = Pass{Name: "mem2reg", Run: mem2reg}
-
-func mem2reg(m *ir.Module, o Options) bool {
-	return forEachDefined(m, mem2regFunc)
-}
+var Mem2Reg = Pass{Name: "mem2reg", Fn: func(f *ir.Func, o Options) bool { return mem2regFunc(f) }}
 
 func mem2regFunc(f *ir.Func) bool {
 	var cands []*ir.Instr
@@ -37,9 +33,13 @@ func mem2regFunc(f *ir.Func) bool {
 	df := dt.Frontiers()
 	reach := f.Reachable()
 
+	// All promotions share one relocation batch: dropped loads resolve
+	// through it on read, and a single Apply sweep rewrites the survivors.
+	var reloc ir.Relocator
 	for _, a := range cands {
-		promote(f, a, dt, df, reach)
+		promote(f, a, dt, df, reach, &reloc)
 	}
+	reloc.Apply(f)
 	return true
 }
 
@@ -67,45 +67,43 @@ func promotable(f *ir.Func, a *ir.Instr) bool {
 	return true
 }
 
-// promote rewrites all loads/stores of alloca a into SSA values.
-func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Block, reach map[*ir.Block]bool) {
+// promote rewrites all loads/stores of alloca a into SSA values. Load
+// replacements are batched into reloc; the caller applies them once.
+func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df [][]*ir.Block, reach []bool, reloc *ir.Relocator) {
 	elem := a.Typ.Elem
+	nb := f.NumBlocks()
 
-	// Blocks containing stores.
-	storeBlocks := map[*ir.Block]bool{}
-	for _, b := range f.Blocks {
+	// Phi placement: iterated dominance frontier of the store blocks. All
+	// per-block state is dense by Block.ID (mem2reg creates no blocks).
+	phiAt := make([]*ir.Instr, nb)
+	inWork := make([]bool, nb)
+	var work []*ir.Block
+	for _, b := range f.Blocks { // seed in block order: deterministic
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpStore && in.Args[0] == a {
-				storeBlocks[b] = true
+				if !inWork[b.ID] {
+					inWork[b.ID] = true
+					work = append(work, b)
+				}
+				break
 			}
 		}
-	}
-
-	// Phi placement: iterated dominance frontier of the store blocks.
-	phiAt := map[*ir.Block]*ir.Instr{}
-	work := make([]*ir.Block, 0, len(storeBlocks))
-	for b := range storeBlocks {
-		work = append(work, b)
-	}
-	inWork := map[*ir.Block]bool{}
-	for _, b := range work {
-		inWork[b] = true
 	}
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
-		for _, fb := range df[b] {
-			if !reach[fb] {
+		for _, fb := range df[b.ID] {
+			if !reach[fb.ID] {
 				continue
 			}
-			if _, ok := phiAt[fb]; ok {
+			if phiAt[fb.ID] != nil {
 				continue
 			}
 			phi := fb.NewInstr(ir.OpPhi, elem)
 			fb.Instrs = append([]*ir.Instr{phi}, fb.Instrs...)
-			phiAt[fb] = phi
-			if !inWork[fb] {
-				inWork[fb] = true
+			phiAt[fb.ID] = phi
+			if !inWork[fb.ID] {
+				inWork[fb.ID] = true
 				work = append(work, fb)
 			}
 		}
@@ -131,10 +129,10 @@ func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Blo
 	// Rename walk over the dominator tree.
 	var walk func(b *ir.Block, cur *ir.Instr)
 	walk = func(b *ir.Block, cur *ir.Instr) {
-		if phi, ok := phiAt[b]; ok {
+		if phi := phiAt[b.ID]; phi != nil {
 			cur = phi
 		}
-		var keep []*ir.Instr
+		keep := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			switch {
 			case in.Op == ir.OpLoad && in.Args[0] == a:
@@ -142,10 +140,12 @@ func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Blo
 				if v == nil {
 					v = mkZero()
 				}
-				ir.ReplaceAllUses(in, v)
+				reloc.Add(in, v)
 				continue // drop the load
 			case in.Op == ir.OpStore && in.Args[0] == a:
-				cur = in.Args[1]
+				// The stored value may itself be a load this batch already
+				// dropped (e.g. of a previously promoted alloca).
+				cur = reloc.Resolve(in.Args[1])
 				continue // drop the store
 			}
 			keep = append(keep, in)
@@ -153,8 +153,8 @@ func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Blo
 		b.Instrs = keep
 		// Fill phi operands of successors.
 		for _, s := range b.Succs() {
-			phi, ok := phiAt[s]
-			if !ok {
+			phi := phiAt[s.ID]
+			if phi == nil {
 				continue
 			}
 			v := cur
@@ -173,14 +173,14 @@ func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Blo
 	// Unreachable blocks may still reference the alloca; replace those
 	// accesses with the zero value so the alloca can be deleted.
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach[b.ID] {
 			continue
 		}
-		var keep []*ir.Instr
+		keep := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			switch {
 			case in.Op == ir.OpLoad && in.Args[0] == a:
-				ir.ReplaceAllUses(in, mkZero())
+				reloc.Add(in, mkZero())
 				continue
 			case in.Op == ir.OpStore && in.Args[0] == a:
 				continue
@@ -193,7 +193,11 @@ func promote(f *ir.Func, a *ir.Instr, dt *ir.DomTree, df map[*ir.Block][]*ir.Blo
 	// The rename walk only visits reachable blocks, but a reachable block
 	// can have unreachable predecessors (e.g. the orphan blocks lowering
 	// creates after a return). Their phi entries are arbitrary; use zero.
-	for b, phi := range phiAt {
+	for _, b := range f.Blocks {
+		phi := phiAt[b.ID]
+		if phi == nil {
+			continue
+		}
 		for _, p := range b.Preds {
 			covered := 0
 			for _, pp := range phi.PhiPreds {

@@ -1,8 +1,6 @@
 package opt
 
 import (
-	"time"
-
 	"dcelens/internal/ir"
 	"dcelens/internal/metrics"
 )
@@ -21,9 +19,11 @@ import (
 // name cache stays goroutine-local; the registry behind it is shared and
 // concurrency-safe.
 type metricsObserver struct {
-	reg     *metrics.Registry
-	hists   map[string]*metrics.Histogram
-	changed map[string]*metrics.Counter
+	reg      *metrics.Registry
+	hists    map[string]*metrics.Histogram
+	changed  map[string]*metrics.Counter
+	visitedC *metrics.Counter
+	skippedC *metrics.Counter
 }
 
 // MetricsObserver builds a per-compilation pass collector feeding reg. A
@@ -45,15 +45,17 @@ func (o *metricsObserver) BeginPipeline(m *ir.Module) {
 	o.reg.Counter("pipeline.runs").Inc()
 }
 
-// AfterPass records the instance's wall time and changed flag.
-func (o *metricsObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+// AfterPass records the instance's wall time, changed flag, and the dirty
+// tracker's visited/skipped split (the campaign-wide skip rate backing the
+// /progress endpoint).
+func (o *metricsObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st PassStats) {
 	h := o.hists[pass]
 	if h == nil {
 		h = o.reg.Histogram("pass." + pass)
 		o.hists[pass] = h
 	}
-	h.Observe(d)
-	if changed {
+	h.Observe(st.Duration)
+	if st.Changed {
 		c := o.changed[pass]
 		if c == nil {
 			c = o.reg.Counter("pass." + pass + ".changed")
@@ -61,4 +63,24 @@ func (o *metricsObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, it
 		}
 		c.Inc()
 	}
+	if st.FuncsVisited > 0 {
+		o.visited().Add(int64(st.FuncsVisited))
+	}
+	if st.FuncsSkipped > 0 {
+		o.skipped().Add(int64(st.FuncsSkipped))
+	}
+}
+
+func (o *metricsObserver) visited() *metrics.Counter {
+	if o.visitedC == nil {
+		o.visitedC = o.reg.Counter(metrics.CounterPassVisited)
+	}
+	return o.visitedC
+}
+
+func (o *metricsObserver) skipped() *metrics.Counter {
+	if o.skippedC == nil {
+		o.skippedC = o.reg.Counter(metrics.CounterPassSkipped)
+	}
+	return o.skippedC
 }

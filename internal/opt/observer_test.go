@@ -13,7 +13,7 @@ type countObserver struct{ begins, passes int }
 
 func (o *countObserver) BeginPipeline(m *ir.Module) {}
 
-func (o *countObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+func (o *countObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st PassStats) {
 	o.passes++
 }
 
@@ -54,7 +54,7 @@ func TestObserversDropsTypedNilsKeepsLive(t *testing.T) {
 
 	a, b := &countObserver{}, &countObserver{}
 	multi := Observers(typedNil, a, nil, b)
-	multi.AfterPass(nil, "dce", 0, 0, true, 0)
+	multi.AfterPass(nil, "dce", 0, 0, PassStats{Changed: true})
 	if a.passes != 1 || b.passes != 1 {
 		t.Fatalf("fan-out: a=%d b=%d passes, want 1 each", a.passes, b.passes)
 	}
@@ -67,9 +67,9 @@ func TestMetricsObserverCollects(t *testing.T) {
 	reg := metrics.New()
 	obs := MetricsObserver(reg)
 	obs.BeginPipeline(nil)
-	obs.AfterPass(nil, "dce", 0, 0, true, time.Millisecond)
-	obs.AfterPass(nil, "dce", 1, 0, false, time.Millisecond)
-	obs.AfterPass(nil, "gvn", 2, 0, true, time.Millisecond)
+	obs.AfterPass(nil, "dce", 0, 0, PassStats{Changed: true, Duration: time.Millisecond, FuncsVisited: 2})
+	obs.AfterPass(nil, "dce", 1, 0, PassStats{Duration: time.Millisecond, FuncsSkipped: 2})
+	obs.AfterPass(nil, "gvn", 2, 0, PassStats{Changed: true, Duration: time.Millisecond, FuncsVisited: 1, FuncsSkipped: 1})
 
 	if got := reg.Counter("pipeline.runs").Value(); got != 1 {
 		t.Errorf("pipeline.runs = %d, want 1", got)

@@ -1,7 +1,12 @@
 // Package opt implements the optimization passes shared by both compiler
 // personalities.
 //
-// Every pass is a function from (module, options) to a changed-flag. The
+// Most passes are function-scoped: a pure function of one body plus
+// module-level facts. Interprocedural passes declare themselves
+// module-scoped and report which functions they changed. The pass manager
+// (ObservedPipeline) exploits the split with per-function dirty tracking:
+// a pass instance re-visits a function only when something changed it since
+// the same pass last saw it, so clean functions are never re-scanned. The
 // two personalities (gcc-sim, llvm-sim) differ only in which passes run, in
 // what order, and with which Options knobs — exactly the axes along which
 // the paper's bisected regressions vary (pass management, analysis
@@ -119,10 +124,72 @@ type Options struct {
 	VerifyEachPass bool
 }
 
-// Pass is one transformation or analysis over a module.
+// Invalidation is how a module-scoped pass tells the pass manager which
+// functions it changed, so dirty tracking stays exact across
+// interprocedural transforms. Inline reports the callers it spliced into,
+// localization reports main, pure removals (GlobalDCE) report nothing.
+type Invalidation struct {
+	funcs []*ir.Func
+	all   bool
+	facts bool
+}
+
+// Func marks one function as changed by the pass.
+func (inv *Invalidation) Func(f *ir.Func) {
+	if f != nil {
+		inv.funcs = append(inv.funcs, f)
+	}
+}
+
+// All conservatively marks every function as changed.
+func (inv *Invalidation) All() { inv.all = true }
+
+// Facts records that module-level analysis facts (the escape flags on
+// globals) changed, so passes that consume them must re-visit even bodies
+// that did not change.
+func (inv *Invalidation) Facts() { inv.facts = true }
+
+// Pass is one transformation or analysis. Exactly one of Fn (function
+// scope) or Run (module scope) is set.
 type Pass struct {
 	Name string
-	Run  func(m *ir.Module, o Options) bool
+
+	// Fn is the function-scoped entry point; the pass manager sweeps it
+	// over the defined functions that changed since this pass last saw
+	// them.
+	Fn func(f *ir.Func, o Options) bool
+
+	// Pre runs once per instance of a function-scoped pass, before the
+	// sweep — module-level analyses the sweep consumes (escape
+	// recomputation). It returns true when the facts it maintains changed,
+	// which forces the sweep to re-visit every function. The manager skips
+	// Pre itself when nothing in the module changed since it last ran.
+	Pre func(m *ir.Module, o Options) bool
+
+	// Post runs after the sweep of a function-scoped pass — module-level
+	// epilogues (GVN's cross-function store-to-load forwarding). Changed
+	// functions are reported through inv.
+	Post func(m *ir.Module, o Options, inv *Invalidation) bool
+
+	// Run is the module-scoped entry point for interprocedural passes.
+	// Changed functions are reported through inv; the manager skips the
+	// whole pass when nothing in the module changed since its last run.
+	Run func(m *ir.Module, o Options, inv *Invalidation) bool
+}
+
+// PassStats describes one executed pass instance to an Observer: the
+// changed flag and wall time as before, plus the dirty-tracking outcome —
+// how many defined functions the instance actually visited and how many it
+// skipped as provably clean.
+type PassStats struct {
+	Changed  bool
+	Duration time.Duration
+	// FuncsVisited counts defined functions the pass scanned; a
+	// module-scoped pass visits all of them or (when skipped) none.
+	FuncsVisited int
+	// FuncsSkipped counts defined functions skipped as unchanged since the
+	// pass last saw them.
+	FuncsSkipped int
 }
 
 // Observer watches pass execution inside a Pipeline run. A nil observer
@@ -136,8 +203,11 @@ type Observer interface {
 	BeginPipeline(m *ir.Module)
 	// AfterPass sees the module after each executed pass instance:
 	// the pass name, its position in the schedule, the iteration of the
-	// fixpoint loop, whether the pass reported a change, and its wall time.
-	AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration)
+	// fixpoint loop, and the instance's stats (changed flag, wall time,
+	// visited/skipped function counts). Skipped instances still report,
+	// with zero visited functions — the schedule shape an observer sees is
+	// independent of dirty tracking.
+	AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st PassStats)
 }
 
 // multiObserver fans one observation out to several observers in order.
@@ -149,9 +219,9 @@ func (mo multiObserver) BeginPipeline(m *ir.Module) {
 	}
 }
 
-func (mo multiObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+func (mo multiObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st PassStats) {
 	for _, o := range mo {
-		o.AfterPass(m, pass, scheduleIndex, iteration, changed, d)
+		o.AfterPass(m, pass, scheduleIndex, iteration, st)
 	}
 }
 
@@ -192,6 +262,166 @@ func Pipeline(m *ir.Module, o Options, passes []Pass, maxIters int) error {
 	return ObservedPipeline(m, o, passes, maxIters, nil)
 }
 
+// pipeState is the dirty-tracking bookkeeping of one ObservedPipeline call.
+//
+// Soundness of every skip rests on one property: a pass is a deterministic
+// function of (the function body, the module-level facts it refreshes
+// itself, Options), and no function-scoped pass reads another function's
+// body. So a (pass, function) visit whose inputs are unchanged since the
+// pass last visited reproduces its previous no-change outcome, and
+// skipping it preserves the final IR, the changed flags, and the iteration
+// count bit-for-bit.
+type pipeState struct {
+	// pid maps schedule positions to dense pass identities (by name):
+	// instances of the same pass at different schedule positions share
+	// dirty-tracking state, so the second instcombine of a schedule skips
+	// functions the first one already left clean.
+	pid  []int
+	nIDs int
+
+	// seen[f][id] holds 1 + the generation f had when pass id last started
+	// a visit of f; 0 means never visited. The pass re-visits whenever the
+	// current generation differs — including changes the pass itself made,
+	// so one-transform-per-invocation passes (unroll, unswitch) keep
+	// getting re-invoked until they settle.
+	seen map[*ir.Func][]uint64
+
+	// moduleGen counts module-state changes (any function generation bump,
+	// any module-pass-reported change). lastRun/lastPre record it per pass
+	// identity: a module pass or a Pre hook re-runs only when the module
+	// changed since it last did.
+	moduleGen uint64
+	lastRun   []uint64
+	lastPre   []uint64
+
+	// factsGen counts changes to the module-level analysis facts (escape
+	// flags); lastFacts records, per pass identity, the facts generation a
+	// fact-consuming pass last swept under. A stale value forces the sweep
+	// to re-visit every function even if no body changed.
+	factsGen  uint64
+	lastFacts []uint64
+}
+
+func newPipeState(passes []Pass) *pipeState {
+	ps := &pipeState{
+		pid:  make([]int, len(passes)),
+		seen: make(map[*ir.Func][]uint64),
+	}
+	ids := make(map[string]int, len(passes))
+	for i, p := range passes {
+		id, ok := ids[p.Name]
+		if !ok {
+			id = len(ids)
+			ids[p.Name] = id
+		}
+		ps.pid[i] = id
+	}
+	ps.nIDs = len(ids)
+	ps.lastRun = make([]uint64, ps.nIDs)
+	ps.lastPre = make([]uint64, ps.nIDs)
+	ps.lastFacts = make([]uint64, ps.nIDs)
+	ps.moduleGen = 1 // so the zero value of lastRun/lastPre means "never"
+	ps.factsGen = 1
+	return ps
+}
+
+func (ps *pipeState) seenOf(f *ir.Func) []uint64 {
+	sn := ps.seen[f]
+	if sn == nil {
+		sn = make([]uint64, ps.nIDs)
+		ps.seen[f] = sn
+	}
+	return sn
+}
+
+// applyInvalidation folds a module pass's report into the tracking state.
+func (ps *pipeState) applyInvalidation(m *ir.Module, inv *Invalidation, changed bool) {
+	if inv.all {
+		for _, f := range m.Funcs {
+			if !f.External {
+				f.MarkMutated()
+			}
+		}
+	}
+	for _, f := range inv.funcs {
+		f.MarkMutated()
+	}
+	if inv.facts {
+		ps.factsGen++
+	}
+	if changed || inv.all || len(inv.funcs) > 0 {
+		ps.moduleGen++
+	}
+}
+
+// runModulePass executes (or provably skips) one module-scoped instance.
+func (ps *pipeState) runModulePass(m *ir.Module, p Pass, id int, o Options) (bool, PassStats) {
+	var st PassStats
+	defined := 0
+	for _, f := range m.Funcs {
+		if !f.External {
+			defined++
+		}
+	}
+	if ps.lastRun[id] == ps.moduleGen {
+		st.FuncsSkipped = defined
+		return false, st
+	}
+	ps.lastRun[id] = ps.moduleGen
+	var inv Invalidation
+	changed := p.Run(m, o, &inv)
+	ps.applyInvalidation(m, &inv, changed)
+	st.Changed = changed
+	st.FuncsVisited = defined
+	return changed, st
+}
+
+// runFuncPass executes one function-scoped instance: the optional Pre hook,
+// the dirty-filtered sweep, and the optional Post epilogue.
+func (ps *pipeState) runFuncPass(m *ir.Module, p Pass, id int, o Options) (bool, PassStats) {
+	var st PassStats
+	changed := false
+	if p.Pre != nil && ps.lastPre[id] != ps.moduleGen {
+		ps.lastPre[id] = ps.moduleGen
+		if p.Pre(m, o) {
+			ps.factsGen++
+		}
+	}
+	forceAll := ps.lastFacts[id] != ps.factsGen
+	ps.lastFacts[id] = ps.factsGen
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		sn := ps.seenOf(f)
+		g := f.Gen()
+		if !forceAll && sn[id] == g+1 {
+			st.FuncsSkipped++
+			continue
+		}
+		st.FuncsVisited++
+		sn[id] = g + 1
+		if p.Fn(f, o) {
+			f.MarkMutated()
+			changed = true
+		}
+		if f.Gen() != g {
+			// Covers both the reported change and silent cleanups the pass
+			// flagged via MarkMutated without counting them as changes.
+			ps.moduleGen++
+		}
+	}
+	if p.Post != nil {
+		var inv Invalidation
+		if p.Post(m, o, &inv) {
+			changed = true
+		}
+		ps.applyInvalidation(m, &inv, changed)
+	}
+	st.Changed = changed
+	return changed, st
+}
+
 // ObservedPipeline is Pipeline with an observer attached to every executed
 // pass instance; obs may be nil.
 func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs Observer) error {
@@ -201,6 +431,7 @@ func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs 
 	if obs != nil {
 		obs.BeginPipeline(m)
 	}
+	ps := newPipeState(passes)
 	for iter := 0; iter < maxIters; iter++ {
 		changed := false
 		for i, p := range passes {
@@ -208,12 +439,19 @@ func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs 
 			if obs != nil {
 				start = time.Now()
 			}
-			passChanged := p.Run(m, o)
+			var passChanged bool
+			var st PassStats
+			if p.Run != nil {
+				passChanged, st = ps.runModulePass(m, p, ps.pid[i], o)
+			} else {
+				passChanged, st = ps.runFuncPass(m, p, ps.pid[i], o)
+			}
 			if passChanged {
 				changed = true
 			}
 			if obs != nil {
-				obs.AfterPass(m, p.Name, i, iter, passChanged, time.Since(start))
+				st.Duration = time.Since(start)
+				obs.AfterPass(m, p.Name, i, iter, st)
 			}
 			if o.VerifyEachPass {
 				if err := ir.Verify(m); err != nil {
@@ -233,7 +471,9 @@ func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs 
 	return nil
 }
 
-// forEachDefined applies f to every function with a body.
+// forEachDefined applies f to every function with a body (module-scoped
+// passes sweep through this; function-scoped passes let the pass manager
+// drive the sweep so it can dirty-filter).
 func forEachDefined(m *ir.Module, f func(*ir.Func) bool) bool {
 	changed := false
 	for _, fn := range m.Funcs {

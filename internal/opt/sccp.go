@@ -11,21 +11,19 @@ import (
 // (&global + offset) so that pointer comparisons can be decided. The
 // FoldPtrCmpNonzeroOffset option gates folding &a == &b+k for k != 0,
 // reproducing LLVM's EarlyCSE limitation from paper Listing 3.
-var SCCP = Pass{Name: "sccp", Run: sccp}
+var SCCP = Pass{Name: "sccp", Fn: sccpFunc}
 
-func sccp(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		s := &sccpState{
-			f:         f,
-			opts:      o,
-			lat:       map[*ir.Instr]lattice{},
-			edgeExec:  map[[2]*ir.Block]bool{},
-			blockExec: map[*ir.Block]bool{},
-			users:     buildUsers(f),
-		}
-		s.solve()
-		return s.apply()
-	})
+func sccpFunc(f *ir.Func, o Options) bool {
+	s := &sccpState{
+		f:         f,
+		opts:      o,
+		lat:       make([]lattice, f.NumValues()),
+		edgeExec:  make([]bool, f.NumBlocks()*2),
+		blockExec: make([]bool, f.NumBlocks()),
+	}
+	s.buildUsers(f)
+	s.solve()
+	return s.apply()
 }
 
 // lattice values: unknown (top), a constant, or varying (bottom).
@@ -62,28 +60,86 @@ func meet(a, b lattice) lattice {
 	return lattice{kind: latVarying}
 }
 
-func buildUsers(f *ir.Func) map[*ir.Instr][]*ir.Instr {
-	users := map[*ir.Instr][]*ir.Instr{}
+// buildUsers constructs the def→use edges in CSR form: userStart[id] /
+// userStart[id+1] delimit id's users inside userData. Two dense passes, two
+// allocations — no per-value map entries or append-grown slices.
+func (s *sccpState) buildUsers(f *ir.Func) {
+	n := f.NumValues()
+	start := make([]int32, n+1)
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for _, a := range in.Args {
-				users[a] = append(users[a], in)
+				start[a.ID+1]++
 			}
 		}
 	}
-	return users
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	data := make([]*ir.Instr, start[n])
+	fill := make([]int32, n)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				data[start[a.ID]+fill[a.ID]] = in
+				fill[a.ID]++
+			}
+		}
+	}
+	s.userStart, s.userData = start, data
+}
+
+func (s *sccpState) users(in *ir.Instr) []*ir.Instr {
+	return s.userData[s.userStart[in.ID]:s.userStart[in.ID+1]]
 }
 
 type sccpState struct {
-	f         *ir.Func
-	opts      Options
-	lat       map[*ir.Instr]lattice
-	edgeExec  map[[2]*ir.Block]bool
-	blockExec map[*ir.Block]bool
-	users     map[*ir.Instr][]*ir.Instr
+	f    *ir.Func
+	opts Options
+	// lat is indexed by Instr.ID, blockExec by Block.ID; an edge is a
+	// (from-block, terminator target slot) pair at edgeExec[2*from.ID+slot]
+	// — every terminator has at most two targets. The (from, to) pair
+	// identity of classic SCCP is preserved by marking/querying every slot
+	// of from that targets to.
+	lat       []lattice
+	edgeExec  []bool
+	blockExec []bool
+	userStart []int32
+	userData  []*ir.Instr
 
 	flowWork [][2]*ir.Block
 	ssaWork  []*ir.Instr
+}
+
+// edgeIsExec reports whether the CFG edge from→to is executable.
+func (s *sccpState) edgeIsExec(from, to *ir.Block) bool {
+	t := from.Term()
+	if t == nil {
+		return false
+	}
+	for i, tgt := range t.Targets {
+		if tgt == to && s.edgeExec[2*from.ID+i] {
+			return true
+		}
+	}
+	return false
+}
+
+// markEdgeExec marks the edge from→to executable, returning false when it
+// already was.
+func (s *sccpState) markEdgeExec(from, to *ir.Block) bool {
+	t := from.Term()
+	if t == nil {
+		return false
+	}
+	marked := false
+	for i, tgt := range t.Targets {
+		if tgt == to && !s.edgeExec[2*from.ID+i] {
+			s.edgeExec[2*from.ID+i] = true
+			marked = true
+		}
+	}
+	return marked
 }
 
 func (s *sccpState) solve() {
@@ -92,19 +148,18 @@ func (s *sccpState) solve() {
 		for len(s.ssaWork) > 0 {
 			in := s.ssaWork[len(s.ssaWork)-1]
 			s.ssaWork = s.ssaWork[:len(s.ssaWork)-1]
-			if s.blockExec[in.Block] {
+			if s.blockExec[in.Block.ID] {
 				s.visit(in)
 			}
 		}
 		for len(s.flowWork) > 0 {
 			e := s.flowWork[len(s.flowWork)-1]
 			s.flowWork = s.flowWork[:len(s.flowWork)-1]
-			if s.edgeExec[e] {
+			if !s.markEdgeExec(e[0], e[1]) {
 				continue
 			}
-			s.edgeExec[e] = true
 			dst := e[1]
-			if s.blockExec[dst] {
+			if s.blockExec[dst.ID] {
 				// Re-evaluate phis: a new edge became executable.
 				for _, in := range dst.Instrs {
 					if in.Op != ir.OpPhi {
@@ -120,17 +175,17 @@ func (s *sccpState) solve() {
 }
 
 func (s *sccpState) markBlock(b *ir.Block) {
-	if s.blockExec[b] {
+	if s.blockExec[b.ID] {
 		return
 	}
-	s.blockExec[b] = true
+	s.blockExec[b.ID] = true
 	for _, in := range b.Instrs {
 		s.visit(in)
 	}
 }
 
 func (s *sccpState) setLat(in *ir.Instr, v lattice) {
-	old := s.lat[in]
+	old := s.lat[in.ID]
 	// Monotonic only: never move back up the lattice.
 	if old.kind == latVarying || old.equal(v) {
 		return
@@ -138,14 +193,14 @@ func (s *sccpState) setLat(in *ir.Instr, v lattice) {
 	if old.kind != latUnknown && v.kind != latVarying {
 		v = lattice{kind: latVarying}
 	}
-	s.lat[in] = v
-	s.ssaWork = append(s.ssaWork, s.users[in]...)
+	s.lat[in.ID] = v
+	s.ssaWork = append(s.ssaWork, s.users(in)...)
 	if t := in.Block.Term(); t != nil && t.Op == ir.OpCondBr && len(t.Args) > 0 && t.Args[0] == in {
 		s.ssaWork = append(s.ssaWork, t)
 	}
 }
 
-func (s *sccpState) value(in *ir.Instr) lattice { return s.lat[in] }
+func (s *sccpState) value(in *ir.Instr) lattice { return s.lat[in.ID] }
 
 func (s *sccpState) visit(in *ir.Instr) {
 	switch in.Op {
@@ -165,7 +220,7 @@ func (s *sccpState) visit(in *ir.Instr) {
 	case ir.OpPhi:
 		v := lattice{}
 		for i, a := range in.Args {
-			if !s.edgeExec[[2]*ir.Block{in.PhiPreds[i], in.Block}] {
+			if !s.edgeIsExec(in.PhiPreds[i], in.Block) {
 				continue
 			}
 			v = meet(v, s.value(a))
@@ -245,7 +300,7 @@ func truthyLat(v lattice) bool {
 }
 
 func (s *sccpState) addFlow(from, to *ir.Block) {
-	if !s.edgeExec[[2]*ir.Block{from, to}] {
+	if !s.edgeIsExec(from, to) {
 		s.flowWork = append(s.flowWork, [2]*ir.Block{from, to})
 	}
 }
@@ -316,8 +371,11 @@ func (s *sccpState) foldPtrCmp(op token.Kind, x, y lattice) (int64, bool) {
 // are left for SimplifyCFG.
 func (s *sccpState) apply() bool {
 	changed := false
+	// Constant materializations don't read each other's results: batch every
+	// replacement and rewrite all argument slots in one sweep at the end.
+	var reloc ir.Relocator
 	for _, b := range s.f.Blocks {
-		if !s.blockExec[b] {
+		if !s.blockExec[b.ID] {
 			continue
 		}
 		// Replacements for phis must be inserted after the phi group to
@@ -334,7 +392,7 @@ func (s *sccpState) apply() bool {
 			return in // unreachable: a block always has a terminator
 		}
 		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
-			v := s.lat[in]
+			v := s.lat[in.ID]
 			if in.Typ == nil {
 				continue
 			}
@@ -349,7 +407,7 @@ func (s *sccpState) apply() bool {
 				c := b.NewInstr(ir.OpConst, in.Typ)
 				c.IntVal = in.Typ.WrapValue(v.i)
 				b.InsertBefore(c, insertPos(in))
-				ir.ReplaceAllUses(in, c)
+				reloc.Add(in, c)
 				changed = true
 			case latConstNull:
 				if in.Op == ir.OpNull || in.HasSideEffects() {
@@ -357,23 +415,24 @@ func (s *sccpState) apply() bool {
 				}
 				n := b.NewInstr(ir.OpNull, in.Typ)
 				b.InsertBefore(n, insertPos(in))
-				ir.ReplaceAllUses(in, n)
+				reloc.Add(in, n)
 				changed = true
 			}
 		}
 	}
+	reloc.Apply(s.f)
 	// Fold branches whose conditions resolved to constants or whose edges
 	// were proven non-executable.
 	for _, b := range s.f.Blocks {
-		if !s.blockExec[b] {
+		if !s.blockExec[b.ID] {
 			continue
 		}
 		t := b.Term()
 		if t == nil || t.Op != ir.OpCondBr {
 			continue
 		}
-		trueExec := s.edgeExec[[2]*ir.Block{b, t.Targets[0]}]
-		falseExec := s.edgeExec[[2]*ir.Block{b, t.Targets[1]}]
+		trueExec := s.edgeIsExec(b, t.Targets[0])
+		falseExec := s.edgeIsExec(b, t.Targets[1])
 		if trueExec && falseExec {
 			continue
 		}

@@ -9,16 +9,14 @@ import (
 // merges straight-line block pairs, bypasses empty forwarding blocks, and
 // simplifies single-entry phis. Both personalities run it repeatedly, as
 // real pipelines do.
-var SimplifyCFG = Pass{Name: "simplifycfg", Run: simplifyCFG}
+var SimplifyCFG = Pass{Name: "simplifycfg", Fn: simplifyCFGFunc}
 
-func simplifyCFG(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		changed := false
-		for simplifyCFGOnce(f) {
-			changed = true
-		}
-		return changed
-	})
+func simplifyCFGFunc(f *ir.Func, o Options) bool {
+	changed := false
+	for simplifyCFGOnce(f) {
+		changed = true
+	}
+	return changed
 }
 
 func simplifyCFGOnce(f *ir.Func) bool {
@@ -31,10 +29,16 @@ func simplifyCFGOnce(f *ir.Func) bool {
 			changed = true
 		}
 	}
+	// Phi simplification batches its replacements: one Apply sweep instead
+	// of an O(function) ReplaceAllUses per trivial phi.
+	var reloc ir.Relocator
 	for _, b := range f.Blocks {
-		if simplifySingleEntryPhis(b) {
+		if simplifySingleEntryPhis(b, &reloc) {
 			changed = true
 		}
+	}
+	if !reloc.Empty() {
+		reloc.Apply(f)
 	}
 	if mergeStraightLine(f) {
 		changed = true
@@ -49,22 +53,28 @@ func simplifyCFGOnce(f *ir.Func) bool {
 // their edges into reachable blocks (fixing phis).
 func removeUnreachable(f *ir.Func) bool {
 	reach := f.Reachable()
-	if len(reach) == len(f.Blocks) {
+	nReach := 0
+	for _, r := range reach {
+		if r {
+			nReach++
+		}
+	}
+	if nReach == len(f.Blocks) {
 		return false
 	}
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach[b.ID] {
 			continue
 		}
 		for _, s := range b.Succs() {
-			if reach[s] {
+			if reach[s.ID] {
 				ir.RemoveEdge(b, s)
 			}
 		}
 	}
 	var keep []*ir.Block
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach[b.ID] {
 			keep = append(keep, b)
 		}
 	}
@@ -76,7 +86,7 @@ func removeUnreachable(f *ir.Func) bool {
 	for _, b := range f.Blocks {
 		var preds []*ir.Block
 		for _, p := range b.Preds {
-			if reach[p] {
+			if reach[p.ID] {
 				preds = append(preds, p)
 			} else {
 				// Drop matching phi entries.
@@ -138,12 +148,15 @@ func foldConstBranch(b *ir.Block) bool {
 }
 
 // simplifySingleEntryPhis replaces phis with exactly one incoming value.
-func simplifySingleEntryPhis(b *ir.Block) bool {
+// Replacements are recorded in reloc (resolved on read, so chains of trivial
+// phis collapse exactly as eager rewriting would); the caller applies them
+// in one sweep.
+func simplifySingleEntryPhis(b *ir.Block, reloc *ir.Relocator) bool {
 	changed := false
-	var keep []*ir.Instr
+	keep := b.Instrs[:0]
 	for _, in := range b.Instrs {
 		if in.Op == ir.OpPhi && len(in.Args) == 1 {
-			ir.ReplaceAllUses(in, in.Args[0])
+			reloc.Add(in, reloc.Resolve(in.Args[0]))
 			changed = true
 			continue
 		}
@@ -152,6 +165,7 @@ func simplifySingleEntryPhis(b *ir.Block) bool {
 			var uniq *ir.Instr
 			trivial := true
 			for _, a := range in.Args {
+				a = reloc.Resolve(a)
 				if a == in {
 					continue
 				}
@@ -163,7 +177,7 @@ func simplifySingleEntryPhis(b *ir.Block) bool {
 				}
 			}
 			if trivial && uniq != nil {
-				ir.ReplaceAllUses(in, uniq)
+				reloc.Add(in, uniq)
 				changed = true
 				continue
 			}

@@ -12,18 +12,21 @@ import (
 // SCCP and InstCombine can finish the folding. Full unrolling is what lets
 // compilers prove loop-carried facts like Listing 9e's `c[0]` being
 // written on every path.
-var Unroll = Pass{Name: "unroll", Run: unroll}
+var Unroll = Pass{Name: "unroll", Fn: unrollFunc}
 
-func unroll(m *ir.Module, o Options) bool {
+func unrollFunc(f *ir.Func, o Options) bool {
 	if o.UnrollMaxTrip <= 0 {
 		return false
 	}
-	return forEachDefined(m, func(f *ir.Func) bool {
-		// Loop cloning assumes every block is reachable (see unswitch).
-		removeUnreachable(f)
-		// One unroll per invocation; the pipeline iterates.
-		return unrollOne(f, o)
-	})
+	// Loop cloning assumes every block is reachable (see unswitch). The
+	// sweep's result is not part of this pass's changed flag (simplifycfg
+	// owns that cleanup), but it is a body mutation the dirty tracking
+	// must see.
+	if removeUnreachable(f) {
+		f.MarkMutated()
+	}
+	// One unroll per invocation; the pipeline iterates.
+	return unrollOne(f, o)
 }
 
 // unrollBodyLimit caps total code growth per unrolled loop.

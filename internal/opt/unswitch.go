@@ -16,18 +16,19 @@ import (
 // opaque to all later constant propagation. Whether the unswitcher runs
 // before or after the folding passes is a scheduling decision
 // (internal/pipeline), which is exactly where the paper's regression lived.
-var Unswitch = Pass{Name: "unswitch", Run: unswitch}
+var Unswitch = Pass{Name: "unswitch", Fn: unswitchFunc}
 
-func unswitch(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		// Unreachable leftovers can carry edges into loop bodies, which
-		// would corrupt loop cloning; sweep them first. (Natural-loop
-		// reasoning in this file assumes all blocks are reachable.)
-		removeUnreachable(f)
-		// One unswitch per function per pass invocation keeps growth tame;
-		// the pipeline iterates.
-		return unswitchOne(f, o)
-	})
+func unswitchFunc(f *ir.Func, o Options) bool {
+	// Unreachable leftovers can carry edges into loop bodies, which
+	// would corrupt loop cloning; sweep them first. (Natural-loop
+	// reasoning in this file assumes all blocks are reachable.) The sweep
+	// is not a reported change, but the dirty tracking must see it.
+	if removeUnreachable(f) {
+		f.MarkMutated()
+	}
+	// One unswitch per function per pass invocation keeps growth tame;
+	// the pipeline iterates.
+	return unswitchOne(f, o)
 }
 
 func unswitchOne(f *ir.Func, o Options) bool {
@@ -122,7 +123,7 @@ func buildLCSSA(f *ir.Func, l *ir.Loop, exit *ir.Block) {
 		// not constrain anything and may violate dominance trivially).
 		hasOutside := false
 		for _, b := range f.Blocks {
-			if inLoop(b) || !reach[b] {
+			if inLoop(b) || !reach[b.ID] {
 				continue
 			}
 			for _, in := range b.Instrs {
@@ -156,7 +157,7 @@ func buildLCSSA(f *ir.Func, l *ir.Loop, exit *ir.Block) {
 		}
 		exit.Instrs = append([]*ir.Instr{phi}, exit.Instrs...)
 		for _, b := range f.Blocks {
-			if inLoop(b) || !reach[b] {
+			if inLoop(b) || !reach[b.ID] {
 				continue
 			}
 			for _, in := range b.Instrs {

@@ -16,13 +16,7 @@ import (
 //   - ConstArrayLoadFold interacts elsewhere; the modulo-range relation of
 //     Listing 8b corresponds to rem range computation below, which is
 //     always on (its absence shows up in llvm-sim's history as a commit).
-var VRP = Pass{Name: "vrp", Run: vrp}
-
-func vrp(m *ir.Module, o Options) bool {
-	return forEachDefined(m, func(f *ir.Func) bool {
-		return vrpFunc(f, o)
-	})
-}
+var VRP = Pass{Name: "vrp", Fn: vrpFunc}
 
 // vrange is a signed interval [lo, hi]; full means "no information".
 type vrange struct {
@@ -162,20 +156,25 @@ func vrpFunc(f *ir.Func, o Options) bool {
 		}
 	}
 
-	// Fold comparisons decided by the ranges.
+	// Fold comparisons decided by the ranges. Replacements are batched;
+	// operands are read through the batch so a comparison whose input was
+	// folded this sweep sees the fresh constant (range-less), exactly as if
+	// each replacement had been applied eagerly.
 	foldedAny := false
+	var reloc ir.Relocator
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op != ir.OpBin || !isComparison(in.BinOp) {
 				continue
 			}
-			tx := in.Args[0].Typ
+			a0, a1 := reloc.Resolve(in.Args[0]), reloc.Resolve(in.Args[1])
+			tx := a0.Typ
 			if tx == nil || !tx.IsInteger() {
 				continue
 			}
 			// Unsigned comparisons are only decided when both ranges are
 			// non-negative (then signed and unsigned orders agree).
-			rx, ry := get(in.Args[0]), get(in.Args[1])
+			rx, ry := get(a0), get(a1)
 			if rx.full || ry.full {
 				continue
 			}
@@ -187,11 +186,12 @@ func vrpFunc(f *ir.Func, o Options) bool {
 				continue
 			}
 			c := constOf(in, verdict, in.Typ)
-			ir.ReplaceAllUses(in, c)
+			reloc.Add(in, c)
 			foldedAny = true
 		}
 	}
 	if foldedAny {
+		reloc.Apply(f)
 		dceFunc(f)
 	}
 	return foldedAny

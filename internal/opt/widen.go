@@ -16,30 +16,28 @@ import (
 //
 // The transformation itself is semantics-preserving: only the forwarding
 // metadata changes.
-var WidenStores = Pass{Name: "widen-stores", Run: widenStores}
+var WidenStores = Pass{Name: "widen-stores", Fn: widenStoresFunc}
 
-func widenStores(m *ir.Module, o Options) bool {
+func widenStoresFunc(f *ir.Func, o Options) bool {
 	if !o.WidenPointerLoopStores {
 		return false
 	}
-	return forEachDefined(m, func(f *ir.Func) bool {
-		dt := ir.Dominators(f)
-		loops := ir.NaturalLoops(f, dt)
-		changed := false
-		for _, l := range loops {
-			for _, b := range f.Blocks {
-				if !l.Blocks[b] {
-					continue
-				}
-				for _, in := range b.Instrs {
-					if in.Op == ir.OpStore && !in.Widened &&
-						in.Args[1].Typ != nil && in.Args[1].Typ.Kind == types.Pointer {
-						in.Widened = true
-						changed = true
-					}
+	dt := ir.Dominators(f)
+	loops := ir.NaturalLoops(f, dt)
+	changed := false
+	for _, l := range loops {
+		for _, b := range f.Blocks {
+			if !l.Blocks[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && !in.Widened &&
+					in.Args[1].Typ != nil && in.Args[1].Typ.Kind == types.Pointer {
+					in.Widened = true
+					changed = true
 				}
 			}
 		}
-		return changed
-	})
+	}
+	return changed
 }

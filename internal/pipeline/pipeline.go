@@ -85,6 +85,11 @@ func (c *Config) Schedule() []string {
 // Iterations returns the pass manager's maximum schedule repetitions.
 func (c *Config) Iterations() int { return c.iters }
 
+// Passes returns the assembled schedule itself (read-only use). The
+// per-pass benchmark family uses it to drive single passes at their
+// natural schedule position.
+func (c *Config) Passes() []opt.Pass { return c.schedule }
+
 // Compile optimizes the module in place according to the configuration.
 func (c *Config) Compile(m *ir.Module) error {
 	return c.CompileObserved(m, nil)
@@ -240,6 +245,14 @@ func assemble(p Personality, lvl Level, b Build) *Config {
 		}
 		c.schedule = append(c.schedule, opt.GlobalDCE)
 		c.iters = 2
+	}
+
+	// Every optimizing level opens with the early compaction pass: folding
+	// frontend debris and dropping orphan blocks up front shrinks the IR
+	// every later pass iterates over. -O0 deliberately omits it — its tiny
+	// schedule is the paper's "no optimization" baseline.
+	if lvl != O0 {
+		c.schedule = append([]opt.Pass{opt.Compact}, c.schedule...)
 	}
 
 	c.opts = o

@@ -168,3 +168,28 @@ func TestSeed111CompilesCleanly(t *testing.T) {
 		}
 	}
 }
+
+// TestCompactScheduledIdentically: every optimizing level of both
+// personalities (at every history version) opens with the compact pass, and
+// -O0 never runs it — compact is shared canonicalization, so a personality
+// difference here would contaminate the differential oracle.
+func TestCompactScheduledIdentically(t *testing.T) {
+	for _, p := range []Personality{GCC, LLVM} {
+		for commits := 0; commits <= len(History(p)); commits++ {
+			for _, lvl := range Levels {
+				sched := AtCommit(p, lvl, commits).Schedule()
+				if lvl == O0 {
+					for _, name := range sched {
+						if name == "compact" {
+							t.Fatalf("%s@%d %s: compact must not run at -O0", p, commits, lvl)
+						}
+					}
+					continue
+				}
+				if len(sched) == 0 || sched[0] != "compact" {
+					t.Fatalf("%s@%d %s: schedule does not open with compact: %v", p, commits, lvl, sched)
+				}
+			}
+		}
+	}
+}

@@ -26,7 +26,9 @@ func ComponentOf(pass string) string {
 		return "Value Numbering"
 	case "instcombine":
 		return "Peephole Optimizations"
-	case "simplifycfg":
+	case "simplifycfg", "compact":
+		// compact's eliminations realize through the same machinery as
+		// simplifycfg (constant-branch collapse + unreachable-block removal).
 		return "Control Flow Graph Analysis"
 	case "jumpthread":
 		return "Jump Threading"

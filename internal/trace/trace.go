@@ -12,9 +12,11 @@
 // root-cause signal for every finding, and a cross-check for the
 // bisection-based component categorization (attrib.go).
 //
-// The Recorder satisfies opt.Observer structurally (it imports only
-// internal/ir), so tracing is strictly opt-in: a nil observer costs the
-// pipeline one pointer comparison per pass.
+// The Recorder satisfies opt.Observer, so tracing is strictly opt-in: a nil
+// observer costs the pipeline one pointer comparison per pass. Pass
+// instances the dirty tracker skipped entirely are recorded without
+// rescanning the module — the IR is provably identical to the previous
+// observation.
 package trace
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"dcelens/internal/ir"
+	"dcelens/internal/opt"
 )
 
 // PassRef identifies one executed pass instance within a compilation:
@@ -202,14 +205,30 @@ func (r *Recorder) BeginPipeline(m *ir.Module) {
 
 // AfterPass observes the module after one pass instance ran, recording its
 // profile entry and attributing any markers that disappeared.
-func (r *Recorder) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, changed bool, d time.Duration) {
+func (r *Recorder) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st opt.PassStats) {
 	if !r.began {
 		// Defensive: a pipeline that skips BeginPipeline still traces,
 		// with an empty baseline.
 		r.BeginPipeline(m)
 	}
-	now := SurvivingMarkers(m, r.isMarker)
 	ref := PassRef{Pass: pass, ScheduleIndex: scheduleIndex, Iteration: iteration}
+	if !st.Changed && st.FuncsVisited == 0 {
+		// The dirty tracker skipped every function (or the whole module
+		// pass): nothing ran, so the module is bit-identical to the
+		// previous observation. Reuse it instead of rescanning — the
+		// profile entry this writes is exactly what a full scan would
+		// produce (no eliminations, zero deltas).
+		r.profile.Passes = append(r.profile.Passes, PassProfile{
+			Ref:      ref,
+			Changed:  false,
+			Duration: st.Duration,
+			Funcs:    r.funcs,
+			Blocks:   r.blocks,
+			Instrs:   r.inst,
+		})
+		return
+	}
+	now := SurvivingMarkers(m, r.isMarker)
 	var eliminated []string
 	for _, name := range r.survivingSorted {
 		if !now[name] {
@@ -227,8 +246,8 @@ func (r *Recorder) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration
 	funcs, blocks, inst := moduleSize(m)
 	r.profile.Passes = append(r.profile.Passes, PassProfile{
 		Ref:        ref,
-		Changed:    changed,
-		Duration:   d,
+		Changed:    st.Changed,
+		Duration:   st.Duration,
 		Funcs:      funcs,
 		Blocks:     blocks,
 		Instrs:     inst,

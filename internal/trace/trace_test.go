@@ -118,6 +118,7 @@ func TestComponentOf(t *testing.T) {
 		"ipsccp":           "Constant Propagation",
 		"gvn":              "Value Numbering",
 		"simplifycfg":      "Control Flow Graph Analysis",
+		"compact":          "Control Flow Graph Analysis",
 		"globaldce":        "Dead Code Elimination",
 		"unswitch":         "Loop Transformations",
 		"widen-stores":     "Loop Transformations",

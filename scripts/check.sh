@@ -49,6 +49,21 @@ go test -run '^$' -bench 'BenchmarkMonitorOverhead' -benchtime 2s . | awk '
         if (ratio > 1.25) { print "monitor overhead exceeds the gate" > "/dev/stderr"; exit 1 }
     }'
 
+# Allocation-regression gate: allocs/op of the standard compile unit must
+# stay within 10% of the recorded baseline (scripts/alloc-baseline.txt).
+# Unlike wall time, allocation counts are deterministic for the fixed
+# benchmark seed, so this catches churn regressions (a pass reintroducing
+# per-iteration map rebuilds, say) that timing gates would hide in noise.
+baseline=$(grep -v '^#' scripts/alloc-baseline.txt | head -1)
+go test -run '^$' -bench 'BenchmarkUnitCompile$' -benchmem -benchtime 5x . | awk -v base="$baseline" '
+    /BenchmarkUnitCompile/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") allocs = $i }
+    END {
+        if (allocs == 0) { print "unit compile bench did not run" > "/dev/stderr"; exit 1 }
+        ratio = allocs / base
+        printf "unit compile allocations: %d/op (baseline %d, gate +10%%)\n", allocs, base
+        if (ratio > 1.10) { print "allocs/op regressed beyond the gate; if intentional, re-record scripts/alloc-baseline.txt" > "/dev/stderr"; exit 1 }
+    }'
+
 # Parallel scaling gate: the scheduler must buy real throughput, not just
 # pass the determinism tests. Requires ≥4 CPUs — with fewer, the workers
 # time-slice the same cores and no wall-clock speedup is physically
