@@ -7,6 +7,7 @@ package dcelens
 import (
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 )
 
@@ -106,5 +107,53 @@ func TestParallelCampaignByteIdentity(t *testing.T) {
 	}
 	if string(b) != serial.snapshot {
 		t.Errorf("merged shard snapshot differs from serial:\n--- serial\n%s\n--- merged\n%s", serial.snapshot, b)
+	}
+}
+
+// TestDrainResumeByteIdentity: a campaign stopped cooperatively mid-run
+// — the service drain path (CampaignOptions.Stop) — and then resumed
+// from its checkpoint reports byte-identically to a campaign that was
+// never interrupted.
+func TestDrainResumeByteIdentity(t *testing.T) {
+	const programs, baseSeed = 6, 400
+	serial, err := RunCampaign(CampaignOptions{
+		Programs: programs, BaseSeed: baseSeed, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain after two seeds: Stop is polled once per seed, the rest skip
+	// and the checkpoint keeps only the completed ones.
+	path := filepath.Join(t.TempDir(), "drain.json")
+	var polls atomic.Int32
+	interrupted, err := RunCampaign(CampaignOptions{
+		Programs: programs, BaseSeed: baseSeed, Workers: 1,
+		Checkpoint: NewCheckpoint(path),
+		Stop:       func() bool { return polls.Add(1) > 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted.Skipped == 0 || interrupted.Skipped == programs {
+		t.Fatalf("Skipped = %d, want a partial drain of %d seeds", interrupted.Skipped, programs)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunCampaign(CampaignOptions{
+		Programs: programs, BaseSeed: baseSeed, Workers: 8,
+		Checkpoint: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Skipped != 0 {
+		t.Fatalf("resumed run skipped %d seeds, want none", resumed.Skipped)
+	}
+	if got, want := Report(resumed), Report(serial); got != want {
+		t.Errorf("drain+resume report differs from uninterrupted run:\n--- resumed\n%s\n--- serial\n%s", got, want)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"dcelens/internal/ast"
 	"dcelens/internal/cgen"
@@ -94,6 +95,25 @@ type Options struct {
 	// (restored seeds included — the live view reflects the whole
 	// campaign). Nil disables it.
 	Progress *harness.Progress
+
+	// Stop is the cooperative drain hook (internal/service): polled before
+	// each seed starts, a true return leaves the seed unrun. Seeds already
+	// in flight finish (and checkpoint) normally, so a stopped campaign is
+	// always resumable from a consistent checkpoint; Campaign.Skipped
+	// reports how many member seeds were left behind. Nil never stops.
+	Stop func() bool
+	// Deadline is the campaign's wall-clock budget, enforced inside the
+	// harness watchdog: a unit still optimizing past it fails as a timeout,
+	// and Stop-style skipping of not-yet-started seeds is the caller's job
+	// (internal/service folds the deadline into its Stop hook). Zero
+	// disables it.
+	Deadline time.Time
+	// SeedHook runs at the start of each fresh seed's finalize stage, before
+	// its outcome is checkpointed. It is the service layer's chaos seam: a
+	// panicking hook kills the whole job (sched converts it into the job
+	// error) while the checkpoint keeps every previously completed seed, so
+	// crash-retry paths are testable deterministically. Nil does nothing.
+	SeedHook func(idx int, seed int64)
 }
 
 func (o *Options) fill() {
@@ -284,6 +304,11 @@ type Campaign struct {
 	Outcomes []*SeedOutcome
 	Stats    *Stats
 	Findings []Finding
+	// Skipped counts member seeds the Stop hook drained before they ran.
+	// They have no outcome; resuming from the campaign's checkpoint runs
+	// exactly these, and the resumed report is byte-identical to an
+	// uninterrupted run's. Zero for campaigns without a Stop hook.
+	Skipped int
 }
 
 // Run executes a campaign on the internal/sched engine: one fork-join job
@@ -293,7 +318,7 @@ type Campaign struct {
 // log, and live progress are byte-identical to a serial run's.
 func Run(o Options) (*Campaign, error) {
 	o.fill()
-	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults, Metrics: o.Metrics}
+	h := &harness.Harness{StepBudget: o.StepBudget, Faults: o.Faults, Metrics: o.Metrics, WallDeadline: o.Deadline}
 	if o.Checkpoint != nil {
 		if err := o.Checkpoint.Bind(campaignMeta(o)); err != nil {
 			return nil, err
@@ -331,10 +356,19 @@ func Run(o Options) (*Campaign, error) {
 	}
 
 	c := &Campaign{Opts: o, Programs: results, Outcomes: outcomes}
+	for _, m := range members {
+		if outcomes[m] == nil {
+			c.Skipped++
+		}
+	}
 	c.aggregate()
-	o.Events.Emit("campaign_end", map[string]any{
+	end := map[string]any{
 		"seeds": len(c.Outcomes), "failures": len(c.Stats.Failures),
-	})
+	}
+	if c.Skipped > 0 {
+		end["skipped"] = c.Skipped
+	}
+	o.Events.Emit("campaign_end", end)
 	return c, nil
 }
 

@@ -58,6 +58,7 @@ type seedJob struct {
 	r        *ProgramResult
 	src      string
 	restored bool
+	skipped  bool
 	unitEv   []eventBuf
 	unitAn   []*core.Analysis
 	unitFail []*harness.Failure
@@ -67,6 +68,16 @@ type seedJob struct {
 // reporting how many config units follow (0 for restored and
 // program-failed seeds).
 func (j *seedJob) prepare() (int, error) {
+	if j.o.Stop != nil && j.o.Stop() {
+		// Draining: leave the seed unrun and its slots silent. Completed
+		// seeds are already checkpointed, so a resume runs exactly the
+		// skipped ones and reports byte-identically to an uninterrupted run.
+		j.skipped = true
+		j.flush(j.slot, nil, nil)
+		j.skipUnits()
+		j.seq.Done(j.lastSlot(), nil)
+		return 0, nil
+	}
 	var ev eventBuf
 	ev.emit("seed_begin", map[string]any{"seed": j.seed})
 	if j.o.Checkpoint != nil {
@@ -137,8 +148,13 @@ func (j *seedJob) unit(u int) error {
 // serial loop did in place — then derives the outcome, feeds the metrics
 // and checkpoint, and schedules the seed's closing events.
 func (j *seedJob) finalize() error {
-	if j.restored {
+	if j.restored || j.skipped {
 		return nil
+	}
+	if j.o.SeedHook != nil {
+		// The chaos seam: a panicking hook aborts the job here, before the
+		// seed's outcome exists, so a retry recomputes exactly this seed.
+		j.o.SeedHook(j.idx, j.seed)
 	}
 	for u := range j.unitAn {
 		if an := j.unitAn[u]; an != nil {

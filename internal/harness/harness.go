@@ -115,6 +115,12 @@ type Harness struct {
 	// increment "harness.failures.<kind>". Nil disables the collection (and
 	// its per-unit time.Now calls) entirely.
 	Metrics *metrics.Registry
+	// WallDeadline is the campaign's wall-clock budget (per-job resource
+	// budgets in service mode): the watchdog checks it at every observed
+	// pass instance, and a unit still running past it fails as a timeout
+	// with the "deadline:wall" bucket. The zero time disables the check
+	// (and its per-pass time.Now call).
+	WallDeadline time.Time
 }
 
 func (h *Harness) budget() int {
@@ -129,13 +135,16 @@ func (h *Harness) budget() int {
 type deadlinePanic struct {
 	pass  string
 	steps int
+	wall  bool // the wall-clock deadline fired, not the step budget
 }
 
 // guard is the observer Protect attaches to the pipeline: it counts pass
-// instances against the step budget and triggers injected faults.
+// instances against the step budget, checks the wall-clock deadline, and
+// triggers injected faults.
 type guard struct {
 	seed      int64
 	budget    int
+	deadline  time.Time
 	steps     int
 	last      string
 	faults    []Fault
@@ -171,11 +180,15 @@ func (g *guard) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration in
 	}
 }
 
-// tick charges one step and panics the deadline sentinel past the budget.
+// tick charges one step and panics the deadline sentinel past the budget
+// or the wall-clock deadline.
 func (g *guard) tick() {
 	g.steps++
 	if g.budget > 0 && g.steps > g.budget {
 		panic(deadlinePanic{pass: g.last, steps: g.steps})
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		panic(deadlinePanic{pass: g.last, steps: g.steps, wall: true})
 	}
 }
 
@@ -186,8 +199,11 @@ func (g *guard) tick() {
 // Protect never lets a panic escape.
 func (h *Harness) Protect(seed int64, config, source string, fn func(obs opt.Observer) error) (fail *Failure) {
 	g := &guard{seed: seed, budget: h.budget()}
-	if h != nil && h.Faults != nil {
-		g.faults = h.Faults.active(seed, config)
+	if h != nil {
+		g.deadline = h.WallDeadline
+		if h.Faults != nil {
+			g.faults = h.Faults.active(seed, config)
+		}
 	}
 	if h != nil && h.Metrics != nil {
 		// Registered before the recovery defer so it runs after it (LIFO)
@@ -213,6 +229,13 @@ func (h *Harness) Protect(seed int64, config, source string, fn func(obs opt.Obs
 				Message:   fmt.Sprintf("pipeline exceeded step budget %d (last pass %s)", g.budget, dp.pass),
 				Signature: "deadline:" + dp.pass,
 				Source:    source,
+			}
+			if dp.wall {
+				// Wall-budget exhaustion buckets together regardless of
+				// which pass the clock happened to expire under: the bug is
+				// the budget, not the pass.
+				fail.Message = fmt.Sprintf("pipeline exceeded wall deadline (last pass %s)", dp.pass)
+				fail.Signature = "deadline:wall"
 			}
 			return
 		}

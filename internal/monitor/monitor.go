@@ -54,26 +54,72 @@ func New(tool string, reg *metrics.Registry, progress *harness.Progress, events 
 	return &Server{Tool: tool, Reg: reg, Progress: progress, Events: events, start: time.Now()}
 }
 
-// Handler returns the monitoring mux.
+// Handler returns the monitoring mux. Every endpoint is read-only, so
+// anything but GET is rejected with 405 and an Allow header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/findings", s.handleFindings)
-	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/healthz", ReadOnly(s.handleHealthz))
+	mux.HandleFunc("/metrics", ReadOnly(s.handleMetrics))
+	mux.HandleFunc("/progress", ReadOnly(s.handleProgress))
+	mux.HandleFunc("/findings", ReadOnly(s.handleFindings))
+	mux.HandleFunc("/events", ReadOnly(s.handleEvents))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+// Error counters WriteJSON maintains. An encode failure happens before any
+// body byte is written, so the client still gets a 500; a write failure is
+// mid-body (the client hung up or the connection broke), where the status
+// line is long gone and a counter is the only place to surface it.
+const (
+	CounterEncodeErrors = "monitor.errors.encode"
+	CounterWriteErrors  = "monitor.errors.write"
+)
+
+// ReadOnly guards a read-only endpoint: non-GET methods are rejected with
+// 405 Method Not Allowed and an Allow header naming the only accepted one.
+func ReadOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed (read-only endpoint)", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
+// WriteJSON writes v as an indented JSON response. Encoding happens into
+// memory first, so an unencodable value turns into a clean 500 (plus the
+// encode-error counter) instead of a silently truncated 200; failures
+// writing the already-committed body only increment the write-error
+// counter. The registry may be nil (counters are then dropped).
+func WriteJSON(w http.ResponseWriter, reg *metrics.Registry, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		reg.Counter(CounterEncodeErrors).Inc()
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		reg.Counter(CounterWriteErrors).Inc()
+	}
+}
+
+// JSONError writes a JSON error body ({"error": msg}) with the given
+// status code, so API clients never have to parse prose out of a text/plain
+// failure.
+func JSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) { WriteJSON(w, s.Reg, v) }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"status":    "ok",
 		"tool":      s.Tool,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
@@ -83,7 +129,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.Reg.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, snap)
+		s.writeJSON(w, snap)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -134,7 +180,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		}
 		reply.PassSkipRate, reply.PassSkipKnown = metrics.PassSkipRate(s.Reg)
 	}
-	writeJSON(w, reply)
+	s.writeJSON(w, reply)
 }
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
@@ -142,7 +188,7 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	if fs == nil {
 		fs = []any{}
 	}
-	writeJSON(w, map[string]any{"count": len(fs), "findings": fs})
+	s.writeJSON(w, map[string]any{"count": len(fs), "findings": fs})
 }
 
 // handleEvents serves the event-log tail as JSONL. The since parameter is
@@ -156,7 +202,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("since"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || n < 0 {
-			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+			JSONError(w, http.StatusBadRequest, fmt.Sprintf("since=%q: must be a non-negative integer", v))
 			return
 		}
 		since = n

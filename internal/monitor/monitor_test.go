@@ -3,6 +3,7 @@ package monitor
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -208,6 +209,80 @@ func TestEventsBadSince(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Fatalf("since=%s status = %d, want 400", bad, rec.Code)
 		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("since=%s content type = %q, want application/json", bad, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Fatalf("since=%s body = %q (err %v), want a JSON error", bad, rec.Body.String(), err)
+		}
+	}
+}
+
+// TestReadOnlyMethods: every monitoring endpoint rejects non-GET methods
+// with 405 and an Allow header; GET keeps working.
+func TestReadOnlyMethods(t *testing.T) {
+	log := metrics.NewEventLog(io.Discard)
+	log.KeepTail(4)
+	s := New("dce-test", metrics.New(), harness.NewProgress(1, 1, nil), log)
+	h := s.Handler()
+	for _, path := range []string{"/healthz", "/metrics", "/progress", "/findings", "/events"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodHead} {
+			req := httptest.NewRequest(method, path, strings.NewReader("{}"))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
+				t.Fatalf("%s %s Allow = %q, want GET", method, path, allow)
+			}
+		}
+		if rec := get(t, s, path); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d after method gating, want 200", path, rec.Code)
+		}
+	}
+}
+
+// TestWriteJSONEncodeError: an unencodable value yields a 500 before any
+// body byte and increments the encode-error counter.
+func TestWriteJSONEncodeError(t *testing.T) {
+	reg := metrics.New()
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, reg, math.NaN()) // NaN has no JSON encoding
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if got := reg.Counter(CounterEncodeErrors).Value(); got != 1 {
+		t.Fatalf("encode-error counter = %d, want 1", got)
+	}
+	if got := reg.Counter(CounterWriteErrors).Value(); got != 0 {
+		t.Fatalf("write-error counter = %d, want 0", got)
+	}
+}
+
+// failingWriter satisfies http.ResponseWriter but rejects every body write,
+// modelling a client that hung up mid-response.
+type failingWriter struct {
+	header http.Header
+}
+
+func (f *failingWriter) Header() http.Header       { return f.header }
+func (f *failingWriter) WriteHeader(int)           {}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestWriteJSONWriteError: a mid-body write failure cannot change the
+// committed status, so it surfaces through the write-error counter.
+func TestWriteJSONWriteError(t *testing.T) {
+	reg := metrics.New()
+	WriteJSON(&failingWriter{header: http.Header{}}, reg, map[string]int{"a": 1})
+	if got := reg.Counter(CounterWriteErrors).Value(); got != 1 {
+		t.Fatalf("write-error counter = %d, want 1", got)
+	}
+	if got := reg.Counter(CounterEncodeErrors).Value(); got != 0 {
+		t.Fatalf("encode-error counter = %d, want 0", got)
 	}
 }
 

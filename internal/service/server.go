@@ -1,0 +1,232 @@
+// The HTTP face of the job engine (cmd/dce-serve). Routes:
+//
+//	POST /jobs              submit a campaign Spec → 202 {"id": "job-N"}
+//	                        429 + Retry-After when the queue is full,
+//	                        503 while draining, 400 for bad specs
+//	GET  /jobs              every job's status, in submission order
+//	GET  /jobs/{id}         one job's status (state machine + progress)
+//	POST /jobs/{id}/cancel  cancel a queued job / stop a running one
+//	GET  /jobs/{id}/events  the job's event-log tail (?since=N resumes)
+//	GET  /jobs/{id}/findings  findings discovered so far
+//	GET  /jobs/{id}/report  the finished job's campaign report (text)
+//	GET  /healthz           ok | degraded (queue full) | draining
+//	GET  /metrics           service registry (Prometheus text, ?format=json)
+//
+// Method gating rides the Go 1.22 ServeMux method patterns: a PUT against
+// a GET-only route gets the mux's own 405 with an Allow header, matching
+// the monitor package's read-only contract.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcelens/internal/monitor"
+)
+
+// RetryAfter is the backpressure hint (seconds) sent with every 429.
+const RetryAfter = 1
+
+// Server exposes an Engine over HTTP.
+type Server struct {
+	Engine *Engine
+	start  time.Time
+}
+
+// NewServer wraps an engine for serving. The uptime clock starts now.
+func NewServer(e *Engine) *Server {
+	return &Server{Engine: e, start: time.Now()}
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/findings", s.handleFindings)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON is monitor.WriteJSON with an explicit status code (202 for
+// submissions): encode first, then commit the status, so an encode
+// failure still turns into a clean 500.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	reg := s.Engine.Metrics()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		reg.Counter(monitor.CounterEncodeErrors).Inc()
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		reg.Counter(monitor.CounterWriteErrors).Inc()
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		monitor.JSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding spec: %v", err))
+		return
+	}
+	j, err := s.Engine.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfter))
+		monitor.JSONError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		monitor.JSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		monitor.JSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Engine.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "jobs": out})
+}
+
+// job resolves {id}, writing the 404 itself when absent.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Engine.Job(id)
+	if !ok {
+		monitor.JSONError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		s.writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j, _ = s.Engine.Cancel(j.ID)
+	s.writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents mirrors the monitor's /events contract per job: an ndjson
+// tail of events with seq > since, the head seq in X-Dcelens-Last-Seq.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			monitor.JSONError(w, http.StatusBadRequest, fmt.Sprintf("since=%q: must be a non-negative integer", v))
+			return
+		}
+		since = n
+	}
+	log := j.Events()
+	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(log.Seq(), 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range log.TailSince(since) {
+		fmt.Fprintln(w, e.Line)
+	}
+}
+
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fs := j.Progress().Findings()
+	if fs == nil {
+		fs = []any{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"count": len(fs), "findings": fs})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	text, done := j.Report()
+	if !done {
+		monitor.JSONError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; the report exists once it is done", j.ID, j.State()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// HealthReply is the /healthz body: admission health plus the queue and
+// job-outcome counters an operator watches during a drain.
+type HealthReply struct {
+	Status   string `json:"status"` // ok | degraded | draining
+	Tool     string `json:"tool"`
+	UptimeMs int64  `json:"uptime_ms"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	Submitted int64 `json:"jobs_submitted"`
+	Rejected  int64 `json:"jobs_rejected"`
+	Retried   int64 `json:"jobs_retried"`
+	Done      int64 `json:"jobs_done"`
+	Failed    int64 `json:"jobs_failed"`
+	Cancelled int64 `json:"jobs_cancelled"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reg := s.Engine.Metrics()
+	depth, capacity := s.Engine.QueueDepth()
+	s.writeJSON(w, http.StatusOK, HealthReply{
+		Status:     s.Engine.Health(),
+		Tool:       s.Engine.Tool,
+		UptimeMs:   time.Since(s.start).Milliseconds(),
+		QueueDepth: depth,
+		QueueCap:   capacity,
+		Submitted:  reg.Counter(CounterSubmitted).Value(),
+		Rejected:   reg.Counter(CounterRejected).Value(),
+		Retried:    reg.Counter(CounterRetried).Value(),
+		Done:       reg.Counter(CounterDone).Value(),
+		Failed:     reg.Counter(CounterFailed).Value(),
+		Cancelled:  reg.Counter(CounterCancelled).Value(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Engine.Metrics().Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		s.writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, monitor.Exposition(snap))
+}

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, l Limits, start bool) (*Server, *Engine) {
+	t.Helper()
+	e := New("dce-serve-test", l)
+	if start {
+		e.Start()
+	}
+	t.Cleanup(e.Drain)
+	return NewServer(e), e
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, r)
+	return rec
+}
+
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+}
+
+func TestHTTPSubmitLifecycle(t *testing.T) {
+	s, _ := newTestServer(t, Limits{Executors: 1}, true)
+
+	rec := do(t, s, http.MethodPost, "/jobs",
+		`{"programs": 3, "base_seed": 1, "personalities": ["gcc"], "levels": ["O1", "O2", "O3"]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s), want 202", rec.Code, rec.Body.String())
+	}
+	var st Status
+	decodeBody(t, rec, &st)
+	if st.ID != "job-1" || st.State.Terminal() {
+		t.Fatalf("submitted status = %+v", st)
+	}
+
+	// A not-yet-done job has no report.
+	if rec := do(t, s, http.MethodGet, "/jobs/job-1/report", ""); rec.Code != http.StatusConflict && rec.Code != http.StatusOK {
+		t.Fatalf("early report = %d, want 409 (or 200 if already done)", rec.Code)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec = do(t, s, http.MethodGet, "/jobs/job-1", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		decodeBody(t, rec, &st)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != StateDone || st.SeedsDone != 3 {
+		t.Fatalf("terminal status = %+v, want done with 3 seeds", st)
+	}
+
+	var list struct {
+		Count int      `json:"count"`
+		Jobs  []Status `json:"jobs"`
+	}
+	decodeBody(t, do(t, s, http.MethodGet, "/jobs", ""), &list)
+	if list.Count != 1 || list.Jobs[0].ID != "job-1" {
+		t.Fatalf("job list = %+v", list)
+	}
+
+	rep := do(t, s, http.MethodGet, "/jobs/job-1/report", "")
+	if rep.Code != http.StatusOK || !strings.Contains(rep.Body.String(), "Instrumented blocks") {
+		t.Fatalf("report = %d %q", rep.Code, rep.Body.String())
+	}
+
+	var findings struct {
+		Count    int `json:"count"`
+		Findings []any
+	}
+	decodeBody(t, do(t, s, http.MethodGet, "/jobs/job-1/findings", ""), &findings)
+	if findings.Count != len(findings.Findings) {
+		t.Fatalf("findings = %+v", findings)
+	}
+
+	ev := do(t, s, http.MethodGet, "/jobs/job-1/events?since=0", "")
+	if ev.Code != http.StatusOK || ev.Header().Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("events = %d, content type %q", ev.Code, ev.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(ev.Body.String(), "campaign_begin") || !strings.Contains(ev.Body.String(), "campaign_end") {
+		t.Fatalf("events tail missing campaign bookends:\n%s", ev.Body.String())
+	}
+	if ev.Header().Get("X-Dcelens-Last-Seq") == "" {
+		t.Fatal("events missing last-seq header")
+	}
+	if bad := do(t, s, http.MethodGet, "/jobs/job-1/events?since=nope", ""); bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", bad.Code)
+	}
+
+	// Service metrics: exposition and JSON forms.
+	mtx := do(t, s, http.MethodGet, "/metrics", "")
+	if !strings.Contains(mtx.Body.String(), "dcelens_service_jobs_submitted 1") {
+		t.Fatalf("metrics exposition missing submit counter:\n%s", mtx.Body.String())
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	decodeBody(t, do(t, s, http.MethodGet, "/metrics?format=json", ""), &snap)
+	if snap.Counters[CounterDone] != 1 {
+		t.Fatalf("metrics json done = %d, want 1", snap.Counters[CounterDone])
+	}
+}
+
+// TestHTTPBackpressure: the admission contract over HTTP — 429 with
+// Retry-After on a full queue, 503 while draining, health transitions
+// ok → degraded → draining.
+func TestHTTPBackpressure(t *testing.T) {
+	s, e := newTestServer(t, Limits{QueueDepth: 1}, false) // no executors: queue stays full
+
+	var health HealthReply
+	decodeBody(t, do(t, s, http.MethodGet, "/healthz", ""), &health)
+	if health.Status != "ok" || health.QueueCap != 1 {
+		t.Fatalf("healthz = %+v, want ok with cap 1", health)
+	}
+
+	if rec := do(t, s, http.MethodPost, "/jobs", `{"programs": 1}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", rec.Code)
+	}
+	rec := do(t, s, http.MethodPost, "/jobs", `{"programs": 1}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit on full queue = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	decodeBody(t, rec, &apiErr)
+	if !strings.Contains(apiErr.Error, "queue full") {
+		t.Fatalf("429 body = %+v", apiErr)
+	}
+
+	decodeBody(t, do(t, s, http.MethodGet, "/healthz", ""), &health)
+	if health.Status != "degraded" || health.QueueDepth != 1 || health.Rejected != 1 {
+		t.Fatalf("healthz with full queue = %+v, want degraded/1/1", health)
+	}
+
+	e.Drain()
+	decodeBody(t, do(t, s, http.MethodGet, "/healthz", ""), &health)
+	if health.Status != "draining" || health.Cancelled != 1 {
+		t.Fatalf("healthz after drain = %+v, want draining with 1 cancelled", health)
+	}
+	if rec := do(t, s, http.MethodPost, "/jobs", `{"programs": 1}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", rec.Code)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s, _ := newTestServer(t, Limits{}, false)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/jobs", `{not json`, http.StatusBadRequest},
+		{http.MethodPost, "/jobs", `{"programs": 1, "bogus": true}`, http.StatusBadRequest},
+		{http.MethodPost, "/jobs", `{"programs": 0}`, http.StatusBadRequest},
+		{http.MethodPost, "/jobs", `{"programs": 1, "personalities": ["icc"]}`, http.StatusBadRequest},
+		{http.MethodGet, "/jobs/nope", "", http.StatusNotFound},
+		{http.MethodGet, "/jobs/nope/report", "", http.StatusNotFound},
+		{http.MethodPost, "/jobs/nope/cancel", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, rec.Code, tc.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s content type = %q, want application/json", tc.method, tc.path, ct)
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		decodeBody(t, rec, &apiErr)
+		if apiErr.Error == "" {
+			t.Errorf("%s %s: no JSON error body", tc.method, tc.path)
+		}
+	}
+}
+
+// TestHTTPMethodGating: the ServeMux method patterns enforce the verb
+// contract with 405 + Allow, matching the monitor's read-only rule.
+func TestHTTPMethodGating(t *testing.T) {
+	s, _ := newTestServer(t, Limits{}, false)
+	cases := []struct {
+		method, path string
+		wantAllow    string
+	}{
+		{http.MethodPut, "/jobs", "POST"},
+		{http.MethodDelete, "/healthz", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+		{http.MethodGet, "/jobs/job-1/cancel", "POST"},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path, "")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, rec.Code)
+			continue
+		}
+		if allow := rec.Header().Get("Allow"); !strings.Contains(allow, tc.wantAllow) {
+			t.Errorf("%s %s Allow = %q, want containing %q", tc.method, tc.path, allow, tc.wantAllow)
+		}
+	}
+}
+
+// TestHTTPCancel: POST /jobs/{id}/cancel on a queued job (no executors)
+// parks it cancelled immediately.
+func TestHTTPCancel(t *testing.T) {
+	s, _ := newTestServer(t, Limits{}, false)
+	rec := do(t, s, http.MethodPost, "/jobs", `{"programs": 1}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	var st Status
+	decodeBody(t, do(t, s, http.MethodPost, "/jobs/job-1/cancel", ""), &st)
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled state = %s, want cancelled", st.State)
+	}
+}

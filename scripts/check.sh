@@ -18,10 +18,21 @@ go test ./...
 # The campaign layer is the only concurrent code: re-run the scheduler,
 # harness, and corpus suites under the race detector (the metrics registry
 # and event log are exercised by the corpus suite's resume test), plus the
-# monitoring server and run-history layers that read campaign state while
-# it mutates.
+# monitoring server, run-history, and service-mode job-engine layers that
+# read campaign state while it mutates.
 go test -race ./internal/sched ./internal/harness ./internal/corpus \
-    ./internal/metrics ./internal/monitor ./internal/history
+    ./internal/metrics ./internal/monitor ./internal/history \
+    ./internal/service
+
+# Service smoke gate: build dce-serve and drive it with the load-test
+# client — concurrent submissions against a tiny queue must produce 429s
+# with Retry-After, every accepted job must report byte-identically to an
+# in-process campaign (zero lost findings), and SIGTERM must drain to a
+# clean exit 0.
+serve_bin=$(mktemp -d)/dce-serve
+trap 'rm -rf "$(dirname "$serve_bin")"' EXIT
+go build -o "$serve_bin" ./cmd/dce-serve
+go run ./scripts/loadtest.go -bin "$serve_bin"
 
 # Telemetry overhead smoke: the fully-instrumented unit must stay near the
 # uninstrumented one (~5% nominal budget; the gate is lenient because shared

@@ -1,0 +1,238 @@
+// loadtest is the check.sh service smoke gate: it spawns a dce-serve with
+// a deliberately tiny admission queue, posts -jobs identical campaign
+// specs concurrently, and asserts the service contract end to end —
+//
+//   - backpressure: at least one submission is rejected with 429, and
+//     every 429 carries a Retry-After header;
+//   - zero lost findings: every accepted job runs to done with a report
+//     byte-identical to an in-process campaign over the same spec;
+//   - clean drain: SIGTERM makes the server exit 0 after announcing
+//     "drained cleanly".
+//
+// Usage: go run ./scripts/loadtest.go -bin /path/to/dce-serve
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"dcelens"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the dce-serve binary (required)")
+	jobs := flag.Int("jobs", 10, "concurrent submissions")
+	queueDepth := flag.Int("queue", 2, "server admission queue depth")
+	programs := flag.Int("programs", 6, "seeds per job")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "loadtest: -bin is required")
+		os.Exit(2)
+	}
+	if err := run(*bin, *jobs, *queueDepth, *programs); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bin string, jobs, queueDepth, programs int) error {
+	work, err := os.MkdirTemp("", "dce-loadtest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-queue", strconv.Itoa(queueDepth), "-executors", "1", "-workdir", work)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "serving on http://"); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("no serving address announced (scan err %v)", sc.Err())
+	}
+	var tailMu sync.Mutex
+	var tail []string
+	stderrDone := make(chan struct{})
+	go func() {
+		defer close(stderrDone)
+		for sc.Scan() {
+			tailMu.Lock()
+			tail = append(tail, sc.Text())
+			tailMu.Unlock()
+		}
+	}()
+
+	// Slam the queue: every submission carries the same spec, so every
+	// accepted job must produce the same report.
+	spec := fmt.Sprintf(`{"programs": %d, "base_seed": 42, "workers": 1}`, programs)
+	type result struct {
+		code       int
+		id         string
+		retryAfter string
+		err        error
+	}
+	results := make([]result, jobs)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post("http://"+addr+"/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var st struct {
+				ID string `json:"id"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&st)
+			results[i] = result{code: resp.StatusCode, id: st.ID, retryAfter: resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted []string
+	rejected := 0
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			return fmt.Errorf("submit: %v", r.err)
+		case r.code == http.StatusAccepted:
+			accepted = append(accepted, r.id)
+		case r.code == http.StatusTooManyRequests:
+			if r.retryAfter == "" {
+				return fmt.Errorf("429 without a Retry-After header")
+			}
+			rejected++
+		default:
+			return fmt.Errorf("submit = %d, want 202 or 429", r.code)
+		}
+	}
+	if rejected == 0 {
+		return fmt.Errorf("no submission was rejected: %d jobs against a queue of %d never hit backpressure", jobs, queueDepth)
+	}
+	if len(accepted) == 0 {
+		return fmt.Errorf("every submission was rejected; the queue admitted nothing")
+	}
+
+	// The in-process reference for "zero lost findings": same spec, run
+	// directly through the campaign engine.
+	c, err := dcelens.RunCampaign(dcelens.CampaignOptions{
+		Programs: programs, BaseSeed: 42, Workers: 1,
+	})
+	if err != nil {
+		return err
+	}
+	want := dcelens.Report(c)
+
+	for _, id := range accepted {
+		if err := awaitDone(addr, id); err != nil {
+			return err
+		}
+		got, err := fetch(addr, "/jobs/"+id+"/report")
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("%s report differs from the in-process campaign (findings lost or reordered):\n--- served\n%s\n--- reference\n%s", id, got, want)
+		}
+	}
+
+	// Clean drain: SIGTERM, exit 0, "drained cleanly" announced.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-stderrDone:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("server did not exit within 60s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("exit after SIGTERM = %v, want success", err)
+	}
+	tailMu.Lock()
+	drainLog := strings.Join(tail, "\n")
+	tailMu.Unlock()
+	if !strings.Contains(drainLog, "drained cleanly") {
+		return fmt.Errorf("drain announcement missing from stderr:\n%s", drainLog)
+	}
+
+	fmt.Printf("service loadtest: %d submitted, %d accepted, %d rejected with 429+Retry-After, reports byte-identical, drained cleanly\n",
+		jobs, len(accepted), rejected)
+	return nil
+}
+
+// awaitDone polls the job until it is done, failing on any other
+// terminal state.
+func awaitDone(addr, id string) error {
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		body, err := fetch(addr, "/jobs/"+id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			return fmt.Errorf("%s status %q: %v", id, body, err)
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("%s reached %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetch(addr, path string) (string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s = %d %s", path, resp.StatusCode, b)
+	}
+	return string(b), nil
+}
