@@ -37,6 +37,7 @@ import (
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
 	"dcelens/internal/report"
+	"dcelens/internal/span"
 )
 
 // benchPrograms returns the campaign size for benches.
@@ -514,6 +515,39 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 			}
 			_, _ = io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkSpanOverhead measures what the span timeline costs a campaign:
+// the "off" case runs a small serial campaign bare, the "on" case runs the
+// identical campaign with a wall-clock recorder attached — every seed,
+// unit, phase, pass, and scheduler span rendered and written (to a sink, so
+// the gate measures recording, not disk). Rendering is one lock and one
+// strings.Builder per span, so "on" must stay within the ~3% budget
+// scripts/check.sh smoke-tests.
+func BenchmarkSpanOverhead(b *testing.B) {
+	const programs = 8
+	run := func(b *testing.B, rec *span.Recorder) {
+		b.Helper()
+		c, err := corpus.Run(corpus.Options{
+			Programs: programs, BaseSeed: 8200, Workers: 1, Spans: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Stats.Programs != programs {
+			b.Fatalf("short campaign: %d of %d programs", c.Stats.Programs, programs)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, span.New(io.Discard))
 		}
 	})
 }

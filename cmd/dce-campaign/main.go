@@ -14,6 +14,7 @@
 //	dce-campaign -n 50 -serve 127.0.0.1:8080        # live monitoring HTTP
 //	dce-campaign -n 50 -history runs/               # run-history snapshot
 //	dce-campaign -n 50 -j 8                         # 8 in-process workers
+//	dce-campaign -n 50 -j 8 -trace out.json         # span timeline (Perfetto, dce-prof)
 //	dce-campaign -n 50 -shard 0/2 -checkpoint a.json  # half the corpus...
 //	dce-campaign -n 50 -shard 1/2 -checkpoint b.json  # ...the other half
 //	dce-report -merge a.json,b.json                 # ...merged losslessly
@@ -21,9 +22,17 @@
 // The report (stdout) is deterministic for a given configuration: a
 // resumed campaign prints byte-identical output to an uninterrupted one.
 // Crash reproducers can be persisted with -repro-dir for dce-reduce.
-// -serve exposes /healthz, /metrics, /progress, /findings, and
-// /events?since=N while the campaign runs; -history leaves a fingerprinted
-// snapshot behind for dce-trend's cross-run diffing.
+// -serve exposes /healthz, /metrics, /progress, /findings,
+// /events?since=N, and /timeline?since=N while the campaign runs;
+// -history leaves a fingerprinted snapshot behind for dce-trend's
+// cross-run diffing.
+//
+// -trace FILE records a hierarchical span timeline (seed → unit → phase →
+// pass, plus scheduler occupancy) as Chrome trace_event JSON: load it in
+// Perfetto (ui.perfetto.dev), or run dce-prof on it for the critical-path
+// and worker-occupancy tables. Under -metrics deterministic the trace is
+// redacted to its logical skeleton and is byte-identical for a given
+// campaign configuration, whatever -j or resume history produced it.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"dcelens/internal/metrics"
 	"dcelens/internal/monitor"
 	"dcelens/internal/report"
+	"dcelens/internal/span"
 )
 
 const tool = "dce-campaign"
@@ -49,7 +59,8 @@ const tool = "dce-campaign"
 func main() {
 	n := flag.Int("n", 30, "corpus size")
 	seed := flag.Int64("seed", 1, "base seed")
-	doTrace := flag.Bool("trace", false, "record per-pass profiles and marker provenance")
+	provenance := flag.Bool("provenance", false, "record per-pass profiles and marker provenance")
+	tracePath := flag.String("trace", "", "write a span timeline (Chrome trace_event JSON; Perfetto/dce-prof) to this file")
 	verify := flag.Bool("verify", false, "execute every compiled module against ground truth (miscompile detection; slower)")
 	budget := flag.Int("budget", 0, "per-compilation pass-step budget (0: harness default)")
 	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file; outcomes are persisted as seeds complete")
@@ -72,7 +83,7 @@ func main() {
 		BaseSeed:        *seed,
 		Workers:         par.Workers(tool),
 		Shard:           par.Shard(tool),
-		Trace:           *doTrace,
+		Trace:           *provenance,
 		VerifySemantics: *verify,
 		StepBudget:      *budget,
 	}
@@ -140,6 +151,23 @@ func main() {
 		events.KeepTail(4096)
 	}
 
+	var spans *span.Recorder
+	if *tracePath != "" {
+		var err error
+		spans, err = span.Open(*tracePath, *resume, *metricsMode == "deterministic")
+		if err != nil {
+			cli.Fail(tool, err)
+		}
+		opts.Spans = spans
+	} else if mon.Serving() {
+		// /timeline needs a recorder even when no trace file is kept.
+		spans = span.New(io.Discard)
+		opts.Spans = spans
+	}
+	if mon.Serving() {
+		spans.KeepTail(4096)
+	}
+
 	// The live surfaces (heartbeat, /progress, ETA) count the seeds this
 	// process will actually run: a shard's total is its slice of the corpus.
 	liveTotal := opts.Shard.Size(opts.Programs)
@@ -148,7 +176,9 @@ func main() {
 		prog = harness.NewProgress(liveTotal, opts.Workers, reg)
 		opts.Progress = prog
 	}
-	defer mon.Serve(tool, monitor.New(tool, reg, prog, events))()
+	msrv := monitor.New(tool, reg, prog, events)
+	msrv.Spans = spans
+	defer mon.Serve(tool, msrv)()
 
 	stopHeartbeat := func() {}
 	if showHeartbeat {
@@ -168,6 +198,9 @@ func main() {
 		cli.Fail(tool, err)
 	}
 	if cerr := events.Close(); cerr != nil {
+		cli.Fail(tool, cerr)
+	}
+	if cerr := spans.Close(); cerr != nil {
 		cli.Fail(tool, cerr)
 	}
 	if *reproDir != "" {

@@ -1,0 +1,44 @@
+// dce-prof analyzes a span timeline recorded by dce-campaign -trace: it
+// parses the Chrome trace_event JSON, walks the critical path through the
+// campaign's wall clock, and prints where the time went — the chain of
+// (seed, config) work spans that bounded the run, per-worker occupancy,
+// scheduler queue-wait and sequencer-stall totals, and the slowest units.
+//
+// Usage:
+//
+//	dce-campaign -n 50 -j 8 -trace out.json
+//	dce-prof out.json                # full analysis
+//	dce-prof -top 10 out.json        # bound the slowest-units table
+//
+// A trace recorded under -metrics deterministic carries no wall-clock
+// information; dce-prof then prints the logical unit inventory with every
+// duration redacted to "-", byte-identically for a given campaign
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dcelens/internal/cli"
+	"dcelens/internal/report"
+	"dcelens/internal/span"
+)
+
+const tool = "dce-prof"
+
+func main() {
+	top := flag.Int("top", 20, "bound the slowest-units table to this many rows (<= 0: all)")
+	prof := cli.Profiling()
+	flag.Parse()
+	defer prof.Start(tool)()
+
+	if flag.NArg() != 1 {
+		cli.Usagef(tool, "usage: %s [-top K] trace.json", tool)
+	}
+	t, err := span.ParseFile(flag.Arg(0))
+	if err != nil {
+		cli.Fail(tool, err)
+	}
+	fmt.Print(report.Timeline(span.Analyze(t, *top)))
+}

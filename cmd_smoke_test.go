@@ -594,3 +594,42 @@ func TestCmdAttribSmoke(t *testing.T) {
 		t.Errorf("provenance output missing attribution lines:\n%s", out)
 	}
 }
+
+// TestCmdCampaignTraceAndProf: -trace writes a loadable trace_event
+// timeline and dce-prof renders its profile tables; a usage error in
+// dce-prof exits 2, a missing trace exits 1.
+func TestCmdCampaignTraceAndProf(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100", "-j", "2",
+		"-quiet", "-trace", trace)
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "[\n") || !strings.Contains(string(data), `"ph":"M"`) {
+		t.Fatalf("trace missing array header or metadata record:\n%.200s", data)
+	}
+
+	out := runCmdStdout(t, "dce-prof", trace)
+	for _, want := range []string{"Timeline profile", "Critical path", "Worker occupancy", "Slowest units"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dce-prof output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic traces profile without wall tables but keep the units.
+	det := filepath.Join(t.TempDir(), "det.json")
+	runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100",
+		"-quiet", "-metrics", "deterministic", "-trace", det)
+	out = runCmdStdout(t, "dce-prof", det)
+	if !strings.Contains(out, "deterministic") || !strings.Contains(out, "Units (trace order)") {
+		t.Errorf("dce-prof deterministic output:\n%s", out)
+	}
+
+	if code := exitCode(t, "dce-prof"); code != 2 {
+		t.Errorf("dce-prof without a trace argument: exit %d, want 2", code)
+	}
+	if code := exitCode(t, "dce-prof", filepath.Join(t.TempDir(), "absent.json")); code != 1 {
+		t.Errorf("dce-prof missing trace file: exit %d, want 1", code)
+	}
+}

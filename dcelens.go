@@ -40,6 +40,7 @@ import (
 	"dcelens/internal/report"
 	"dcelens/internal/sched"
 	"dcelens/internal/sema"
+	"dcelens/internal/span"
 	"dcelens/internal/trace"
 )
 
@@ -376,6 +377,40 @@ func NewEventLog(w io.Writer) *EventLog { return metrics.NewEventLog(w) }
 // ReportMetrics renders a registry's phase breakdown and campaign-wide
 // pass-time table (total/mean/p50/p90/p99 per pass).
 func ReportMetrics(reg *MetricsRegistry) string { return report.Metrics(reg) }
+
+// SpanRecorder is a hierarchical span timeline recorder writing Chrome
+// trace_event JSON (CampaignOptions.Spans, dce-campaign -trace): job →
+// seed → unit → phase → pass spans plus scheduler occupancy, loadable in
+// Perfetto and analyzable with dce-prof.
+type SpanRecorder = span.Recorder
+
+// NewSpanRecorder starts a wall-clock span recorder writing to w.
+func NewSpanRecorder(w io.Writer) *SpanRecorder { return span.New(w) }
+
+// OpenSpanTrace opens (or, with resume, appends to) a span-trace file.
+// Deterministic recorders redact the timeline to its logical skeleton,
+// byte-identical for a given campaign configuration across worker counts
+// and resumes.
+func OpenSpanTrace(path string, resume, deterministic bool) (*SpanRecorder, error) {
+	return span.Open(path, resume, deterministic)
+}
+
+// SpanProfile is the analyzed form of a recorded trace: critical path,
+// worker occupancy, scheduler waits, and the slowest units (dce-prof).
+type SpanProfile = span.Profile
+
+// AnalyzeSpanTrace parses trace_event JSON (as recorded by a SpanRecorder)
+// and reduces it to its profile; topK bounds the slowest-units table.
+func AnalyzeSpanTrace(data []byte, topK int) (*SpanProfile, error) {
+	t, err := span.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return span.Analyze(t, topK), nil
+}
+
+// ReportTimeline renders a span profile as dce-prof prints it.
+func ReportTimeline(p *SpanProfile) string { return report.Timeline(p) }
 
 // ---------------------------------------------------------------------------
 // Live monitoring and run history

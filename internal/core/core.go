@@ -88,15 +88,26 @@ func CompileObserved(ins *instrument.Program, cfg *pipeline.Config, obs opt.Obse
 // (via Config.CompileMetered), and the assembly marker scan is counted. A
 // nil registry records nothing and adds no observer.
 func CompileMetered(ins *instrument.Program, cfg *pipeline.Config, obs opt.Observer, reg *metrics.Registry) (*Compilation, error) {
+	return CompileProbed(ins, cfg, obs, reg, nil)
+}
+
+// CompileProbed is CompileMetered with a phase probe observing each
+// back-half phase's individual wall-clock extent (lower, opt, codegen) —
+// the span timeline's per-unit phase spans. A nil probe costs one
+// comparison per phase and records nothing.
+func CompileProbed(ins *instrument.Program, cfg *pipeline.Config, obs opt.Observer, reg *metrics.Registry, probe metrics.PhaseProbe) (*Compilation, error) {
+	pstart := probe.Start()
 	stop := reg.Time(metrics.PhaseLower)
 	m, err := lower.Lower(ins.Prog)
 	stop()
+	probe.Observe(metrics.PhaseLower, pstart)
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.CompileMetered(m, obs, reg); err != nil {
+	if err := cfg.CompileProbed(m, obs, reg, probe); err != nil {
 		return nil, err
 	}
+	pstart = probe.Start()
 	stop = reg.Time(metrics.PhaseCodegen)
 	text := asm.Emit(m)
 	alive := map[string]bool{}
@@ -104,6 +115,7 @@ func CompileMetered(ins *instrument.Program, cfg *pipeline.Config, obs opt.Obser
 		alive[name] = true
 	}
 	stop()
+	probe.Observe(metrics.PhaseCodegen, pstart)
 	reg.Counter("stage.asm.scans").Inc()
 	return &Compilation{Config: cfg, Module: m, Asm: text, Alive: alive}, nil
 }
@@ -204,7 +216,13 @@ func AnalyzeObserved(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g 
 // AnalyzeMetered is AnalyzeObserved with campaign telemetry recorded into
 // reg (see CompileMetered); a nil registry records nothing.
 func AnalyzeMetered(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, obs opt.Observer, reg *metrics.Registry) (*Analysis, error) {
-	comp, err := CompileMetered(ins, cfg, obs, reg)
+	return AnalyzeProbed(ins, cfg, t, g, obs, reg, nil)
+}
+
+// AnalyzeProbed is AnalyzeMetered with a phase probe (see CompileProbed);
+// a nil probe records nothing.
+func AnalyzeProbed(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, obs opt.Observer, reg *metrics.Registry, probe metrics.PhaseProbe) (*Analysis, error) {
+	comp, err := CompileProbed(ins, cfg, obs, reg, probe)
 	if err != nil {
 		return nil, err
 	}

@@ -33,16 +33,25 @@ func CompileTracedObserved(ins *instrument.Program, cfg *pipeline.Config, extra 
 // recorded into reg (phase timers plus the per-pass collector, chained
 // after the trace recorder); a nil registry records nothing.
 func CompileTracedMetered(ins *instrument.Program, cfg *pipeline.Config, extra opt.Observer, reg *metrics.Registry) (*Compilation, *trace.Profile, error) {
+	return CompileTracedProbed(ins, cfg, extra, reg, nil)
+}
+
+// CompileTracedProbed is CompileTracedMetered with a phase probe observing
+// each phase's individual extent (see CompileProbed); nil records nothing.
+func CompileTracedProbed(ins *instrument.Program, cfg *pipeline.Config, extra opt.Observer, reg *metrics.Registry, probe metrics.PhaseProbe) (*Compilation, *trace.Profile, error) {
+	pstart := probe.Start()
 	stop := reg.Time(metrics.PhaseLower)
 	m, err := lower.Lower(ins.Prog)
 	stop()
+	probe.Observe(metrics.PhaseLower, pstart)
 	if err != nil {
 		return nil, nil, err
 	}
 	rec := trace.NewRecorder(ins.MarkerNames(), instrument.IsMarker)
-	if err := cfg.CompileMetered(m, opt.Observers(rec, extra), reg); err != nil {
+	if err := cfg.CompileProbed(m, opt.Observers(rec, extra), reg, probe); err != nil {
 		return nil, nil, err
 	}
+	pstart = probe.Start()
 	stop = reg.Time(metrics.PhaseCodegen)
 	text := asm.Emit(m)
 	alive := map[string]bool{}
@@ -50,6 +59,7 @@ func CompileTracedMetered(ins *instrument.Program, cfg *pipeline.Config, extra o
 		alive[name] = true
 	}
 	stop()
+	probe.Observe(metrics.PhaseCodegen, pstart)
 	reg.Counter("stage.asm.scans").Inc()
 	prof := rec.Profile()
 	// Cross-check the IR-level scan against the assembly oracle: they must
@@ -83,7 +93,13 @@ func AnalyzeTracedObserved(ins *instrument.Program, cfg *pipeline.Config, t *Tru
 // AnalyzeTracedMetered is AnalyzeTracedObserved with campaign telemetry
 // recorded into reg; a nil registry records nothing.
 func AnalyzeTracedMetered(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, extra opt.Observer, reg *metrics.Registry) (*Analysis, error) {
-	comp, prof, err := CompileTracedMetered(ins, cfg, extra, reg)
+	return AnalyzeTracedProbed(ins, cfg, t, g, extra, reg, nil)
+}
+
+// AnalyzeTracedProbed is AnalyzeTracedMetered with a phase probe (see
+// CompileProbed); a nil probe records nothing.
+func AnalyzeTracedProbed(ins *instrument.Program, cfg *pipeline.Config, t *Truth, g *MarkerCFG, extra opt.Observer, reg *metrics.Registry, probe metrics.PhaseProbe) (*Analysis, error) {
+	comp, prof, err := CompileTracedProbed(ins, cfg, extra, reg, probe)
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,7 @@ import (
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/sched"
+	"dcelens/internal/span"
 )
 
 // Options configures a campaign.
@@ -90,6 +91,14 @@ type Options struct {
 	// campaign/seed/unit begin-end, failures, and checkpoint writes, each a
 	// single JSON object with a monotonic sequence number. Nil disables it.
 	Events *metrics.EventLog
+	// Spans receives the campaign's hierarchical span timeline
+	// (internal/span): per-seed prepare/finalize stages, (seed, config)
+	// units with their phase and pass spans, checkpoint writes, and the
+	// scheduler's queue-wait/busy/idle/stall spans. Logical spans flush
+	// through the sequencer in slot order, so a deterministic recorder's
+	// trace is byte-identical across -j values and resumes (restored seeds
+	// emit no spans). Nil disables all span collection.
+	Spans *span.Recorder
 	// Progress receives the live campaign view the heartbeat and the
 	// monitor server read: findings are appended as each seed completes
 	// (restored seeds included — the live view reflects the whole
@@ -342,7 +351,14 @@ func Run(o Options) (*Campaign, error) {
 	results := make([]*ProgramResult, o.Programs)
 	outcomes := make([]*SeedOutcome, o.Programs)
 	seq := sched.NewSequencer()
-	err := sched.Run(o.Workers, len(members), func(m int) *sched.Job {
+	pool := sched.Pool{Workers: o.Workers}
+	runStart := time.Now()
+	if o.probeActive() {
+		probe := &schedProbe{o: &o}
+		pool.Probe = probe
+		seq.Stall = probe.stall
+	}
+	err := pool.Run(len(members), func(m int) *sched.Job {
 		j := &seedJob{
 			o: &o, h: h, idx: members[m], cfgs: cfgs,
 			slot: m * (len(cfgs) + 2), seq: seq,
@@ -354,6 +370,13 @@ func Run(o Options) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The campaign envelope span (wall traces only: CatJob is redacted
+	// from deterministic traces, whose contents must not depend on timing).
+	o.Spans.Emit(span.Span{
+		Name: "campaign", Cat: span.CatJob, TID: 0,
+		Start: runStart, Dur: time.Since(runStart),
+		Args: []span.Arg{span.Int("programs", o.Programs), span.Int("workers", o.Workers)},
+	})
 
 	c := &Campaign{Opts: o, Programs: results, Outcomes: outcomes}
 	for _, m := range members {
@@ -422,24 +445,30 @@ func countFailures(reg *metrics.Registry, failures []harness.Failure) {
 // buildProgram runs the program-construction half of a seed under the
 // harness: generation, instrumentation, ground truth, and the marker CFG.
 // Failures are infeasible-kind and abandon the seed; the failure event is
-// buffered into ev for sequenced emission.
-func buildProgram(o Options, h *harness.Harness, seed int64, ev *eventBuf) *ProgramResult {
+// buffered into ev (and phase spans into sp) for sequenced emission.
+func buildProgram(o Options, h *harness.Harness, seed int64, ev *eventBuf, sp *spanBuf, tid int) *ProgramResult {
 	r := &ProgramResult{Seed: seed, PerCfg: map[ConfigKey]*core.Analysis{}}
 	if fail := h.Protect(seed, "", "", func(opt.Observer) error {
+		pstart := sp.now()
 		stop := o.Metrics.Time(metrics.PhaseGenerate)
 		prog := cgen.Generate(o.GenConfig(seed))
 		stop()
+		sp.phase(tid, metrics.PhaseGenerate, pstart)
 		o.Metrics.Counter("stage.cgen.programs").Inc()
+		pstart = sp.now()
 		stop = o.Metrics.Time(metrics.PhaseInstrument)
 		ins, err := instrument.Instrument(prog, instrument.Options{})
 		stop()
+		sp.phase(tid, metrics.PhaseInstrument, pstart)
 		if err != nil {
 			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
 		}
 		r.Ins = ins
+		pstart = sp.now()
 		stop = o.Metrics.Time(metrics.PhaseTruth)
 		r.Truth, err = core.GroundTruth(ins)
 		stop()
+		sp.phase(tid, metrics.PhaseTruth, pstart)
 		o.Metrics.Counter("stage.interp.runs").Inc()
 		if err != nil {
 			return fmt.Errorf("%w: %v", harness.ErrInfeasible, err)
@@ -470,19 +499,27 @@ func failureFields(f *harness.Failure) map[string]any {
 
 // runConfig compiles and analyzes one configuration under the harness.
 // It touches no shared state: the analysis is returned for the seed's
-// finalize stage to merge, and events are buffered into ev for sequenced
-// emission, which is what lets a seed's units run concurrently.
-func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool, ev *eventBuf) (*core.Analysis, *harness.Failure) {
+// finalize stage to merge, and events (and spans) are buffered into ev and
+// sp for sequenced emission, which is what lets a seed's units run
+// concurrently.
+func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool, ev *eventBuf, sp *spanBuf, tid int) (*core.Analysis, *harness.Failure) {
 	cfg := pipeline.New(key.Personality, key.Level)
 	ev.emit("unit_begin", map[string]any{"seed": r.Seed, "config": key.String()})
+	ustart := sp.now()
+	probe := sp.probe(tid)
 	var out *core.Analysis
 	fail := h.Protect(r.Seed, key.String(), src, func(obs opt.Observer) error {
+		if sp != nil {
+			// The pass-span observer rides the same seam as the trace and
+			// metrics collectors, after the harness guard.
+			obs = opt.Observers(obs, &passSpans{sp: sp, tid: tid})
+		}
 		var an *core.Analysis
 		var err error
 		if traced {
-			an, err = core.AnalyzeTracedMetered(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics)
+			an, err = core.AnalyzeTracedProbed(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics, probe)
 		} else {
-			an, err = core.AnalyzeMetered(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics)
+			an, err = core.AnalyzeProbed(r.Ins, cfg, r.Truth, r.Graph, obs, o.Metrics, probe)
 		}
 		if err != nil {
 			return err
@@ -499,6 +536,13 @@ func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, s
 	ev.emit("unit_end", map[string]any{
 		"seed": r.Seed, "config": key.String(), "ok": fail == nil,
 	})
+	if sp != nil {
+		sp.add(span.Span{
+			Name: key.String(), Cat: span.CatUnit, TID: tid,
+			Start: ustart, Dur: time.Since(ustart),
+			Args: []span.Arg{span.Int64("seed", r.Seed), span.Bool("ok", fail == nil)},
+		})
+	}
 	if fail != nil {
 		return nil, fail
 	}

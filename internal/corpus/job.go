@@ -8,6 +8,7 @@ import (
 	"dcelens/internal/harness"
 	"dcelens/internal/metrics"
 	"dcelens/internal/sched"
+	"dcelens/internal/span"
 )
 
 // bufEvent is one deferred event-log emission.
@@ -37,7 +38,9 @@ func (b eventBuf) flush(l *metrics.EventLog) {
 // slots reproduce the serial event order exactly: slot `slot` carries
 // seed_begin plus the prepare stage's events, slots slot+1+u carry unit
 // u's events in config order, and the final slot carries the checkpoint
-// event, seed_end, and the live-progress findings append.
+// event, seed_end, and the live-progress findings append. Span buffers
+// ride the same slots, so the timeline's logical spans flush in corpus
+// order too.
 //
 // All mutable fields are written by at most one stage at a time; the
 // engine's lock provides the prepare→units→finalize happens-before edges,
@@ -60,20 +63,25 @@ type seedJob struct {
 	restored bool
 	skipped  bool
 	unitEv   []eventBuf
+	unitSp   []spanBuf
 	unitAn   []*core.Analysis
 	unitFail []*harness.Failure
 }
 
+// spans reports whether the campaign collects a span timeline; a nil
+// buffer pointer disables every collection site downstream.
+func (j *seedJob) spans() bool { return j.o.Spans != nil }
+
 // prepare restores the seed from the checkpoint or builds its program,
 // reporting how many config units follow (0 for restored and
 // program-failed seeds).
-func (j *seedJob) prepare() (int, error) {
+func (j *seedJob) prepare(w int) (int, error) {
 	if j.o.Stop != nil && j.o.Stop() {
 		// Draining: leave the seed unrun and its slots silent. Completed
 		// seeds are already checkpointed, so a resume runs exactly the
 		// skipped ones and reports byte-identically to an uninterrupted run.
 		j.skipped = true
-		j.flush(j.slot, nil, nil)
+		j.flush(j.slot, nil, nil, nil)
 		j.skipUnits()
 		j.seq.Done(j.lastSlot(), nil)
 		return 0, nil
@@ -89,48 +97,66 @@ func (j *seedJob) prepare() (int, error) {
 		if ok {
 			// A restored seed contributes its checkpointed outcome to
 			// aggregation but adds nothing to the live registry beyond the
-			// restored count: its failures and timings belong to the
-			// process that computed them.
+			// restored count — and emits no spans: its timings belong to
+			// the process that computed them, and span silence is what
+			// makes a resumed trace byte-identical to an uninterrupted one.
 			j.restored = true
 			j.outcomes[j.idx] = &restored
 			j.o.Metrics.Counter(metrics.CounterSeedsRestored).Inc()
 			ev.emit("seed_end", map[string]any{
 				"seed": j.seed, "ok": restored.Ok, "restored": true,
 			})
-			j.flush(j.slot, ev, restored.Findings)
+			j.flush(j.slot, ev, nil, restored.Findings)
 			j.skipUnits()
 			j.seq.Done(j.lastSlot(), nil)
 			return 0, nil
 		}
 	}
 	j.start = time.Now()
-	j.r = buildProgram(*j.o, j.h, j.seed, &ev)
+	var sp spanBuf
+	spp := (*spanBuf)(nil)
+	if j.spans() {
+		spp = &sp
+	}
+	j.r = buildProgram(*j.o, j.h, j.seed, &ev, spp, w+1)
+	if spp != nil {
+		spp.add(span.Span{
+			Name: "prepare", Cat: span.CatSeed, TID: w + 1,
+			Start: j.start, Dur: time.Since(j.start),
+			Args: []span.Arg{span.Int64("seed", j.seed), span.Bool("ok", j.r.Err == nil)},
+		})
+	}
 	if j.r.Err != nil {
 		// Program-level failure: no config units; finalize still records
 		// the outcome, checkpoint, and seed_end.
-		j.flush(j.slot, ev, nil)
+		j.flush(j.slot, ev, sp, nil)
 		j.skipUnits()
 		return 0, nil
 	}
 	j.src = ast.Print(j.r.Ins.Prog)
 	j.unitEv = make([]eventBuf, len(j.cfgs))
+	j.unitSp = make([]spanBuf, len(j.cfgs))
 	j.unitAn = make([]*core.Analysis, len(j.cfgs))
 	j.unitFail = make([]*harness.Failure, len(j.cfgs))
-	j.flush(j.slot, ev, nil)
+	j.flush(j.slot, ev, sp, nil)
 	return len(j.cfgs), nil
 }
 
 // unit compiles and analyzes one configuration, storing its result in the
 // unit's own slot for finalize to merge.
-func (j *seedJob) unit(u int) error {
+func (j *seedJob) unit(w, u int) error {
 	key := j.cfgs[u]
 	ev := &j.unitEv[u]
-	an, fail := runConfig(*j.o, j.h, j.r, key, j.src, j.o.Trace, ev)
+	sp := (*spanBuf)(nil)
+	if j.spans() {
+		sp = &j.unitSp[u]
+	}
+	an, fail := runConfig(*j.o, j.h, j.r, key, j.src, j.o.Trace, ev, sp, w+1)
 	if fail != nil && j.o.Trace {
 		// Graceful degradation: the recorder itself (or its extra per-pass
 		// IR scans) may be what broke — retry once untraced before giving
 		// up on the config.
-		if ran, retry := runConfig(*j.o, j.h, j.r, key, j.src, false, ev); retry == nil {
+		if ran, retry := runConfig(*j.o, j.h, j.r, key, j.src, false, ev, sp, w+1); retry == nil {
 			an, fail = ran, nil
 		}
 	}
@@ -139,7 +165,12 @@ func (j *seedJob) unit(u int) error {
 		j.unitFail[u] = fail
 		ev.emit("failure", failureFields(fail))
 	}
-	j.seq.Done(j.slot+1+u, func() { j.unitEv[u].flush(j.o.Events) })
+	j.seq.Done(j.slot+1+u, func() {
+		j.unitEv[u].flush(j.o.Events)
+		if j.spans() {
+			j.unitSp[u].flush(j.o.Spans)
+		}
+	})
 	return nil
 }
 
@@ -147,9 +178,16 @@ func (j *seedJob) unit(u int) error {
 // single-writer replacement for the per-config map and slice writes the
 // serial loop did in place — then derives the outcome, feeds the metrics
 // and checkpoint, and schedules the seed's closing events.
-func (j *seedJob) finalize() error {
+func (j *seedJob) finalize(w int) error {
 	if j.restored || j.skipped {
 		return nil
+	}
+	var sp spanBuf
+	spp := (*spanBuf)(nil)
+	var fstart time.Time
+	if j.spans() {
+		spp = &sp
+		fstart = time.Now()
 	}
 	if j.o.SeedHook != nil {
 		// The chaos seam: a panicking hook aborts the job here, before the
@@ -176,24 +214,40 @@ func (j *seedJob) finalize() error {
 	if j.o.Checkpoint != nil {
 		// Save immediately (crash resilience does not wait for sequencing);
 		// only the checkpoint *event* is deferred to the seed's slot.
+		ckStart := spp.now()
 		ckErr = j.o.Checkpoint.Save(j.seed, out)
 		if ckErr == nil {
 			ev.emit("checkpoint", map[string]any{"seed": j.seed})
+			if spp != nil {
+				spp.add(span.Span{
+					Name: "checkpoint", Cat: span.CatCheckpoint, TID: w + 1,
+					Start: ckStart, Dur: time.Since(ckStart),
+					Args: []span.Arg{span.Int64("seed", j.seed)},
+				})
+			}
 		}
 	}
 	ev.emit("seed_end", map[string]any{
 		"seed": j.seed, "ok": out.Ok,
 		"failures": len(out.Failures), "d_us": d.Microseconds(),
 	})
-	j.flush(j.lastSlot(), ev, out.Findings)
+	if spp != nil {
+		spp.add(span.Span{
+			Name: "finalize", Cat: span.CatSeed, TID: w + 1,
+			Start: fstart, Dur: time.Since(fstart),
+			Args: []span.Arg{span.Int64("seed", j.seed), span.Bool("ok", out.Ok)},
+		})
+	}
+	j.flush(j.lastSlot(), ev, sp, out.Findings)
 	return ckErr
 }
 
-// flush schedules ev's emissions (and a completed seed's findings) for
-// in-order delivery when slot's turn comes.
-func (j *seedJob) flush(slot int, ev eventBuf, findings []Finding) {
+// flush schedules ev's emissions, sp's spans, and a completed seed's
+// findings for in-order delivery when slot's turn comes.
+func (j *seedJob) flush(slot int, ev eventBuf, sp spanBuf, findings []Finding) {
 	j.seq.Done(slot, func() {
 		ev.flush(j.o.Events)
+		sp.flush(j.o.Spans)
 		progressFindings(j.o.Progress, findings)
 	})
 }

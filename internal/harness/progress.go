@@ -123,6 +123,27 @@ func (p *Progress) FindingCount() int {
 	return len(p.findings)
 }
 
+// Occupancy returns each worker's busy fraction of the campaign's elapsed
+// wall clock so far, read from the scheduler probe's per-worker busy
+// counters (metrics.WorkerBusyCounter). The slice is indexed by worker.
+// Nil for deterministic registries — occupancy is a pure wall-clock
+// quantity the deterministic artifacts must not depend on — and before
+// any time has elapsed.
+func (p *Progress) Occupancy() []float64 {
+	if p == nil || p.reg == nil || p.reg.Deterministic {
+		return nil
+	}
+	elapsed := time.Since(p.start).Nanoseconds()
+	if elapsed <= 0 {
+		return nil
+	}
+	out := make([]float64, p.workers)
+	for w := range out {
+		out[w] = float64(p.reg.Counter(metrics.WorkerBusyCounter(w)).Value()) / float64(elapsed)
+	}
+	return out
+}
+
 // ETA estimates the remaining campaign wall time from the per-seed
 // wall-time histogram (metrics.HistCampaignSeed): remaining seeds times the
 // mean seed duration, divided by the worker count. Before any seed

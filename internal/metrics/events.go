@@ -155,9 +155,21 @@ func OpenEventLog(path string, resume bool) (*EventLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	// A killed campaign can leave a torn final line with no newline; seal it
+	// so the first resumed event starts a fresh line instead of being glued
+	// to (and corrupted by) the torn fragment.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, st.Size()-1); err == nil && buf[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 	}
 	l := NewEventLog(f)
 	l.seq = last

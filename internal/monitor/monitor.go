@@ -7,9 +7,10 @@
 //	/healthz            liveness: tool name and uptime
 //	/metrics            Prometheus-style text exposition of the registry
 //	/metrics?format=json  the registry snapshot as JSON
-//	/progress           seeds done/total, failure-kind counts, ETA
+//	/progress           seeds done/total, failure-kind counts, ETA, occupancy
 //	/findings           the findings discovered so far, as JSON
 //	/events?since=N     resumable tail of the event log (JSONL, seq > N)
+//	/timeline?since=N   resumable tail of the span timeline (JSONL, seq > N)
 //
 // The server only reads; every source it serves is already safe for
 // concurrent use (atomic registry collectors, the progress mutex, the event
@@ -30,6 +31,7 @@ import (
 
 	"dcelens/internal/harness"
 	"dcelens/internal/metrics"
+	"dcelens/internal/span"
 )
 
 // Server bundles a campaign's observable state behind an http.Handler. Any
@@ -45,6 +47,10 @@ type Server struct {
 	// Events is the campaign event log; /events serves its in-memory tail
 	// (enable with Events.KeepTail before the campaign starts).
 	Events *metrics.EventLog
+	// Spans is the campaign span recorder; /timeline serves its in-memory
+	// tail (enable with Spans.KeepTail before the campaign starts). Set it
+	// after New — campaigns without a timeline leave it nil.
+	Spans *span.Recorder
 
 	start time.Time
 }
@@ -63,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/progress", ReadOnly(s.handleProgress))
 	mux.HandleFunc("/findings", ReadOnly(s.handleFindings))
 	mux.HandleFunc("/events", ReadOnly(s.handleEvents))
+	mux.HandleFunc("/timeline", ReadOnly(s.handleTimeline))
 	return mux
 }
 
@@ -134,6 +141,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, Exposition(snap))
+	fmt.Fprint(w, s.derivedExposition())
+}
+
+// derivedExposition renders the gauges that exist only as derivations over
+// other sources — campaign throughput, the pass-manager skip rate, and
+// per-worker occupancy — in the same Prometheus text format Exposition
+// uses. They are computed at scrape time, never stored in the registry, so
+// the registry snapshot (and the deterministic artifacts built from it)
+// stays untouched.
+func (s *Server) derivedExposition() string {
+	var sb strings.Builder
+	if s.Reg != nil {
+		units := s.Reg.Counter(metrics.CounterUnits).Value()
+		ups := 0.0
+		if secs := s.Progress.Elapsed().Seconds(); secs > 0 {
+			ups = float64(units) / secs
+		}
+		fmt.Fprintf(&sb, "# TYPE dcelens_units_per_sec gauge\ndcelens_units_per_sec %g\n", ups)
+		if rate, ok := metrics.PassSkipRate(s.Reg); ok {
+			fmt.Fprintf(&sb, "# TYPE dcelens_pass_skip_rate gauge\ndcelens_pass_skip_rate %g\n", rate)
+		}
+	}
+	if occ := s.Progress.Occupancy(); len(occ) > 0 {
+		sb.WriteString("# TYPE dcelens_worker_occupancy gauge\n")
+		for w, f := range occ {
+			fmt.Fprintf(&sb, "dcelens_worker_occupancy{worker=\"%d\"} %g\n", w, f)
+		}
+	}
+	return sb.String()
 }
 
 // ProgressReply is the /progress body. The middle-end performance fields
@@ -158,29 +194,42 @@ type ProgressReply struct {
 	// dirty-tracking pass manager skipped as provably clean.
 	PassSkipRate  float64 `json:"pass_skip_rate"`
 	PassSkipKnown bool    `json:"pass_skip_known"`
+
+	// WorkerOccupancy is each worker's busy fraction of the campaign's
+	// elapsed wall time (indexed by worker), from the scheduler probe's
+	// occupancy counters. Absent for deterministic registries.
+	WorkerOccupancy []float64 `json:"worker_occupancy,omitempty"`
+}
+
+// NewProgressReply assembles the /progress body from a campaign's progress
+// view and registry — shared by the monitor's /progress and the service's
+// per-job GET /jobs/{id}/progress, so the two surfaces never disagree about
+// shape or derivation. Both sources may be nil.
+func NewProgressReply(p *harness.Progress, reg *metrics.Registry) ProgressReply {
+	eta, ok := p.ETA()
+	reply := ProgressReply{
+		SeedsTotal:      p.Total(),
+		SeedsDone:       p.Done(),
+		Workers:         p.Workers(),
+		Findings:        p.FindingCount(),
+		Failures:        p.FailureCounts(),
+		ElapsedMs:       p.Elapsed().Milliseconds(),
+		EtaMs:           eta.Milliseconds(),
+		EtaKnown:        ok,
+		WorkerOccupancy: p.Occupancy(),
+	}
+	if reg != nil {
+		reply.Units = reg.Counter(metrics.CounterUnits).Value()
+		if secs := p.Elapsed().Seconds(); secs > 0 {
+			reply.UnitsPerSec = float64(reply.Units) / secs
+		}
+		reply.PassSkipRate, reply.PassSkipKnown = metrics.PassSkipRate(reg)
+	}
+	return reply
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	p := s.Progress
-	eta, ok := p.ETA()
-	reply := ProgressReply{
-		SeedsTotal: p.Total(),
-		SeedsDone:  p.Done(),
-		Workers:    p.Workers(),
-		Findings:   p.FindingCount(),
-		Failures:   p.FailureCounts(),
-		ElapsedMs:  p.Elapsed().Milliseconds(),
-		EtaMs:      eta.Milliseconds(),
-		EtaKnown:   ok,
-	}
-	if s.Reg != nil {
-		reply.Units = s.Reg.Counter(metrics.CounterUnits).Value()
-		if secs := time.Since(s.start).Seconds(); secs > 0 {
-			reply.UnitsPerSec = float64(reply.Units) / secs
-		}
-		reply.PassSkipRate, reply.PassSkipKnown = metrics.PassSkipRate(s.Reg)
-	}
-	s.writeJSON(w, reply)
+	s.writeJSON(w, NewProgressReply(s.Progress, s.Reg))
 }
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +259,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(s.Events.Seq(), 10))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	for _, e := range s.Events.TailSince(since) {
+		fmt.Fprintln(w, e.Line)
+	}
+}
+
+// handleTimeline serves the span recorder's tail as JSONL — the timeline
+// twin of /events, with the same resumable contract: since is the last span
+// sequence number the client has seen, the response carries only spans with
+// seq > since, and the current head seq rides the X-Dcelens-Last-Seq header
+// even when nothing new matches. Each line is one Chrome trace_event
+// object, so a client can accumulate lines into a Perfetto-loadable file.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			JSONError(w, http.StatusBadRequest, fmt.Sprintf("since=%q: must be a non-negative integer", v))
+			return
+		}
+		since = n
+	}
+	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(s.Spans.Seq(), 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range s.Spans.TailSince(since) {
 		fmt.Fprintln(w, e.Line)
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"dcelens/internal/harness"
 	"dcelens/internal/metrics"
+	"dcelens/internal/span"
 )
 
 // get performs one request against the server's mux and returns the
@@ -352,5 +353,94 @@ func TestPromName(t *testing.T) {
 	}
 	if got := promName("pass.dce-sweep"); got != "dcelens_pass_dce_sweep" {
 		t.Fatalf("promName = %q", got)
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	rec := span.New(io.Discard)
+	rec.KeepTail(16)
+	for i := 0; i < 5; i++ {
+		rec.Emit(span.Span{Name: "gcc-sim -O2", Cat: span.CatUnit, TID: 1,
+			Start: time.Now(), Dur: time.Millisecond,
+			Args: []span.Arg{span.Int("seed", i)}})
+	}
+	s := New("dce-test", nil, nil, nil)
+	s.Spans = rec
+
+	resp := get(t, s, "/timeline?since=3")
+	if ct := resp.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("timeline content type = %q", ct)
+	}
+	if got := resp.Header().Get("X-Dcelens-Last-Seq"); got != "5" {
+		t.Fatalf("last-seq header = %q, want 5", got)
+	}
+	lines := strings.Split(strings.TrimSpace(resp.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("since=3 returned %d lines, want 2: %q", len(lines), resp.Body.String())
+	}
+	// Each served line is one trace_event object a client can accumulate.
+	tr, err := span.Parse([]byte(lines[0] + "\n" + lines[1]))
+	if err != nil || len(tr.Events) != 2 {
+		t.Fatalf("served lines do not parse as trace events: %v", err)
+	}
+
+	if bad := get(t, s, "/timeline?since=-1"); bad.Code != http.StatusBadRequest {
+		t.Fatalf("since=-1 status = %d, want 400", bad.Code)
+	}
+	// No recorder attached: empty but valid.
+	none := get(t, New("dce-test", nil, nil, nil), "/timeline")
+	if none.Code != http.StatusOK || none.Body.Len() != 0 || none.Header().Get("X-Dcelens-Last-Seq") != "0" {
+		t.Fatalf("nil recorder timeline = %d %q", none.Code, none.Body.String())
+	}
+}
+
+// TestOccupancyAndDerivedGauges: worker occupancy (from the scheduler
+// probe's busy counters) reaches both /progress and the Prometheus text
+// exposition, alongside the derived throughput gauges.
+func TestOccupancyAndDerivedGauges(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter(metrics.CounterUnits).Add(10)
+	reg.Counter(metrics.CounterPassVisited).Add(50)
+	reg.Counter(metrics.CounterPassSkipped).Add(50)
+	p := harness.NewProgress(10, 2, reg)
+	time.Sleep(2 * time.Millisecond) // let elapsed > 0
+	// Pretend worker 0 was busy for roughly the whole elapsed window.
+	reg.Counter(metrics.WorkerBusyCounter(0)).Add(p.Elapsed().Nanoseconds())
+	s := New("dce-test", reg, p, nil)
+
+	var body ProgressReply
+	decode(t, get(t, s, "/progress"), &body)
+	if len(body.WorkerOccupancy) != 2 {
+		t.Fatalf("worker_occupancy = %v, want 2 entries", body.WorkerOccupancy)
+	}
+	if body.WorkerOccupancy[0] <= 0.5 || body.WorkerOccupancy[1] != 0 {
+		t.Fatalf("worker_occupancy = %v, want [~1, 0]", body.WorkerOccupancy)
+	}
+
+	text := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"# TYPE dcelens_units_per_sec gauge",
+		"# TYPE dcelens_pass_skip_rate gauge",
+		"dcelens_pass_skip_rate 0.5",
+		"# TYPE dcelens_worker_occupancy gauge",
+		`dcelens_worker_occupancy{worker="0"}`,
+		`dcelens_worker_occupancy{worker="1"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Deterministic registries keep occupancy out of every surface.
+	dreg := metrics.NewDeterministic()
+	dp := harness.NewProgress(10, 2, dreg)
+	ds := New("dce-test", dreg, dp, nil)
+	var dbody ProgressReply
+	decode(t, get(t, ds, "/progress"), &dbody)
+	if dbody.WorkerOccupancy != nil {
+		t.Fatalf("deterministic worker_occupancy = %v, want absent", dbody.WorkerOccupancy)
+	}
+	if dtext := get(t, ds, "/metrics").Body.String(); strings.Contains(dtext, "worker_occupancy") {
+		t.Fatalf("deterministic exposition leaked occupancy:\n%s", dtext)
 	}
 }

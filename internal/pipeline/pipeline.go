@@ -119,6 +119,16 @@ func (c *Config) CompileMetered(m *ir.Module, obs opt.Observer, reg *metrics.Reg
 	return c.CompileObserved(m, opt.Observers(obs, opt.MetricsObserver(reg)))
 }
 
+// CompileProbed is CompileMetered with a phase probe observing the
+// middle-end run's own wall-clock extent (the span timeline's "opt" phase
+// span). A nil probe degrades to CompileMetered exactly.
+func (c *Config) CompileProbed(m *ir.Module, obs opt.Observer, reg *metrics.Registry, probe metrics.PhaseProbe) error {
+	start := probe.Start()
+	err := c.CompileMetered(m, obs, reg)
+	probe.Observe(metrics.PhaseOpt, start)
+	return err
+}
+
 // New returns the personality at the latest version for the given level.
 func New(p Personality, lvl Level) *Config {
 	return AtCommit(p, lvl, len(History(p)))

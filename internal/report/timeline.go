@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcelens/internal/span"
+)
+
+// Timeline renders an analyzed span trace (span.Analyze) in the report
+// style: the critical path through the campaign's wall clock, per-worker
+// occupancy, the scheduler wait totals, and the slowest (seed, config)
+// units. For a deterministic trace every wall-clock value renders as "-"
+// and the wall-dependent tables (critical path, workers) are omitted — the
+// remaining output is a pure function of the campaign configuration, so
+// two identical runs render byte-identically.
+func Timeline(p *span.Profile) string {
+	var sb strings.Builder
+	mode := "wall"
+	if p.Deterministic {
+		mode = "deterministic"
+	}
+	fmt.Fprintf(&sb, "Timeline profile (%d spans, %s, wall %s)\n",
+		p.Spans, mode, tlDur(p.Deterministic, p.WallUs))
+
+	if len(p.CriticalPath) > 0 {
+		fmt.Fprintf(&sb, "\nCritical path (%d segments, idle %s)\n", len(p.CriticalPath), tlDur(p.Deterministic, p.IdleUs))
+		fmt.Fprintf(&sb, "%-44s %10s %7s\n", "Segment", "time", "%wall")
+		for _, e := range p.CriticalPath {
+			fmt.Fprintf(&sb, "%-44s %10s %6.1f%%\n", e.Label, tlDur(false, e.Us), 100*e.Share)
+		}
+		if p.IdleUs > 0 && p.WallUs > 0 {
+			fmt.Fprintf(&sb, "%-44s %10s %6.1f%%\n", "(idle)", tlDur(false, p.IdleUs),
+				100*float64(p.IdleUs)/float64(p.WallUs))
+		}
+	}
+
+	if len(p.Workers) > 0 {
+		fmt.Fprintf(&sb, "\nWorker occupancy (%d workers)\n", len(p.Workers))
+		fmt.Fprintf(&sb, "%-8s %6s %10s %10s %7s\n", "Worker", "items", "busy", "idle", "util")
+		for _, u := range p.Workers {
+			fmt.Fprintf(&sb, "%-8d %6d %10s %10s %6.1f%%\n",
+				u.TID-1, u.Items, tlDur(false, u.BusyUs), tlDur(false, u.IdleUs), 100*u.Util)
+		}
+	}
+
+	if p.QueueWait.Count > 0 || p.SeqStall.Count > 0 {
+		sb.WriteString("\nScheduler waits\n")
+		fmt.Fprintf(&sb, "%-12s %8s %10s %10s\n", "Kind", "spans", "total", "max")
+		for _, w := range []struct {
+			name string
+			s    span.WaitStats
+		}{{"queue-wait", p.QueueWait}, {"seq-stall", p.SeqStall}} {
+			if w.s.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-12s %8d %10s %10s\n", w.name, w.s.Count,
+				tlDur(p.Deterministic, w.s.TotalUs), tlDur(p.Deterministic, w.s.MaxUs))
+		}
+	}
+
+	if len(p.Units) > 0 {
+		title := "Slowest units"
+		if p.Deterministic {
+			title = "Units (trace order)"
+		}
+		fmt.Fprintf(&sb, "\n%s (%d)\n", title, len(p.Units))
+		fmt.Fprintf(&sb, "%-10s %-20s %-6s %10s %7s\n", "Seed", "Config", "ok", "time", "%wall")
+		for _, u := range p.Units {
+			fmt.Fprintf(&sb, "%-10s %-20s %-6t %10s %7s\n",
+				u.Seed, u.Config, u.Ok, tlDur(p.Deterministic, u.Us), tlShare(p.Deterministic, u.Us, p.WallUs))
+		}
+	}
+	return sb.String()
+}
+
+// tlDur formats a microsecond count, or the redaction placeholder in
+// deterministic mode (matching the metrics report's convention).
+func tlDur(deterministic bool, us int64) string {
+	if deterministic {
+		return "-"
+	}
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// tlShare formats us as a percentage of total, redacted in deterministic
+// mode.
+func tlShare(deterministic bool, us, total int64) string {
+	if deterministic {
+		return "-"
+	}
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(us)/float64(total))
+}

@@ -30,28 +30,52 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Job is one fork-join work stream. Prepare reports how many units follow
 // (0 skips straight to Finalize); each Unit call receives its index in
-// [0, units); Finalize runs after the last unit completes. A stage that
-// returns an error (or panics) fails the job: its remaining stages are
-// skipped, and Run returns the error.
+// [0, units); Finalize runs after the last unit completes. Every stage
+// receives the index of the worker executing it (the span timeline's
+// track). A stage that returns an error (or panics) fails the job: its
+// remaining stages are skipped, and Run returns the error.
 type Job struct {
-	Prepare  func() (units int, err error)
-	Unit     func(u int) error
-	Finalize func() error
+	Prepare  func(w int) (units int, err error)
+	Unit     func(w, u int) error
+	Finalize func(w int) error
 }
 
-// prepareStage orders a job's prepare item ahead of its units in the ready
-// queue.
-const prepareStage = -1
+// PrepareStage and FinalizeStage are the pseudo-unit indices a Probe sees
+// for a job's prepare and finalize items. PrepareStage also orders a job's
+// prepare ahead of its units in the ready queue.
+const (
+	PrepareStage  = -1
+	FinalizeStage = -2
+)
 
-// item is one ready queue entry: a job's prepare (unit == prepareStage) or
-// one of its units.
+// Probe observes the engine's scheduling decisions — the raw material of
+// worker-occupancy accounting and the sched spans of the timeline. An
+// implementation must be safe for concurrent use; calls happen outside the
+// engine lock, on the worker goroutine involved. A nil Pool.Probe costs
+// nothing.
+type Probe interface {
+	// ItemRun reports one executed item: the worker that ran it, the job,
+	// the unit index (PrepareStage / FinalizeStage for the envelope
+	// stages), when the item became ready, when the worker picked it up,
+	// and when it finished. ready == start for finalize items (they run
+	// inline after the last unit, never queued).
+	ItemRun(worker, job, unit int, ready, start, end time.Time)
+	// WorkerIdle reports one idle episode: worker had nothing to run
+	// between start and end.
+	WorkerIdle(worker int, start, end time.Time)
+}
+
+// item is one ready queue entry: a job's prepare (unit == PrepareStage) or
+// one of its units. ready is stamped only when a probe is attached.
 type item struct {
-	job  int
-	unit int
+	job   int
+	unit  int
+	ready time.Time
 }
 
 // itemHeap orders ready items by (job, stage): earlier jobs first, a job's
@@ -90,16 +114,27 @@ type engine struct {
 	active int // items currently executing on workers
 	jobs   []*jobState
 	errs   []error
+	probe  Probe
+}
+
+// Pool configures an engine run: the worker bound and an optional
+// scheduling probe.
+type Pool struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Probe, when non-nil, observes every executed item and idle episode.
+	Probe Probe
 }
 
 // Run executes jobs 0..jobs-1, built on demand by build, on at most
-// workers concurrent goroutines (workers <= 0 means GOMAXPROCS). It
-// returns after every job has either finished or failed; the result is the
-// first failed job's error in job order, or nil.
-func Run(workers, jobs int, build func(i int) *Job) error {
+// Workers concurrent goroutines. It returns after every job has either
+// finished or failed; the result is the first failed job's error in job
+// order, or nil.
+func (p Pool) Run(jobs int, build func(i int) *Job) error {
 	if jobs <= 0 {
 		return nil
 	}
+	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -107,22 +142,27 @@ func Run(workers, jobs int, build func(i int) *Job) error {
 		workers = jobs
 	}
 	e := &engine{
-		jobs: make([]*jobState, jobs),
-		errs: make([]error, jobs),
+		jobs:  make([]*jobState, jobs),
+		errs:  make([]error, jobs),
+		probe: p.Probe,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.ready = make(itemHeap, 0, jobs)
+	var ready time.Time
+	if e.probe != nil {
+		ready = time.Now()
+	}
 	for i := 0; i < jobs; i++ {
 		e.jobs[i] = &jobState{job: build(i)}
-		heap.Push(&e.ready, item{job: i, unit: prepareStage})
+		heap.Push(&e.ready, item{job: i, unit: PrepareStage, ready: ready})
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			e.worker()
-		}()
+			e.worker(w)
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range e.errs {
@@ -133,23 +173,38 @@ func Run(workers, jobs int, build func(i int) *Job) error {
 	return nil
 }
 
+// Run executes jobs on an unprobed pool — the plain form most callers use.
+func Run(workers, jobs int, build func(i int) *Job) error {
+	return Pool{Workers: workers}.Run(jobs, build)
+}
+
 // worker pulls ready items until no work remains. The pool is quiescent —
 // and every worker exits — exactly when the queue is empty and nothing is
 // executing, since only executing items enqueue new ones.
-func (e *engine) worker() {
+func (e *engine) worker(w int) {
 	e.mu.Lock()
 	for {
+		var idleStart time.Time
 		for len(e.ready) == 0 && e.active > 0 {
+			if e.probe != nil && idleStart.IsZero() {
+				idleStart = time.Now()
+			}
 			e.cond.Wait()
 		}
 		if len(e.ready) == 0 {
 			e.mu.Unlock()
+			if !idleStart.IsZero() {
+				e.probe.WorkerIdle(w, idleStart, time.Now())
+			}
 			return
 		}
 		it := heap.Pop(&e.ready).(item)
 		e.active++
 		e.mu.Unlock()
-		e.run(it)
+		if !idleStart.IsZero() {
+			e.probe.WorkerIdle(w, idleStart, time.Now())
+		}
+		e.run(it, w)
 		e.mu.Lock()
 		e.active--
 		if e.active == 0 && len(e.ready) == 0 {
@@ -160,34 +215,48 @@ func (e *engine) worker() {
 
 // run executes one item outside the engine lock and requeues the work it
 // unlocks: a prepared job's units, or (inline) a drained job's finalize.
-func (e *engine) run(it item) {
+func (e *engine) run(it item, w int) {
 	js := e.jobs[it.job]
-	if it.unit == prepareStage {
+	var start time.Time
+	if e.probe != nil {
+		start = time.Now()
+	}
+	if it.unit == PrepareStage {
 		var units int
 		err := capture(it.job, "prepare", func() (err error) {
-			units, err = js.job.Prepare()
+			units, err = js.job.Prepare(w)
 			return err
 		})
+		if e.probe != nil {
+			e.probe.ItemRun(w, it.job, PrepareStage, it.ready, start, time.Now())
+		}
 		if err != nil {
 			e.fail(it.job, err)
 			return
 		}
 		if units <= 0 {
-			e.finalize(it.job)
+			e.finalize(it.job, w)
 			return
+		}
+		var ready time.Time
+		if e.probe != nil {
+			ready = time.Now()
 		}
 		e.mu.Lock()
 		js.pending = units
 		for u := 0; u < units; u++ {
-			heap.Push(&e.ready, item{job: it.job, unit: u})
+			heap.Push(&e.ready, item{job: it.job, unit: u, ready: ready})
 		}
 		e.cond.Broadcast()
 		e.mu.Unlock()
 		return
 	}
 	err := capture(it.job, fmt.Sprintf("unit %d", it.unit), func() error {
-		return js.job.Unit(it.unit)
+		return js.job.Unit(w, it.unit)
 	})
+	if e.probe != nil {
+		e.probe.ItemRun(w, it.job, it.unit, it.ready, start, time.Now())
+	}
 	e.mu.Lock()
 	if err != nil {
 		if e.errs[it.job] == nil {
@@ -200,16 +269,24 @@ func (e *engine) run(it item) {
 	failed := js.failed
 	e.mu.Unlock()
 	if last && !failed {
-		e.finalize(it.job)
+		e.finalize(it.job, w)
 	}
 }
 
 // finalize runs a job's Finalize on the current worker.
-func (e *engine) finalize(j int) {
+func (e *engine) finalize(j, w int) {
 	if e.jobs[j].job.Finalize == nil {
 		return
 	}
-	if err := capture(j, "finalize", e.jobs[j].job.Finalize); err != nil {
+	var start time.Time
+	if e.probe != nil {
+		start = time.Now()
+	}
+	err := capture(j, "finalize", func() error { return e.jobs[j].job.Finalize(w) })
+	if e.probe != nil {
+		e.probe.ItemRun(w, j, FinalizeStage, start, start, time.Now())
+	}
+	if err != nil {
 		e.fail(j, err)
 	}
 }

@@ -26,18 +26,18 @@ func TestEngineRunsEveryStage(t *testing.T) {
 			}
 			err := Run(workers, jobs, func(i int) *Job {
 				return &Job{
-					Prepare: func() (int, error) {
+					Prepare: func(int) (int, error) {
 						prepared[i].Store(true)
 						return units, nil
 					},
-					Unit: func(u int) error {
+					Unit: func(_, u int) error {
 						if !prepared[i].Load() {
 							t.Errorf("job %d unit %d ran before prepare", i, u)
 						}
 						unitRuns[i][u].Add(1)
 						return nil
 					},
-					Finalize: func() error {
+					Finalize: func(int) error {
 						for u := range unitRuns[i] {
 							if n := unitRuns[i][u].Load(); n != 1 {
 								t.Errorf("job %d finalize saw unit %d run %d times", i, u, n)
@@ -66,9 +66,9 @@ func TestEngineZeroUnits(t *testing.T) {
 	var finalized atomic.Int32
 	err := Run(2, 3, func(i int) *Job {
 		return &Job{
-			Prepare:  func() (int, error) { return 0, nil },
-			Unit:     func(u int) error { t.Errorf("job %d ran unit %d", i, u); return nil },
-			Finalize: func() error { finalized.Add(1); return nil },
+			Prepare:  func(int) (int, error) { return 0, nil },
+			Unit:     func(_, u int) error { t.Errorf("job %d ran unit %d", i, u); return nil },
+			Finalize: func(int) error { finalized.Add(1); return nil },
 		}
 	})
 	if err != nil {
@@ -97,9 +97,9 @@ func TestEngineWorkerBound(t *testing.T) {
 			cur.Add(-1)
 		}
 		return &Job{
-			Prepare:  func() (int, error) { busy(); return 2, nil },
-			Unit:     func(int) error { busy(); return nil },
-			Finalize: func() error { busy(); return nil },
+			Prepare:  func(int) (int, error) { busy(); return 2, nil },
+			Unit:     func(int, int) error { busy(); return nil },
+			Finalize: func(int) error { busy(); return nil },
 		}
 	})
 	if err != nil {
@@ -117,14 +117,14 @@ func TestEngineErrorIsolation(t *testing.T) {
 	var finals sync.Map
 	err := Run(4, 6, func(i int) *Job {
 		return &Job{
-			Prepare: func() (int, error) { return 2, nil },
-			Unit: func(u int) error {
+			Prepare: func(int) (int, error) { return 2, nil },
+			Unit: func(_, u int) error {
 				if i == 3 && u == 1 {
 					return fmt.Errorf("job %d: %w", i, boom)
 				}
 				return nil
 			},
-			Finalize: func() error { finals.Store(i, true); return nil },
+			Finalize: func(int) error { finals.Store(i, true); return nil },
 		}
 	})
 	if !errors.Is(err, boom) {
@@ -148,14 +148,14 @@ func TestEngineWorkerDeath(t *testing.T) {
 	var finalized atomic.Int32
 	err := Run(4, 8, func(i int) *Job {
 		return &Job{
-			Prepare: func() (int, error) { return 3, nil },
-			Unit: func(u int) error {
+			Prepare: func(int) (int, error) { return 3, nil },
+			Unit: func(_, u int) error {
 				if i == 2 && u == 1 {
 					panic("worker died mid-unit")
 				}
 				return nil
 			},
-			Finalize: func() error { finalized.Add(1); return nil },
+			Finalize: func(int) error { finalized.Add(1); return nil },
 		}
 	})
 	if err == nil || !strings.Contains(err.Error(), "panic: worker died mid-unit") {
@@ -176,17 +176,17 @@ func TestEnginePrepareError(t *testing.T) {
 	var units, finals atomic.Int32
 	err := Run(2, 4, func(i int) *Job {
 		return &Job{
-			Prepare: func() (int, error) {
+			Prepare: func(int) (int, error) {
 				if i == 1 {
 					return 5, boom
 				}
 				return 1, nil
 			},
-			Unit: func(int) error {
+			Unit: func(int, int) error {
 				units.Add(1)
 				return nil
 			},
-			Finalize: func() error { finals.Add(1); return nil },
+			Finalize: func(int) error { finals.Add(1); return nil },
 		}
 	})
 	if !errors.Is(err, boom) {
@@ -202,14 +202,14 @@ func TestEnginePrepareError(t *testing.T) {
 func TestEngineFirstErrorInJobOrder(t *testing.T) {
 	err := Run(4, 6, func(i int) *Job {
 		return &Job{
-			Prepare: func() (int, error) { return 1, nil },
-			Unit: func(int) error {
+			Prepare: func(int) (int, error) { return 1, nil },
+			Unit: func(int, int) error {
 				if i%2 == 1 {
 					return fmt.Errorf("job %d failed", i)
 				}
 				return nil
 			},
-			Finalize: func() error { return nil },
+			Finalize: func(int) error { return nil },
 		}
 	})
 	if err == nil || err.Error() != "job 1 failed" {
@@ -325,5 +325,99 @@ func TestShardPartition(t *testing.T) {
 	var zero Shard
 	if !zero.Member(5) || zero.Size(10) != 10 || zero.Sharded() || zero.String() != "0/1" {
 		t.Error("zero shard must behave as the unsharded campaign")
+	}
+}
+
+// probeRecord is one ItemRun observation.
+type probeRecord struct {
+	worker, job, unit int
+	ready, start, end time.Time
+}
+
+type recordingProbe struct {
+	mu    sync.Mutex
+	items []probeRecord
+	idles int
+}
+
+func (p *recordingProbe) ItemRun(worker, job, unit int, ready, start, end time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.items = append(p.items, probeRecord{worker, job, unit, ready, start, end})
+}
+
+func (p *recordingProbe) WorkerIdle(worker int, start, end time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idles++
+}
+
+// TestPoolProbe: every scheduled item (prepare, each unit, finalize) is
+// reported exactly once with sane timestamps, and worker indexes stay in
+// range.
+func TestPoolProbe(t *testing.T) {
+	const jobs, units, workers = 4, 3, 2
+	probe := &recordingProbe{}
+	err := Pool{Workers: workers, Probe: probe}.Run(jobs, func(i int) *Job {
+		return &Job{
+			Prepare:  func(int) (int, error) { time.Sleep(time.Millisecond); return units, nil },
+			Unit:     func(int, int) error { time.Sleep(time.Millisecond); return nil },
+			Finalize: func(int) error { return nil },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]int{}
+	for _, it := range probe.items {
+		if it.worker < 0 || it.worker >= workers {
+			t.Errorf("worker %d out of range", it.worker)
+		}
+		if it.start.Before(it.ready) || it.end.Before(it.start) {
+			t.Errorf("item %+v: want ready <= start <= end", it)
+		}
+		seen[[2]int{it.job, it.unit}]++
+	}
+	for j := 0; j < jobs; j++ {
+		stages := []int{PrepareStage, FinalizeStage, 0, 1, 2}
+		for _, u := range stages {
+			if n := seen[[2]int{j, u}]; n != 1 {
+				t.Errorf("job %d stage %d reported %d times, want 1", j, u, n)
+			}
+		}
+	}
+	if len(probe.items) != jobs*(units+2) {
+		t.Errorf("items = %d, want %d", len(probe.items), jobs*(units+2))
+	}
+}
+
+// TestSequencerStall: the Stall hook fires for slots that completed ahead
+// of the frontier and stays silent for slots flushed immediately.
+func TestSequencerStall(t *testing.T) {
+	s := NewSequencer()
+	var mu sync.Mutex
+	stalled := map[int]time.Duration{}
+	s.Stall = func(slot int, parked, flushed time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		stalled[slot] = flushed.Sub(parked)
+	}
+	s.Done(2, nil) // parks behind slots 0 and 1
+	s.Done(1, nil) // parks behind slot 0
+	time.Sleep(2 * time.Millisecond)
+	s.Done(0, nil) // in order: flushes 0,1,2; never parked itself
+	if s.Flushed() != 3 {
+		t.Fatalf("frontier = %d, want 3", s.Flushed())
+	}
+	if _, ok := stalled[0]; ok {
+		t.Error("slot 0 flushed at the frontier; must not report a stall")
+	}
+	for _, slot := range []int{1, 2} {
+		d, ok := stalled[slot]
+		if !ok {
+			t.Errorf("slot %d parked but reported no stall", slot)
+		} else if d < time.Millisecond {
+			t.Errorf("slot %d stall = %v, want >= ~2ms of parking", slot, d)
+		}
 	}
 }

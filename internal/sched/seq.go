@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Sequencer is a reorder buffer for side effects: work completes in any
@@ -17,14 +18,21 @@ import (
 // runs every action the frontier can now reach, on its own goroutine.
 // Actions therefore run serially and in order, under the sequencer's lock.
 type Sequencer struct {
+	// Stall, when non-nil, observes every reorder-buffer stall: a slot
+	// that completed ahead of the frontier and had to park reports how
+	// long it sat between parking and flushing. Called under the
+	// sequencer's lock, in flush order; set before the first Done.
+	Stall func(slot int, parked, flushed time.Time)
+
 	mu      sync.Mutex
 	next    int
 	pending map[int]func()
+	parked  map[int]time.Time
 }
 
 // NewSequencer returns a sequencer with its frontier at slot 0.
 func NewSequencer() *Sequencer {
-	return &Sequencer{pending: map[int]func(){}}
+	return &Sequencer{pending: map[int]func(){}, parked: map[int]time.Time{}}
 }
 
 // Done marks slot complete with an optional flush action (nil just
@@ -41,12 +49,19 @@ func (s *Sequencer) Done(slot int, flush func()) {
 		panic(fmt.Sprintf("sched: sequencer: slot %d completed twice", slot))
 	}
 	s.pending[slot] = flush
+	if s.Stall != nil && slot != s.next {
+		s.parked[slot] = time.Now()
+	}
 	for {
 		f, ok := s.pending[s.next]
 		if !ok {
 			return
 		}
 		delete(s.pending, s.next)
+		if t, stalled := s.parked[s.next]; stalled {
+			delete(s.parked, s.next)
+			s.Stall(s.next, t, time.Now())
+		}
 		s.next++
 		if f != nil {
 			f()

@@ -7,6 +7,8 @@
 //	GET  /jobs/{id}         one job's status (state machine + progress)
 //	POST /jobs/{id}/cancel  cancel a queued job / stop a running one
 //	GET  /jobs/{id}/events  the job's event-log tail (?since=N resumes)
+//	GET  /jobs/{id}/timeline  the job's span-timeline tail (?since=N resumes)
+//	GET  /jobs/{id}/progress  the job's live progress (monitor /progress shape)
 //	GET  /jobs/{id}/findings  findings discovered so far
 //	GET  /jobs/{id}/report  the finished job's campaign report (text)
 //	GET  /healthz           ok | degraded (queue full) | draining
@@ -50,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /jobs/{id}/findings", s.handleFindings)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -156,6 +160,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for _, e := range log.TailSince(since) {
 		fmt.Fprintln(w, e.Line)
 	}
+}
+
+// handleTimeline mirrors the monitor's /timeline contract per job: an
+// ndjson tail of trace_event lines with seq > since, the head seq in
+// X-Dcelens-Last-Seq.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			monitor.JSONError(w, http.StatusBadRequest, fmt.Sprintf("since=%q: must be a non-negative integer", v))
+			return
+		}
+		since = n
+	}
+	rec := j.Spans()
+	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(rec.Seq(), 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range rec.TailSince(since) {
+		fmt.Fprintln(w, e.Line)
+	}
+}
+
+// handleProgress serves the monitor's /progress reply for one job's
+// current attempt, so a dashboard pointed at either surface reads the same
+// shape.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, monitor.NewProgressReply(j.Progress(), j.Registry()))
 }
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dcelens/internal/monitor"
+	"dcelens/internal/span"
 )
 
 func newTestServer(t *testing.T, l Limits, start bool) (*Server, *Engine) {
@@ -242,5 +245,81 @@ func TestHTTPCancel(t *testing.T) {
 	decodeBody(t, do(t, s, http.MethodPost, "/jobs/job-1/cancel", ""), &st)
 	if st.State != StateCancelled {
 		t.Fatalf("cancelled state = %s, want cancelled", st.State)
+	}
+}
+
+// TestHTTPProgressAndTimeline: the per-job progress and span-timeline
+// endpoints — S2's GET /jobs/{id}/progress serves the monitor's reply
+// shape, and /jobs/{id}/timeline serves a resumable trace_event tail that
+// survives the whole job lifecycle.
+func TestHTTPProgressAndTimeline(t *testing.T) {
+	s, _ := newTestServer(t, Limits{Executors: 1}, true)
+
+	rec := do(t, s, http.MethodPost, "/jobs",
+		`{"programs": 2, "base_seed": 1, "personalities": ["gcc"], "levels": ["O1"]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", rec.Code, rec.Body.String())
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var st Status
+	for {
+		decodeBody(t, do(t, s, http.MethodGet, "/jobs/job-1", ""), &st)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job = %+v, want done", st)
+	}
+
+	var prog monitor.ProgressReply
+	pr := do(t, s, http.MethodGet, "/jobs/job-1/progress", "")
+	if pr.Code != http.StatusOK {
+		t.Fatalf("progress = %d (%s)", pr.Code, pr.Body.String())
+	}
+	decodeBody(t, pr, &prog)
+	if prog.SeedsTotal != 2 || prog.SeedsDone != 2 || prog.Units == 0 {
+		t.Fatalf("progress = %+v, want 2/2 seeds with units counted", prog)
+	}
+	// Job registries are deterministic; occupancy must stay absent.
+	if prog.WorkerOccupancy != nil {
+		t.Fatalf("worker_occupancy = %v, want absent for a deterministic job registry", prog.WorkerOccupancy)
+	}
+
+	tl := do(t, s, http.MethodGet, "/jobs/job-1/timeline?since=0", "")
+	if tl.Code != http.StatusOK || tl.Header().Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("timeline = %d, content type %q", tl.Code, tl.Header().Get("Content-Type"))
+	}
+	if tl.Header().Get("X-Dcelens-Last-Seq") == "0" {
+		t.Fatal("timeline recorded nothing")
+	}
+	tr, err := span.Parse(tl.Body.Bytes())
+	if err != nil {
+		t.Fatalf("timeline tail does not parse as trace events: %v", err)
+	}
+	var units, attempts int
+	for _, e := range tr.Events {
+		switch e.Cat {
+		case span.CatUnit:
+			units++
+		case span.CatJob:
+			if e.Name == "attempt" {
+				attempts++
+			}
+		}
+	}
+	if units != 2 || attempts != 1 {
+		t.Fatalf("timeline has %d unit spans and %d attempt spans, want 2 and 1", units, attempts)
+	}
+
+	if bad := do(t, s, http.MethodGet, "/jobs/job-1/timeline?since=x", ""); bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", bad.Code)
+	}
+	if missing := do(t, s, http.MethodGet, "/jobs/nope/progress", ""); missing.Code != http.StatusNotFound {
+		t.Fatalf("unknown job progress = %d, want 404", missing.Code)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"dcelens/internal/metrics"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/report"
+	"dcelens/internal/span"
 )
 
 // State is a job's lifecycle state.
@@ -172,7 +173,8 @@ type Limits struct {
 	// HistoryDir, when set, receives a fingerprinted history snapshot for
 	// every job that reaches StateDone, so dce-trend diffs across jobs.
 	HistoryDir string
-	// EventTail is the per-job event-log ring size (default 4096).
+	// EventTail is the per-job event-log ring size (default 4096). The
+	// per-job span-timeline ring is sized the same.
 	EventTail int
 }
 
@@ -516,6 +518,7 @@ type Job struct {
 	Spec Spec
 
 	events *metrics.EventLog   // shared across attempts: one resumable seq stream
+	spans  *span.Recorder      // shared across attempts: one resumable timeline
 	cp     *harness.Checkpoint // shared across attempts: the retry source
 
 	mu        sync.Mutex
@@ -538,6 +541,13 @@ func newJob(id string, spec Spec, l *Limits) *Job {
 	j := &Job{ID: id, Spec: spec, state: StateQueued}
 	j.events = metrics.NewEventLog(io.Discard)
 	j.events.KeepTail(l.EventTail)
+	// The timeline recorder is wall-mode (real timings are the point of
+	// /jobs/{id}/timeline) and write-discarded: only the tail ring matters.
+	// The job's campaign registry stays deterministic regardless — the
+	// scheduler probe keeps wall-clock occupancy out of deterministic
+	// registries on its own.
+	j.spans = span.New(io.Discard)
+	j.spans.KeepTail(l.EventTail)
 	j.checkpath = spec.Checkpoint
 	if j.checkpath == "" && l.WorkDir != "" {
 		j.checkpath = filepath.Join(l.WorkDir, id+".checkpoint.json")
@@ -557,6 +567,9 @@ func (j *Job) State() State {
 
 // Events is the job's event log (its tail backs /jobs/{id}/events).
 func (j *Job) Events() *metrics.EventLog { return j.events }
+
+// Spans is the job's span timeline (its tail backs /jobs/{id}/timeline).
+func (j *Job) Spans() *span.Recorder { return j.spans }
 
 // Progress is the live view of the current attempt (nil before the first).
 func (j *Job) Progress() *harness.Progress {
@@ -681,6 +694,7 @@ func (j *Job) run(e *Engine, attempt int) (*corpus.Campaign, error) {
 		Checkpoint:      cp,
 		Metrics:         reg,
 		Events:          j.events,
+		Spans:           j.spans,
 		Progress:        progress,
 		Deadline:        deadline,
 		Stop: func() bool {
@@ -698,6 +712,16 @@ func (j *Job) run(e *Engine, attempt int) (*corpus.Campaign, error) {
 			}
 		}
 	}
+	// The attempt envelope goes on the timeline even when the campaign
+	// inside it panics — that is exactly when an operator reads it.
+	astart := time.Now()
+	defer func() {
+		j.spans.Emit(span.Span{
+			Name: "attempt", Cat: span.CatJob, TID: 0,
+			Start: astart, Dur: time.Since(astart),
+			Args: []span.Arg{span.Str("job", j.ID), span.Int("attempt", attempt)},
+		})
+	}()
 	return corpus.Run(opts)
 }
 

@@ -1,0 +1,280 @@
+// Trace parsing and critical-path analysis: the offline half of the span
+// subsystem, consumed by cmd/dce-prof and rendered by internal/report.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Event is one parsed trace_event record.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"` // microseconds
+	Dur  int64             `json:"dur"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// End returns the event's closing timestamp in microseconds.
+func (e *Event) End() int64 { return e.Ts + e.Dur }
+
+// Trace is a parsed span timeline.
+type Trace struct {
+	// Deterministic is true when the trace's metadata record declares
+	// deterministic mode (every wall-clock field redacted to zero).
+	Deterministic bool
+	// Events holds the complete ("X") spans in file order — which, for the
+	// logical categories, is the corpus's deterministic slot order.
+	Events []Event
+}
+
+// ParseFile reads and parses a trace written by a Recorder.
+func ParseFile(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Parse parses trace_event JSON. It accepts the Recorder's append-friendly
+// form — one object per line, trailing commas, no closing bracket — as
+// well as a complete well-formed JSON array.
+func Parse(data []byte) (*Trace, error) {
+	text := strings.TrimSpace(string(data))
+	text = strings.TrimPrefix(text, "[")
+	text = strings.TrimSuffix(text, "]")
+	t := &Trace{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ","))
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("span: line %d: %v", ln+1, err)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Args["mode"] == "deterministic" {
+				t.Deterministic = true
+			}
+		case "X":
+			t.Events = append(t.Events, e)
+		}
+	}
+	return t, nil
+}
+
+// PathEntry is one critical-path row: a work span (or the synthetic idle
+// row) and the share of the trace's wall clock attributed to it.
+type PathEntry struct {
+	Label string
+	Us    int64
+	Share float64 // of the trace's wall extent
+}
+
+// WorkerUtil is one worker's occupancy over the trace extent.
+type WorkerUtil struct {
+	TID    int
+	Items  int // scheduler items executed
+	BusyUs int64
+	IdleUs int64
+	Util   float64 // BusyUs over the trace extent
+}
+
+// WaitStats aggregates one family of scheduler wait spans.
+type WaitStats struct {
+	Count   int
+	TotalUs int64
+	MaxUs   int64
+}
+
+// UnitCost is one (seed, config) unit's cost row.
+type UnitCost struct {
+	Seed   string
+	Config string
+	Ok     bool
+	Us     int64
+}
+
+// Profile is the analyzed form of a trace: what dce-prof renders.
+type Profile struct {
+	Deterministic bool
+	Spans         int   // complete events in the trace
+	WallUs        int64 // extent: max end minus min start over work spans
+	// CriticalPath walks backward from the last-finishing work span,
+	// attributing every microsecond of the extent either to a work span or
+	// to IdleUs (no work span covered it: scheduler idle or stall).
+	CriticalPath []PathEntry
+	IdleUs       int64
+	Workers      []WorkerUtil
+	QueueWait    WaitStats
+	SeqStall     WaitStats
+	Units        []UnitCost
+}
+
+// workSpan selects the leaf work spans the critical path walks over: a seed's
+// prepare/finalize stages and its (seed, config) units. Phase and pass
+// spans nest inside these; scheduler spans describe waiting, not work.
+func workSpan(e *Event) bool { return e.Cat == CatSeed || e.Cat == CatUnit }
+
+// Analyze reduces a trace to its profile. topK bounds the slowest-units
+// table (<= 0 keeps every unit). Deterministic traces carry no wall-clock
+// information: the critical path and worker tables are empty, and the unit
+// table lists every unit in trace (slot) order with zero cost — rendered
+// redacted, it is byte-identical across runs.
+func Analyze(t *Trace, topK int) *Profile {
+	p := &Profile{Deterministic: t.Deterministic, Spans: len(t.Events)}
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch {
+		case e.Cat == CatUnit:
+			p.Units = append(p.Units, UnitCost{
+				Seed:   e.Args["seed"],
+				Config: e.Name,
+				Ok:     e.Args["ok"] != "false",
+				Us:     e.Dur,
+			})
+		case e.Cat == CatSched && e.Name == "queue-wait":
+			observeWait(&p.QueueWait, e.Dur)
+		case e.Cat == CatSched && e.Name == "seq-stall":
+			observeWait(&p.SeqStall, e.Dur)
+		}
+	}
+	if !t.Deterministic {
+		p.analyzeWall(t)
+		sort.SliceStable(p.Units, func(i, j int) bool { return p.Units[i].Us > p.Units[j].Us })
+	}
+	if topK > 0 && len(p.Units) > topK {
+		p.Units = p.Units[:topK]
+	}
+	return p
+}
+
+func observeWait(w *WaitStats, us int64) {
+	w.Count++
+	w.TotalUs += us
+	if us > w.MaxUs {
+		w.MaxUs = us
+	}
+}
+
+// analyzeWall computes the wall-clock tables: trace extent, per-worker
+// utilization, and the critical path.
+func (p *Profile) analyzeWall(t *Trace) {
+	var work []*Event
+	byTID := map[int]*WorkerUtil{}
+	worker := func(tid int) *WorkerUtil {
+		u := byTID[tid]
+		if u == nil {
+			u = &WorkerUtil{TID: tid}
+			byTID[tid] = u
+		}
+		return u
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if workSpan(e) {
+			work = append(work, e)
+		}
+		if e.Cat == CatSched {
+			switch e.Name {
+			case "busy":
+				u := worker(e.TID)
+				u.Items++
+				u.BusyUs += e.Dur
+			case "idle":
+				worker(e.TID).IdleUs += e.Dur
+			}
+		}
+	}
+	if len(work) == 0 {
+		return
+	}
+	origin, end := work[0].Ts, work[0].End()
+	for _, e := range work[1:] {
+		if e.Ts < origin {
+			origin = e.Ts
+		}
+		if e.End() > end {
+			end = e.End()
+		}
+	}
+	p.WallUs = end - origin
+
+	for _, u := range byTID {
+		if p.WallUs > 0 {
+			u.Util = float64(u.BusyUs) / float64(p.WallUs)
+		}
+		p.Workers = append(p.Workers, *u)
+	}
+	sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].TID < p.Workers[j].TID })
+
+	// Backward walk: from the trace's end, repeatedly credit the work span
+	// that reaches furthest toward the cursor, then jump to its start. Time
+	// no span covers is idle (the scheduler had nothing ready, or the
+	// sequencer was the only thing running).
+	credit := map[*Event]int64{}
+	cursor := end
+	for cursor > origin {
+		var best *Event
+		var bestEnd int64
+		for _, e := range work {
+			if e.Ts >= cursor {
+				continue
+			}
+			clipped := e.End()
+			if clipped > cursor {
+				clipped = cursor
+			}
+			if best == nil || clipped > bestEnd || (clipped == bestEnd && e.Ts < best.Ts) {
+				best, bestEnd = e, clipped
+			}
+		}
+		if best == nil {
+			p.IdleUs += cursor - origin
+			break
+		}
+		if bestEnd < cursor {
+			p.IdleUs += cursor - bestEnd
+		}
+		credit[best] += bestEnd - best.Ts
+		cursor = best.Ts
+	}
+	for _, e := range work {
+		if us := credit[e]; us > 0 {
+			p.CriticalPath = append(p.CriticalPath, PathEntry{Label: workLabel(e), Us: us})
+		}
+	}
+	sort.SliceStable(p.CriticalPath, func(i, j int) bool {
+		if p.CriticalPath[i].Us != p.CriticalPath[j].Us {
+			return p.CriticalPath[i].Us > p.CriticalPath[j].Us
+		}
+		return p.CriticalPath[i].Label < p.CriticalPath[j].Label
+	})
+	if p.WallUs > 0 {
+		for i := range p.CriticalPath {
+			p.CriticalPath[i].Share = float64(p.CriticalPath[i].Us) / float64(p.WallUs)
+		}
+	}
+}
+
+// workLabel names one work span for the critical-path table.
+func workLabel(e *Event) string {
+	seed := e.Args["seed"]
+	if e.Cat == CatUnit {
+		return fmt.Sprintf("unit seed=%s %s", seed, e.Name)
+	}
+	return fmt.Sprintf("%s seed=%s", e.Name, seed)
+}

@@ -1,0 +1,331 @@
+// Package span records a campaign's execution as a hierarchical span
+// timeline: job → attempt → seed stage → unit → phase → pass work spans,
+// plus the scheduler's own spans (queue wait, worker busy/idle, sequencer
+// reorder-buffer stalls, checkpoint writes). It answers the question the
+// aggregate registry (internal/metrics) cannot: "where did *this* run's
+// wall clock actually go".
+//
+// Spans are exported as Chrome trace_event JSON — one complete ("ph":"X")
+// event per line — loadable directly in Perfetto or chrome://tracing and
+// analyzable offline by cmd/dce-prof. The file is written as a JSON array
+// whose closing bracket is intentionally omitted (the trace_event format
+// explicitly tolerates this), which is what lets a resumed campaign append
+// to a halted run's trace and still produce a loadable file.
+//
+// Design rules, shared with the rest of the telemetry stack:
+//
+//   - Nil-safe: a nil *Recorder discards everything, so instrumented code
+//     threads it unconditionally and a disabled campaign pays one nil check.
+//   - Deterministic mode mirrors -metrics=deterministic: only the logical
+//     span categories (seed, unit, phase, pass, checkpoint) are kept —
+//     scheduler and job spans depend on worker interleaving and are dropped
+//     — and every wall-clock field (ts, dur, tid) renders as zero. Because
+//     the corpus layer flushes logical spans through the sequencer in slot
+//     order, a deterministic trace is byte-identical across -j values and
+//     across halt/resume.
+//   - Concurrent-safe: sequence numbers and writes happen under one lock,
+//     exactly like the event log, and the optional in-memory tail ring
+//     serves the monitor's resumable /timeline endpoint.
+package span
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span categories. Deterministic recorders keep only the logical
+// categories whose identity is a pure function of the corpus (CatSeed,
+// CatUnit, CatPhase, CatPass, CatCheckpoint); CatJob and CatSched spans
+// describe wall-clock scheduling and exist only in wall traces.
+const (
+	CatJob        = "job"        // campaign / service-attempt envelope
+	CatSeed       = "seed"       // a seed's prepare and finalize stages
+	CatUnit       = "unit"       // one (seed, config) compilation unit
+	CatPhase      = "phase"      // generate/instrument/truth/lower/opt/codegen
+	CatPass       = "pass"       // one executed pass instance
+	CatCheckpoint = "checkpoint" // checkpoint write
+	CatSched      = "sched"      // queue-wait, busy, idle, seq-stall
+)
+
+// deterministicCat reports whether spans of category cat survive
+// deterministic redaction.
+func deterministicCat(cat string) bool {
+	switch cat {
+	case CatSeed, CatUnit, CatPhase, CatPass, CatCheckpoint:
+		return true
+	}
+	return false
+}
+
+// Arg is one key/value detail on a span. Args are rendered in the order
+// given (never sorted), so a span's JSON is a pure function of how the
+// instrumentation site built it.
+type Arg struct {
+	Key, Val string
+}
+
+// Int64 builds a numeric argument.
+func Int64(key string, v int64) Arg { return Arg{key, strconv.FormatInt(v, 10)} }
+
+// Int builds a numeric argument.
+func Int(key string, v int) Arg { return Arg{key, strconv.Itoa(v)} }
+
+// Str builds a string argument.
+func Str(key, val string) Arg { return Arg{key, val} }
+
+// Bool builds a boolean argument.
+func Bool(key string, v bool) Arg { return Arg{key, strconv.FormatBool(v)} }
+
+// Span is one timed interval of campaign work.
+type Span struct {
+	Name  string // display name: stage, phase, or pass
+	Cat   string // one of the Cat* constants
+	TID   int    // track: worker index + 1; 0 is the coordinator track
+	Start time.Time
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// Entry is one rendered span held in the in-memory tail: its sequence
+// number and the trace_event JSON object (no trailing comma or newline).
+type Entry struct {
+	Seq  int64
+	Line string
+}
+
+// Recorder serializes spans into a Chrome trace_event stream. All methods
+// are nil-safe.
+type Recorder struct {
+	mu            sync.Mutex
+	w             io.Writer
+	c             io.Closer
+	deterministic bool
+	start         time.Time
+	seq           int64
+	err           error
+
+	// tail is the optional ring of recent spans (KeepTail) behind the
+	// monitor's resumable /timeline endpoint. tailHead indexes the oldest.
+	tail     []Entry
+	tailLen  int
+	tailHead int
+}
+
+// New returns a wall-clock recorder writing to w; if w is also an
+// io.Closer, Close closes it. The stream header (array opener plus a
+// metadata record naming the mode) is written immediately.
+func New(w io.Writer) *Recorder { return newRecorder(w, false, true) }
+
+// NewDeterministic returns a recorder in deterministic mode: scheduler and
+// job spans are dropped and all wall-clock fields render as zero, so the
+// resulting trace is byte-identical across worker counts and resumes.
+func NewDeterministic(w io.Writer) *Recorder { return newRecorder(w, true, true) }
+
+func newRecorder(w io.Writer, deterministic, header bool) *Recorder {
+	r := &Recorder{w: w, deterministic: deterministic, start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		r.c = c
+	}
+	if header && w != nil {
+		mode := "wall"
+		if deterministic {
+			mode = "deterministic"
+		}
+		_, r.err = io.WriteString(w, "[\n"+
+			`{"name":"process_name","cat":"__metadata","ph":"M","pid":1,"tid":0,"args":{"name":"dcelens","mode":"`+mode+`"}},`+"\n")
+	}
+	return r
+}
+
+// Open opens a file-backed recorder. With resume false the file is
+// truncated and a fresh header written; with resume true an existing
+// non-empty file is appended to with no new header, so a halted campaign's
+// trace plus its resumed continuation reads as one stream (and, in
+// deterministic mode, is byte-identical to an uninterrupted run's —
+// restored seeds emit no spans). A missing or empty file gets the header.
+func Open(path string, resume, deterministic bool) (*Recorder, error) {
+	flags := os.O_CREATE | os.O_RDWR
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	header := true
+	if resume {
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			header = false
+			// A killed campaign can leave a torn final line with no
+			// newline; seal it so the first resumed span starts a fresh
+			// line instead of corrupting the torn fragment's parse.
+			buf := make([]byte, 1)
+			if _, err := f.ReadAt(buf, st.Size()-1); err == nil && buf[0] != '\n' {
+				if _, err := f.Write([]byte(",\n")); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+		}
+	}
+	return newRecorder(f, deterministic, header), nil
+}
+
+// Deterministic reports whether the recorder redacts wall-clock fields.
+func (r *Recorder) Deterministic() bool { return r != nil && r.deterministic }
+
+// Emit records one span. Deterministic recorders silently drop categories
+// whose timing depends on scheduling (CatJob, CatSched). Nil-safe.
+func (r *Recorder) Emit(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deterministic && !deterministicCat(sp.Cat) {
+		return
+	}
+	r.seq++
+	line := r.render(sp)
+	if len(r.tail) > 0 {
+		i := (r.tailHead + r.tailLen) % len(r.tail)
+		r.tail[i] = Entry{Seq: r.seq, Line: line}
+		if r.tailLen < len(r.tail) {
+			r.tailLen++
+		} else {
+			r.tailHead = (r.tailHead + 1) % len(r.tail)
+		}
+	}
+	if r.w != nil && r.err == nil {
+		_, r.err = io.WriteString(r.w, line+",\n")
+	}
+}
+
+// render serializes one span as a trace_event complete event. Field order is
+// fixed so identical spans render identically byte for byte.
+func (r *Recorder) render(sp Span) string {
+	var b strings.Builder
+	b.Grow(96 + 24*len(sp.Args))
+	b.WriteString(`{"name":`)
+	quoteJSON(&b, sp.Name)
+	b.WriteString(`,"cat":`)
+	quoteJSON(&b, sp.Cat)
+	b.WriteString(`,"ph":"X","ts":`)
+	var ts, dur int64
+	tid := sp.TID
+	if !r.deterministic {
+		ts = sp.Start.Sub(r.start).Microseconds()
+		dur = sp.Dur.Microseconds()
+	} else {
+		tid = 0
+	}
+	b.WriteString(strconv.FormatInt(ts, 10))
+	b.WriteString(`,"dur":`)
+	b.WriteString(strconv.FormatInt(dur, 10))
+	b.WriteString(`,"pid":1,"tid":`)
+	b.WriteString(strconv.Itoa(tid))
+	if len(sp.Args) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range sp.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			quoteJSON(&b, a.Key)
+			b.WriteByte(':')
+			quoteJSON(&b, a.Val)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// quoteJSON writes s as a JSON string. The span vocabulary is plain ASCII
+// (pass names, config strings, decimal numbers); anything unusual is still
+// escaped correctly.
+func quoteJSON(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// KeepTail enables the in-memory span tail with capacity n (the newest n
+// spans are retained); n <= 0 disables it. Call before emitting. Nil-safe.
+func (r *Recorder) KeepTail(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 {
+		r.tail, r.tailLen, r.tailHead = nil, 0, 0
+		return
+	}
+	r.tail = make([]Entry, n)
+	r.tailLen, r.tailHead = 0, 0
+}
+
+// TailSince returns the buffered spans with sequence numbers strictly
+// greater than since, oldest first. Spans older than the tail's capacity
+// are gone; callers detect the gap when the first returned seq exceeds
+// since+1. Nil-safe (and empty without KeepTail).
+func (r *Recorder) TailSince(since int64) []Entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Entry
+	for i := 0; i < r.tailLen; i++ {
+		e := r.tail[(r.tailHead+i)%len(r.tail)]
+		if e.Seq > since {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Seq returns the sequence number of the last recorded span (0 before the
+// first). Nil-safe.
+func (r *Recorder) Seq() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Close closes the underlying writer when it is closable and returns the
+// first write error the recorder swallowed. Nil-safe.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		if cerr := r.c.Close(); r.err == nil {
+			r.err = cerr
+		}
+		r.c = nil
+	}
+	return r.err
+}

@@ -4,6 +4,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast when the toolchain predates the module's go directive — without
+# this the run dies later with a cryptic parse or vet error instead of
+# naming the real problem.
+mod_go=$(awk '/^go /{print $2; exit}' go.mod)
+tool_go=$(go env GOVERSION | sed 's/^go//')
+if [[ "$(printf '%s\n%s\n' "$mod_go" "$tool_go" | sort -V | head -1)" != "$mod_go" ]]; then
+    echo "go toolchain $tool_go predates go.mod's required go $mod_go" >&2
+    exit 1
+fi
+
 unformatted=$(gofmt -l .)
 if [[ -n "$unformatted" ]]; then
     echo "gofmt: the following files need formatting:" >&2
@@ -22,7 +32,7 @@ go test ./...
 # read campaign state while it mutates.
 go test -race ./internal/sched ./internal/harness ./internal/corpus \
     ./internal/metrics ./internal/monitor ./internal/history \
-    ./internal/service
+    ./internal/service ./internal/span
 
 # Service smoke gate: build dce-serve and drive it with the load-test
 # client — concurrent submissions against a tiny queue must produce 429s
@@ -58,6 +68,19 @@ go test -run '^$' -bench 'BenchmarkMonitorOverhead' -benchtime 2s . | awk '
         ratio = on / off
         printf "monitor overhead: %.1f%% (budget ~5%%, gate 25%%)\n", (ratio - 1) * 100
         if (ratio > 1.25) { print "monitor overhead exceeds the gate" > "/dev/stderr"; exit 1 }
+    }'
+
+# Span-timeline overhead smoke: a campaign recording its full span timeline
+# must stay near the bare campaign (~3% nominal budget; lenient gate for the
+# same shared-CI noise reasons as the metrics and monitor smokes).
+go test -run '^$' -bench 'BenchmarkSpanOverhead' -benchtime 2s . | awk '
+    /BenchmarkSpanOverhead\/off/ { off = $3 }
+    /BenchmarkSpanOverhead\/on/  { on = $3 }
+    END {
+        if (off == 0 || on == 0) { print "span overhead bench did not run" > "/dev/stderr"; exit 1 }
+        ratio = on / off
+        printf "span overhead: %.1f%% (budget ~3%%, gate 25%%)\n", (ratio - 1) * 100
+        if (ratio > 1.25) { print "span overhead exceeds the gate" > "/dev/stderr"; exit 1 }
     }'
 
 # Allocation-regression gate: allocs/op of the standard compile unit must
