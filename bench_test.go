@@ -552,6 +552,40 @@ func BenchmarkSpanOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkRemarkOverhead measures what remark collection costs a
+// campaign: the "off" case runs a small serial campaign bare, the "on"
+// case runs the identical campaign with Options.Remarks — every pass
+// emitting applied/missed remarks, the collector deduplicating them, and
+// each seed's profile reduced to chains and summaries. With remarks off
+// the emission seam is one pointer comparison per decision, so "off" must
+// stay indistinguishable from the pre-remarks pipeline (~3% budget,
+// smoke-tested by scripts/check.sh).
+func BenchmarkRemarkOverhead(b *testing.B) {
+	const programs = 8
+	run := func(b *testing.B, remarks bool) {
+		b.Helper()
+		c, err := corpus.Run(corpus.Options{
+			Programs: programs, BaseSeed: 8200, Workers: 1, Remarks: remarks,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Stats.Programs != programs {
+			b.Fatalf("short campaign: %d of %d programs", c.Stats.Programs, programs)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, false)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, true)
+		}
+	})
+}
+
 // BenchmarkPaperListings times the qualitative reproduction of the paper's
 // reduced test cases (Listings 1-9; see examples/paperlistings for the
 // assertions, and TestPaperListings in facade_test.go).

@@ -23,9 +23,14 @@
 // resumed campaign prints byte-identical output to an uninterrupted one.
 // Crash reproducers can be persisted with -repro-dir for dce-reduce.
 // -serve exposes /healthz, /metrics, /progress, /findings,
-// /events?since=N, and /timeline?since=N while the campaign runs;
-// -history leaves a fingerprinted snapshot behind for dce-trend's
-// cross-run diffing.
+// /events?since=N, /timeline?since=N, and (with -remarks) /remarks?since=N
+// while the campaign runs; -history leaves a fingerprinted snapshot behind
+// for dce-trend's cross-run diffing.
+//
+// -remarks collects optimization remarks (internal/remark): the report
+// gains a per-pass applied/missed table with the top miss reasons, every
+// finding carries its nearest-miss chain (render them with dce-explain),
+// and seed-outcome summaries ride the checkpoint.
 //
 // -trace FILE records a hierarchical span timeline (seed → unit → phase →
 // pass, plus scheduler occupancy) as Chrome trace_event JSON: load it in
@@ -60,6 +65,7 @@ func main() {
 	n := flag.Int("n", 30, "corpus size")
 	seed := flag.Int64("seed", 1, "base seed")
 	provenance := flag.Bool("provenance", false, "record per-pass profiles and marker provenance")
+	remarks := flag.Bool("remarks", false, "collect optimization remarks (nearest-miss chains for dce-explain, remark tables in the report)")
 	tracePath := flag.String("trace", "", "write a span timeline (Chrome trace_event JSON; Perfetto/dce-prof) to this file")
 	verify := flag.Bool("verify", false, "execute every compiled module against ground truth (miscompile detection; slower)")
 	budget := flag.Int("budget", 0, "per-compilation pass-step budget (0: harness default)")
@@ -84,6 +90,7 @@ func main() {
 		Workers:         par.Workers(tool),
 		Shard:           par.Shard(tool),
 		Trace:           *provenance,
+		Remarks:         *remarks,
 		VerifySemantics: *verify,
 		StepBudget:      *budget,
 	}
@@ -168,6 +175,15 @@ func main() {
 		spans.KeepTail(4096)
 	}
 
+	var remarkLog *dcelens.EventLog
+	if *remarks && mon.Serving() {
+		// /remarks serves the per-seed remark summaries; nothing is
+		// persisted to disk, only the tail ring matters.
+		remarkLog = dcelens.NewEventLog(io.Discard)
+		remarkLog.KeepTail(4096)
+		opts.RemarkLog = remarkLog
+	}
+
 	// The live surfaces (heartbeat, /progress, ETA) count the seeds this
 	// process will actually run: a shard's total is its slice of the corpus.
 	liveTotal := opts.Shard.Size(opts.Programs)
@@ -178,6 +194,7 @@ func main() {
 	}
 	msrv := monitor.New(tool, reg, prog, events)
 	msrv.Spans = spans
+	msrv.Remarks = remarkLog
 	defer mon.Serve(tool, msrv)()
 
 	stopHeartbeat := func() {}

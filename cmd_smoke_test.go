@@ -626,10 +626,60 @@ func TestCmdCampaignTraceAndProf(t *testing.T) {
 		t.Errorf("dce-prof deterministic output:\n%s", out)
 	}
 
+	// -top bounds the slowest-units table without touching the other
+	// sections; <= 0 keeps every unit.
+	out = runCmdStdout(t, "dce-prof", "-top", "2", trace)
+	if !strings.Contains(out, "Slowest units (2)") {
+		t.Errorf("dce-prof -top 2 did not bound the units table:\n%s", out)
+	}
+	out = runCmdStdout(t, "dce-prof", "-top", "0", trace)
+	if !strings.Contains(out, "Slowest units (30)") {
+		t.Errorf("dce-prof -top 0 should keep all 30 units (3 seeds x 10 configs):\n%s", out)
+	}
+
 	if code := exitCode(t, "dce-prof"); code != 2 {
 		t.Errorf("dce-prof without a trace argument: exit %d, want 2", code)
 	}
 	if code := exitCode(t, "dce-prof", filepath.Join(t.TempDir(), "absent.json")); code != 1 {
 		t.Errorf("dce-prof missing trace file: exit %d, want 1", code)
+	}
+}
+
+// TestCmdCampaignRemarks: -remarks adds the aggregate remark tables to the
+// campaign report.
+func TestCmdCampaignRemarks(t *testing.T) {
+	out := runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100", "-quiet", "-remarks")
+	for _, want := range []string{"Optimization remarks", "Top miss reasons", "side-effects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-remarks report missing %q:\n%s", want, out)
+		}
+	}
+	// Without the flag the section stays out (remarks are strictly opt-in).
+	out = runCmdStdout(t, "dce-campaign", "-n", "3", "-seed", "100", "-quiet")
+	if strings.Contains(out, "Optimization remarks") {
+		t.Errorf("remark tables leaked into a remarks-off campaign:\n%s", out)
+	}
+}
+
+// TestCmdExplainSmoke: campaign mode renders the remark tables plus
+// per-finding nearest-miss narratives; single-program mode renders one
+// compilation's pass counts, miss reasons, and chains.
+func TestCmdExplainSmoke(t *testing.T) {
+	out := runCmdStdout(t, "dce-explain", "-n", "6", "-seed", "1", "-findings", "2")
+	for _, want := range []string{"Optimization remarks", "Finding narratives", "why the code stayed alive:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dce-explain campaign output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, "dce-explain", "-single", "-seed", "42", "-compiler", "gcc")
+	for _, want := range []string{"miss reasons:", "stayed alive because:", "side-effects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dce-explain single-program output missing %q:\n%s", want, out)
+		}
+	}
+
+	if code := exitCode(t, "dce-explain", "-single", "-compiler", "frontier"); code != 2 {
+		t.Errorf("dce-explain unknown compiler: exit %d, want 2", code)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"dcelens/internal/parser"
 	"dcelens/internal/pipeline"
 	"dcelens/internal/reduce"
+	"dcelens/internal/remark"
 	"dcelens/internal/report"
 	"dcelens/internal/sched"
 	"dcelens/internal/sema"
@@ -349,6 +350,55 @@ func EliminationsPerPass(c *Campaign, p pipeline.Personality, lvl Level) []PassE
 // PassComponent maps a pass name into the compiler-component vocabulary of
 // the synthetic histories (Tables 3/4).
 func PassComponent(pass string) string { return trace.ComponentOf(pass) }
+
+// ---------------------------------------------------------------------------
+// Remarks and explanation
+
+// RemarkProfile is one compilation's optimization-remark reduction: per-pass
+// applied/missed/analysis counts, the miss-reason histogram, and each
+// surviving marker's nearest-miss chain (CampaignOptions.Remarks,
+// dce-campaign -remarks, dce-explain).
+type RemarkProfile = remark.Profile
+
+// RemarkChainStep is one decision of a nearest-miss chain: the pass that
+// declined to transform, its machine-readable reason code, and the subject
+// it was looking at.
+type RemarkChainStep = remark.ChainStep
+
+// RemarkSummary aggregates remarks over a seed or a whole job: per-pass
+// applied/missed counts plus the miss-reason histogram.
+type RemarkSummary = corpus.RemarkSummary
+
+// CompileRemarked compiles like Compile with a remark collector attached:
+// every optimizing pass reports what it applied and what it considered but
+// rejected (with a reason code), and the returned profile chains the Missed
+// decisions relevant to each surviving marker.
+func CompileRemarked(ins *Instrumented, c *Compiler) (*Compilation, *RemarkProfile, error) {
+	coll := remark.NewCollector(instrument.IsMarker)
+	comp, err := core.CompileObserved(ins, c, coll)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, coll.Profile(), nil
+}
+
+// ExplainFinding renders one finding's missed-optimization narrative: the
+// finding header plus its nearest-miss chain (campaigns run with
+// CampaignOptions.Remarks; dce-explain).
+func ExplainFinding(f Finding) string { return report.Explain(f) }
+
+// ExplainFindings renders every finding's narrative, blank-line separated.
+func ExplainFindings(fs []Finding) string { return report.ExplainAll(fs) }
+
+// ReportRemarks renders a campaign's remark aggregation: the per-pass
+// applied/missed table and the top miss reasons.
+func ReportRemarks(s *corpus.Stats) string { return report.Remarks(s) }
+
+// TopMissReasons sorts a miss-reason histogram (RemarkSummary.Reasons,
+// Stats.RemarkReasons) by descending count; n > 0 keeps the first n rows.
+func TopMissReasons(reasons map[string]int, n int) []report.ReasonCount {
+	return report.TopReasons(reasons, n)
+}
 
 // ---------------------------------------------------------------------------
 // Telemetry

@@ -110,6 +110,66 @@ func TestParallelCampaignByteIdentity(t *testing.T) {
 	}
 }
 
+// TestRemarksByteIdentity: a remark-collecting campaign's artifacts — the
+// report (whose remark tables aggregate every seed), the per-finding
+// nearest-miss narratives, and the chains themselves — must be
+// byte-identical across worker counts and across a halt/resume, and every
+// finding must carry a non-empty chain (dce's side-effects anchor at
+// minimum).
+func TestRemarksByteIdentity(t *testing.T) {
+	const programs, baseSeed = 6, 1
+	run := func(workers int, cp *Checkpoint, stop func() bool) *Campaign {
+		t.Helper()
+		c, err := RunCampaign(CampaignOptions{
+			Programs: programs, BaseSeed: baseSeed, Workers: workers,
+			Remarks: true, Checkpoint: cp, Stop: stop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	serial := run(1, nil, nil)
+	if len(serial.Findings) == 0 {
+		t.Fatal("campaign found nothing; the remark fixture needs a finding-bearing seed range")
+	}
+	for _, f := range serial.Findings {
+		if len(f.Chain) == 0 {
+			t.Errorf("finding %s (seed %d) has an empty nearest-miss chain", f.Marker, f.Seed)
+		}
+	}
+	wantReport, wantNarrative := Report(serial), ExplainFindings(serial.Findings)
+
+	parallel := run(8, nil, nil)
+	if got := Report(parallel); got != wantReport {
+		t.Errorf("8-worker remark report differs from serial:\n--- serial\n%s\n--- parallel\n%s", wantReport, got)
+	}
+	if got := ExplainFindings(parallel.Findings); got != wantNarrative {
+		t.Errorf("8-worker narratives differ from serial:\n--- serial\n%s\n--- parallel\n%s", wantNarrative, got)
+	}
+
+	// Halt after two seeds, then resume on 8 workers: the chains ride the
+	// checkpoint, so the merged view must reproduce the serial bytes.
+	path := filepath.Join(t.TempDir(), "remarks-drain.json")
+	var polls atomic.Int32
+	interrupted := run(1, NewCheckpoint(path), func() bool { return polls.Add(1) > 2 })
+	if interrupted.Skipped == 0 || interrupted.Skipped == programs {
+		t.Fatalf("Skipped = %d, want a partial drain of %d seeds", interrupted.Skipped, programs)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := run(8, cp, nil)
+	if got := Report(resumed); got != wantReport {
+		t.Errorf("halt+resume remark report differs from serial:\n--- serial\n%s\n--- resumed\n%s", wantReport, got)
+	}
+	if got := ExplainFindings(resumed.Findings); got != wantNarrative {
+		t.Errorf("halt+resume narratives differ from serial:\n--- serial\n%s\n--- resumed\n%s", wantNarrative, got)
+	}
+}
+
 // TestDrainResumeByteIdentity: a campaign stopped cooperatively mid-run
 // — the service drain path (CampaignOptions.Stop) — and then resumed
 // from its checkpoint reports byte-identically to a campaign that was

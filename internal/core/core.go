@@ -24,6 +24,7 @@ import (
 	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
+	"dcelens/internal/remark"
 	"dcelens/internal/trace"
 )
 
@@ -199,6 +200,14 @@ type Analysis struct {
 	// compilation; nil unless the analysis ran with tracing enabled
 	// (AnalyzeTraced / corpus Options.Trace).
 	Trace *trace.Profile
+
+	// Remarks is the compilation's optimization-remark profile: per-pass
+	// applied/missed counts, miss-reason histogram, and each surviving
+	// marker's nearest-miss chain. Nil unless the analysis ran with a
+	// remark collector attached (corpus Options.Remarks); the collector
+	// rides the same Observers chain as the trace recorder and the
+	// profile is attached by the caller that owns the collector.
+	Remarks *remark.Profile
 }
 
 // Analyze compiles ins under cfg and computes missed and primary-missed

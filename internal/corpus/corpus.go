@@ -35,6 +35,7 @@ import (
 	"dcelens/internal/metrics"
 	"dcelens/internal/opt"
 	"dcelens/internal/pipeline"
+	"dcelens/internal/remark"
 	"dcelens/internal/sched"
 	"dcelens/internal/span"
 )
@@ -56,6 +57,13 @@ type Options struct {
 	// to the pass instance that killed it, feeding AttributeFinding and
 	// EliminationsPerPass. Adds one IR scan per executed pass.
 	Trace bool
+	// Remarks attaches a remark collector (internal/remark) to every
+	// compilation: passes emit applied/missed/analysis remarks through the
+	// opt.RemarkSink seam, each finding carries its nearest-miss chain, and
+	// seed outcomes summarize per-pass counts and miss reasons. Off, the
+	// remark seam costs one nil check per pass (see
+	// BenchmarkRemarkOverhead).
+	Remarks bool
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
 	Workers int
 	// Shard restricts the campaign to a deterministic corpus slice: seed
@@ -91,6 +99,13 @@ type Options struct {
 	// campaign/seed/unit begin-end, failures, and checkpoint writes, each a
 	// single JSON object with a monotonic sequence number. Nil disables it.
 	Events *metrics.EventLog
+	// RemarkLog receives one "remarks" event per freshly-analyzed seed that
+	// collected remarks (Options.Remarks): the seed's per-pass applied and
+	// missed counts and its miss-reason histogram. Events flush through the
+	// sequencer in seed order, so the stream is deterministic across worker
+	// counts; restored seeds emit nothing (their summaries live in the
+	// checkpointed outcomes). Nil disables it.
+	RemarkLog *metrics.EventLog
 	// Spans receives the campaign's hierarchical span timeline
 	// (internal/span): per-seed prepare/finalize stages, (seed, config)
 	// units with their phase and pass spans, checkpoint writes, and the
@@ -215,6 +230,13 @@ type Finding struct {
 	// Primary, and Context — never Seed or Marker — so renumbering the
 	// corpus or reducing the program does not change the fingerprint.
 	Context string `json:"context,omitempty"`
+	// Chain is the marker's nearest-miss chain under the missing
+	// configuration: the ordered (pass, reason) decisions that kept the
+	// marker's code alive (internal/remark). Populated only when the
+	// campaign ran with Options.Remarks; it rides the outcome through
+	// checkpoints but is excluded from the history fingerprint (it names
+	// seed-specific values, which would defeat cross-seed dedup).
+	Chain []remark.ChainStep `json:"chain,omitempty"`
 }
 
 // findingContext renders a marker's structural neighbourhood: how many of
@@ -285,6 +307,14 @@ type Stats struct {
 	// -O1 or -O2; LevelPrimary restricts to primary.
 	LevelMissed  map[pipeline.Personality]int
 	LevelPrimary map[pipeline.Personality]int
+
+	// Remark aggregation (campaigns run with Options.Remarks; nil maps
+	// otherwise). RemarkApplied and RemarkMissed count remarks per pass
+	// across every configuration of every analyzable seed; RemarkReasons
+	// histograms the Missed remarks by reason code.
+	RemarkApplied map[string]int
+	RemarkMissed  map[string]int
+	RemarkReasons map[string]int
 
 	// Failure accounting (internal/harness). Crashes, Timeouts,
 	// Miscompiles, and Infeasible are per-kind counts; Failures holds the
@@ -442,6 +472,40 @@ func countFailures(reg *metrics.Registry, failures []harness.Failure) {
 	}
 }
 
+// countRemarks feeds a freshly-analyzed seed's remark summary into the
+// live registry ("remarks.applied.<pass>", "remarks.missed.<pass>",
+// "remarks.reason.<code>"). Restored seeds stay out, matching the
+// registry's fresh-work-only policy.
+func countRemarks(reg *metrics.Registry, rs *RemarkSummary) {
+	if reg == nil {
+		return
+	}
+	for pass, n := range rs.Applied {
+		reg.Counter("remarks.applied." + pass).Add(int64(n))
+	}
+	for pass, n := range rs.Missed {
+		reg.Counter("remarks.missed." + pass).Add(int64(n))
+	}
+	for reason, n := range rs.Reasons {
+		reg.Counter("remarks.reason." + reason).Add(int64(n))
+	}
+}
+
+// remarkFields renders a seed's remark summary for the remark event log.
+func remarkFields(seed int64, rs *RemarkSummary) map[string]any {
+	fields := map[string]any{"seed": seed}
+	if len(rs.Applied) > 0 {
+		fields["applied"] = rs.Applied
+	}
+	if len(rs.Missed) > 0 {
+		fields["missed"] = rs.Missed
+	}
+	if len(rs.Reasons) > 0 {
+		fields["reasons"] = rs.Reasons
+	}
+	return fields
+}
+
 // buildProgram runs the program-construction half of a seed under the
 // harness: generation, instrumentation, ground truth, and the marker CFG.
 // Failures are infeasible-kind and abandon the seed; the failure event is
@@ -502,7 +566,7 @@ func failureFields(f *harness.Failure) map[string]any {
 // finalize stage to merge, and events (and spans) are buffered into ev and
 // sp for sequenced emission, which is what lets a seed's units run
 // concurrently.
-func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced bool, ev *eventBuf, sp *spanBuf, tid int) (*core.Analysis, *harness.Failure) {
+func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, src string, traced, remarks bool, ev *eventBuf, sp *spanBuf, tid int) (*core.Analysis, *harness.Failure) {
 	cfg := pipeline.New(key.Personality, key.Level)
 	ev.emit("unit_begin", map[string]any{"seed": r.Seed, "config": key.String()})
 	ustart := sp.now()
@@ -513,6 +577,13 @@ func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, s
 			// The pass-span observer rides the same seam as the trace and
 			// metrics collectors, after the harness guard.
 			obs = opt.Observers(obs, &passSpans{sp: sp, tid: tid})
+		}
+		var coll *remark.Collector
+		if remarks {
+			// The collector is the chain's only RemarkSink: composing it here
+			// is what turns the pipeline's remark emission on at all.
+			coll = remark.NewCollector(instrument.IsMarker)
+			obs = opt.Observers(obs, coll)
 		}
 		var an *core.Analysis
 		var err error
@@ -528,6 +599,9 @@ func runConfig(o Options, h *harness.Harness, r *ProgramResult, key ConfigKey, s
 			if verr := an.Compilation.VerifyAgainstTruth(r.Truth); verr != nil {
 				return fmt.Errorf("%w: %v", harness.ErrMiscompile, verr)
 			}
+		}
+		if coll != nil {
+			an.Remarks = coll.Profile()
 		}
 		out = an
 		return nil
@@ -588,6 +662,22 @@ func (c *Campaign) aggregate() {
 		s.TotalMarkers += out.Markers
 		s.DeadMarkers += out.Dead
 		s.AliveMarkers += out.Alive
+		if rs := out.Remarks; rs != nil {
+			if s.RemarkApplied == nil {
+				s.RemarkApplied = map[string]int{}
+				s.RemarkMissed = map[string]int{}
+				s.RemarkReasons = map[string]int{}
+			}
+			for pass, n := range rs.Applied {
+				s.RemarkApplied[pass] += n
+			}
+			for pass, n := range rs.Missed {
+				s.RemarkMissed[pass] += n
+			}
+			for reason, n := range rs.Reasons {
+				s.RemarkReasons[reason] += n
+			}
+		}
 		for _, cf := range out.Configs {
 			key := ConfigKey{cf.Personality, cf.Level}
 			s.Missed[key] += cf.Missed
@@ -687,6 +777,10 @@ func diffFindings(o Options, r *ProgramResult) []Finding {
 				Kind: KindCompilerDiff, Seed: r.Seed, Marker: m,
 				Personality: missedBy, Level: pipeline.O3, Primary: prim[m],
 				Context: findingContext(r.Graph, r.Truth, missedSet, m),
+				// The nearest-miss chain comes from the compilation that
+				// failed to eliminate the marker — the decisions worth
+				// explaining are the misser's, not the reference's.
+				Chain: target.Remarks.Chain(m),
 			})
 		}
 	}
@@ -728,6 +822,7 @@ func levelFindings(o Options, r *ProgramResult) []Finding {
 				Kind: KindLevelDiff, Seed: r.Seed, Marker: m,
 				Personality: p, Level: pipeline.O3, Primary: prim[m],
 				Context: findingContext(r.Graph, r.Truth, missedSet, m),
+				Chain:   o3.Remarks.Chain(m),
 			})
 		}
 	}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"reflect"
 	"testing"
 
 	"dcelens/internal/cgen"
@@ -70,7 +71,7 @@ func TestCampaignDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic findings: %d vs %d", len(c1.Findings), len(c2.Findings))
 	}
 	for i := range c1.Findings {
-		if c1.Findings[i] != c2.Findings[i] {
+		if !reflect.DeepEqual(c1.Findings[i], c2.Findings[i]) {
 			t.Fatalf("finding %d differs: %+v vs %+v", i, c1.Findings[i], c2.Findings[i])
 		}
 	}

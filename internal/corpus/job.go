@@ -151,12 +151,12 @@ func (j *seedJob) unit(w, u int) error {
 	if j.spans() {
 		sp = &j.unitSp[u]
 	}
-	an, fail := runConfig(*j.o, j.h, j.r, key, j.src, j.o.Trace, ev, sp, w+1)
-	if fail != nil && j.o.Trace {
-		// Graceful degradation: the recorder itself (or its extra per-pass
-		// IR scans) may be what broke — retry once untraced before giving
-		// up on the config.
-		if ran, retry := runConfig(*j.o, j.h, j.r, key, j.src, false, ev, sp, w+1); retry == nil {
+	an, fail := runConfig(*j.o, j.h, j.r, key, j.src, j.o.Trace, j.o.Remarks, ev, sp, w+1)
+	if fail != nil && (j.o.Trace || j.o.Remarks) {
+		// Graceful degradation: the observers themselves (the trace
+		// recorder's per-pass IR scans, the remark collector) may be what
+		// broke — retry once with both off before giving up on the config.
+		if ran, retry := runConfig(*j.o, j.h, j.r, key, j.src, false, false, ev, sp, w+1); retry == nil {
 			an, fail = ran, nil
 		}
 	}
@@ -209,7 +209,13 @@ func (j *seedJob) finalize(w int) error {
 	j.o.Metrics.Histogram(metrics.HistCampaignSeed).Observe(d)
 	j.o.Metrics.Counter(metrics.CounterSeedsAnalyzed).Inc()
 	countFailures(j.o.Metrics, out.Failures)
-	var ev eventBuf
+	var ev, rev eventBuf
+	if rs := out.Remarks; rs != nil {
+		countRemarks(j.o.Metrics, rs)
+		if j.o.RemarkLog != nil {
+			rev.emit("remarks", remarkFields(j.seed, rs))
+		}
+	}
 	var ckErr error
 	if j.o.Checkpoint != nil {
 		// Save immediately (crash resilience does not wait for sequencing);
@@ -238,7 +244,12 @@ func (j *seedJob) finalize(w int) error {
 			Args: []span.Arg{span.Int64("seed", j.seed), span.Bool("ok", out.Ok)},
 		})
 	}
-	j.flush(j.lastSlot(), ev, sp, out.Findings)
+	j.seq.Done(j.lastSlot(), func() {
+		ev.flush(j.o.Events)
+		rev.flush(j.o.RemarkLog)
+		sp.flush(j.o.Spans)
+		progressFindings(j.o.Progress, out.Findings)
+	})
 	return ckErr
 }
 

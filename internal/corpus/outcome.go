@@ -6,6 +6,7 @@ import (
 
 	"dcelens/internal/harness"
 	"dcelens/internal/pipeline"
+	"dcelens/internal/remark"
 )
 
 // CfgOutcome is one configuration's contribution to a seed's outcome.
@@ -34,6 +35,45 @@ type SeedOutcome struct {
 	Configs  []CfgOutcome      `json:"configs,omitempty"`
 	Findings []Finding         `json:"findings,omitempty"`
 	Failures []harness.Failure `json:"failures,omitempty"`
+	// Remarks summarizes the seed's optimization remarks across every
+	// configuration; nil unless the campaign ran with Options.Remarks.
+	Remarks *RemarkSummary `json:"remarks,omitempty"`
+}
+
+// RemarkSummary is a seed's (or job's) remark aggregation: per-pass applied
+// and missed counts plus the miss-reason histogram. Maps keep JSON output
+// deterministic (encoding/json sorts keys).
+type RemarkSummary struct {
+	Applied map[string]int `json:"applied,omitempty"`
+	Missed  map[string]int `json:"missed,omitempty"`
+	Reasons map[string]int `json:"reasons,omitempty"`
+}
+
+// add folds one compilation's remark profile into the summary.
+func (s *RemarkSummary) add(p *remark.Profile) {
+	if p == nil {
+		return
+	}
+	for _, pc := range p.Passes {
+		if pc.Applied > 0 {
+			if s.Applied == nil {
+				s.Applied = map[string]int{}
+			}
+			s.Applied[pc.Pass] += pc.Applied
+		}
+		if pc.Missed > 0 {
+			if s.Missed == nil {
+				s.Missed = map[string]int{}
+			}
+			s.Missed[pc.Pass] += pc.Missed
+		}
+	}
+	for reason, n := range p.Reasons {
+		if s.Reasons == nil {
+			s.Reasons = map[string]int{}
+		}
+		s.Reasons[reason] += n
+	}
 }
 
 // outcomeOf condenses a ProgramResult into its serializable outcome.
@@ -47,6 +87,7 @@ func outcomeOf(o Options, r *ProgramResult) *SeedOutcome {
 	out.Markers = len(r.Ins.Markers)
 	out.Dead = len(r.Truth.Dead)
 	out.Alive = len(r.Truth.Alive)
+	var rsum RemarkSummary
 	for _, p := range o.Personalities {
 		for _, lvl := range o.Levels {
 			an := r.PerCfg[ConfigKey{p, lvl}]
@@ -59,7 +100,11 @@ func outcomeOf(o Options, r *ProgramResult) *SeedOutcome {
 				Missed:      len(an.Missed),
 				Primary:     len(an.PrimaryMissed),
 			})
+			rsum.add(an.Remarks)
 		}
+	}
+	if o.Remarks {
+		out.Remarks = &rsum
 	}
 	out.Findings = append(out.Findings, diffFindings(o, r)...)
 	out.Findings = append(out.Findings, levelFindings(o, r)...)
@@ -83,6 +128,7 @@ func campaignMeta(o Options) map[string]string {
 	return map[string]string{
 		"base_seed":     fmt.Sprint(o.BaseSeed),
 		"trace":         fmt.Sprint(o.Trace),
+		"remarks":       fmt.Sprint(o.Remarks),
 		"verify":        fmt.Sprint(o.VerifySemantics),
 		"personalities": perss,
 		"levels":        lvls,

@@ -6,11 +6,12 @@
 //
 //	/healthz            liveness: tool name and uptime
 //	/metrics            Prometheus-style text exposition of the registry
-//	/metrics?format=json  the registry snapshot as JSON
+//	/metrics?format=json  the registry snapshot as JSON (plus derived gauges)
 //	/progress           seeds done/total, failure-kind counts, ETA, occupancy
 //	/findings           the findings discovered so far, as JSON
 //	/events?since=N     resumable tail of the event log (JSONL, seq > N)
 //	/timeline?since=N   resumable tail of the span timeline (JSONL, seq > N)
+//	/remarks?since=N    resumable tail of the remark log (JSONL, seq > N)
 //
 // The server only reads; every source it serves is already safe for
 // concurrent use (atomic registry collectors, the progress mutex, the event
@@ -51,6 +52,11 @@ type Server struct {
 	// tail (enable with Spans.KeepTail before the campaign starts). Set it
 	// after New — campaigns without a timeline leave it nil.
 	Spans *span.Recorder
+	// Remarks is the campaign remark log (corpus.Options.RemarkLog);
+	// /remarks serves its in-memory tail (enable with Remarks.KeepTail
+	// before the campaign starts). Set it after New — campaigns without
+	// remarks leave it nil.
+	Remarks *metrics.EventLog
 
 	start time.Time
 }
@@ -70,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/findings", ReadOnly(s.handleFindings))
 	mux.HandleFunc("/events", ReadOnly(s.handleEvents))
 	mux.HandleFunc("/timeline", ReadOnly(s.handleTimeline))
+	mux.HandleFunc("/remarks", ReadOnly(s.handleRemarks))
 	return mux
 }
 
@@ -133,39 +140,80 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MetricsReply is the /metrics?format=json body: the registry snapshot's
+// fields at the top level (unchanged for existing clients) plus the derived
+// gauges under "derived". Both halves of the reply come from the same
+// snapshot, so the JSON and text renderings of one request agree exactly.
+type MetricsReply struct {
+	*metrics.RegistrySnapshot
+	Derived DerivedGauges `json:"derived"`
+}
+
+// DerivedGauges are the gauges that exist only as derivations over other
+// sources — campaign throughput, the pass-manager skip rate, and per-worker
+// occupancy. They are computed once per request from one registry snapshot
+// and one read of the progress clock, never stored in the registry, so the
+// snapshot (and the deterministic artifacts built from it) stays untouched
+// — and the text and JSON renderings of the same scrape cannot drift apart.
+type DerivedGauges struct {
+	UnitsPerSec     float64   `json:"units_per_sec"`
+	PassSkipRate    float64   `json:"pass_skip_rate"`
+	PassSkipKnown   bool      `json:"pass_skip_known"`
+	WorkerOccupancy []float64 `json:"worker_occupancy,omitempty"`
+}
+
+// NewDerivedGauges computes the derived gauges from a registry snapshot and
+// the progress view. Every input is read exactly once: the counters come
+// from the snapshot (not the live registry, which may have advanced since
+// it was taken) and the elapsed clock and occupancy are sampled here.
+func NewDerivedGauges(snap *metrics.RegistrySnapshot, p *harness.Progress) DerivedGauges {
+	var d DerivedGauges
+	if snap != nil {
+		units := snap.Counters[metrics.CounterUnits]
+		if secs := p.Elapsed().Seconds(); secs > 0 {
+			d.UnitsPerSec = float64(units) / secs
+		}
+		visited := snap.Counters[metrics.CounterPassVisited]
+		skipped := snap.Counters[metrics.CounterPassSkipped]
+		if total := visited + skipped; total > 0 {
+			d.PassSkipRate = float64(skipped) / float64(total)
+			d.PassSkipKnown = true
+		}
+	}
+	d.WorkerOccupancy = p.Occupancy()
+	return d
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// One snapshot, one derivation, shared by both formats: computing the
+	// derived gauges at two scrape points (as the text path once did) lets
+	// the JSON and text views of the "same" scrape disagree.
 	snap := s.Reg.Snapshot()
+	d := NewDerivedGauges(snap, s.Progress)
 	if r.URL.Query().Get("format") == "json" {
-		s.writeJSON(w, snap)
+		s.writeJSON(w, MetricsReply{RegistrySnapshot: snap, Derived: d})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, Exposition(snap))
-	fmt.Fprint(w, s.derivedExposition())
+	fmt.Fprint(w, derivedExposition(s.Reg != nil, d))
 }
 
-// derivedExposition renders the gauges that exist only as derivations over
-// other sources — campaign throughput, the pass-manager skip rate, and
-// per-worker occupancy — in the same Prometheus text format Exposition
-// uses. They are computed at scrape time, never stored in the registry, so
-// the registry snapshot (and the deterministic artifacts built from it)
-// stays untouched.
-func (s *Server) derivedExposition() string {
+// derivedExposition renders already-computed derived gauges in the same
+// Prometheus text format Exposition uses. haveReg preserves the historical
+// shape: a server without a registry never emitted the registry-derived
+// series, only occupancy.
+func derivedExposition(haveReg bool, d DerivedGauges) string {
 	var sb strings.Builder
-	if s.Reg != nil {
-		units := s.Reg.Counter(metrics.CounterUnits).Value()
-		ups := 0.0
-		if secs := s.Progress.Elapsed().Seconds(); secs > 0 {
-			ups = float64(units) / secs
-		}
-		fmt.Fprintf(&sb, "# TYPE dcelens_units_per_sec gauge\ndcelens_units_per_sec %g\n", ups)
-		if rate, ok := metrics.PassSkipRate(s.Reg); ok {
-			fmt.Fprintf(&sb, "# TYPE dcelens_pass_skip_rate gauge\ndcelens_pass_skip_rate %g\n", rate)
+	if haveReg {
+		fmt.Fprintf(&sb, "# TYPE dcelens_units_per_sec gauge\ndcelens_units_per_sec %g\n", d.UnitsPerSec)
+		if d.PassSkipKnown {
+			fmt.Fprintf(&sb, "# TYPE dcelens_pass_skip_rate gauge\ndcelens_pass_skip_rate %g\n", d.PassSkipRate)
 		}
 	}
-	if occ := s.Progress.Occupancy(); len(occ) > 0 {
+	if len(d.WorkerOccupancy) > 0 {
 		sb.WriteString("# TYPE dcelens_worker_occupancy gauge\n")
-		for w, f := range occ {
+		for w, f := range d.WorkerOccupancy {
 			fmt.Fprintf(&sb, "dcelens_worker_occupancy{worker=\"%d\"} %g\n", w, f)
 		}
 	}
@@ -282,6 +330,29 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(s.Spans.Seq(), 10))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	for _, e := range s.Spans.TailSince(since) {
+		fmt.Fprintln(w, e.Line)
+	}
+}
+
+// handleRemarks serves the remark log's tail as JSONL — the remarks twin of
+// /events, with the same resumable contract: since is the last remark
+// sequence number the client has seen, the response carries only events with
+// seq > since, and the current head seq rides the X-Dcelens-Last-Seq header
+// even when nothing new matches. Each line is one seed's remark summary
+// (per-pass applied/missed counts and miss reasons).
+func (s *Server) handleRemarks(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			JSONError(w, http.StatusBadRequest, fmt.Sprintf("since=%q: must be a non-negative integer", v))
+			return
+		}
+		since = n
+	}
+	w.Header().Set("X-Dcelens-Last-Seq", strconv.FormatInt(s.Remarks.Seq(), 10))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range s.Remarks.TailSince(since) {
 		fmt.Fprintln(w, e.Line)
 	}
 }

@@ -444,3 +444,78 @@ func TestOccupancyAndDerivedGauges(t *testing.T) {
 		t.Fatalf("deterministic exposition leaked occupancy:\n%s", dtext)
 	}
 }
+
+// TestDerivedGaugesSingleSnapshot pins the derived-gauge drift fix: a
+// request computes its derived gauges once, from the same registry snapshot
+// its metrics body is built from. Advancing the live registry after the
+// snapshot must not leak into the derivation (the old text path re-read the
+// live registry at a second scrape point), and the JSON and text renderings
+// of the same server state must agree on the derived values.
+func TestDerivedGaugesSingleSnapshot(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter(metrics.CounterPassVisited).Add(90)
+	reg.Counter(metrics.CounterPassSkipped).Add(10)
+	snap := reg.Snapshot()
+	// The campaign races ahead between the snapshot and the derivation.
+	reg.Counter(metrics.CounterPassVisited).Add(900)
+	d := NewDerivedGauges(snap, nil)
+	if !d.PassSkipKnown || d.PassSkipRate != 0.1 {
+		t.Fatalf("derived skip rate = %v (known=%v), want 0.1 from the snapshot, not the live registry",
+			d.PassSkipRate, d.PassSkipKnown)
+	}
+
+	// Request-level agreement: the JSON body's derived section and the text
+	// exposition report the same value for the same registry state.
+	s := New("dce-test", reg, nil, nil)
+	var body MetricsReply
+	decode(t, get(t, s, "/metrics?format=json"), &body)
+	if !body.Derived.PassSkipKnown || body.Derived.PassSkipRate != 0.01 {
+		t.Fatalf("json derived skip rate = %v (known=%v), want 0.01",
+			body.Derived.PassSkipRate, body.Derived.PassSkipKnown)
+	}
+	if body.Counters[metrics.CounterPassVisited] != 990 {
+		t.Fatalf("json snapshot visited = %d, want 990", body.Counters[metrics.CounterPassVisited])
+	}
+	text := get(t, s, "/metrics").Body.String()
+	if !strings.Contains(text, "dcelens_pass_skip_rate 0.01\n") {
+		t.Fatalf("exposition skip rate disagrees with json derived value:\n%s", text)
+	}
+}
+
+// TestRemarksEndpoint: /remarks serves the remark log's tail with the same
+// resumable since-contract as /events, and degrades to an empty body when
+// no remark log is attached.
+func TestRemarksEndpoint(t *testing.T) {
+	rl := metrics.NewEventLog(io.Discard)
+	rl.KeepTail(16)
+	rl.Emit("remarks", map[string]any{"seed": int64(7), "applied": map[string]int{"dce": 3}})
+	rl.Emit("remarks", map[string]any{"seed": int64(8), "reasons": map[string]int{"alias-unknown": 2}})
+	s := New("dce-test", nil, nil, nil)
+	s.Remarks = rl
+
+	rec := get(t, s, "/remarks")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("X-Dcelens-Last-Seq"); got != "2" {
+		t.Fatalf("last-seq header = %q, want 2", got)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"seed":7`) || !strings.Contains(lines[1], "alias-unknown") {
+		t.Fatalf("remarks body = %q", rec.Body.String())
+	}
+
+	rec = get(t, s, "/remarks?since=1")
+	if lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(lines) != 1 || !strings.Contains(lines[0], `"seed":8`) {
+		t.Fatalf("resumed remarks body = %q", rec.Body.String())
+	}
+	if rec := get(t, s, "/remarks?since=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad since status = %d, want 400", rec.Code)
+	}
+
+	// No remark log attached: empty but valid.
+	bare := New("dce-test", nil, nil, nil)
+	if rec := get(t, bare, "/remarks"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "" {
+		t.Fatalf("bare /remarks = %d %q, want empty 200", rec.Code, rec.Body.String())
+	}
+}

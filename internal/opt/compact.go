@@ -84,5 +84,10 @@ func compactFunc(f *ir.Func, o Options) bool {
 	if removeUnreachable(f) {
 		changed = true
 	}
+	if changed && o.RemarksOn() {
+		// One summary remark per changed visit: compact fires on nearly
+		// every function, so per-fold remarks would be pure noise.
+		o.applied(f, "normalize", "folded constants, collapsed constant branches, pruned unreachable blocks")
+	}
 	return changed
 }

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 )
 
@@ -9,9 +11,24 @@ import (
 // This is the sink transformation of the whole reproduction: every other
 // pass exists to make more code eligible for this one and for SimplifyCFG's
 // unreachable-block removal.
-var DCE = Pass{Name: "dce", Fn: func(f *ir.Func, o Options) bool { return dceFunc(f) }}
+var DCE = Pass{Name: "dce", Fn: dceFunc}
 
-func dceFunc(f *ir.Func) bool {
+func dceFunc(f *ir.Func, o Options) bool {
+	if o.RemarksOn() {
+		// Every kept external call is a Missed(side-effects) decision:
+		// opaque side effects pin it regardless of use counts. Markers are
+		// external calls, so this is what anchors each surviving marker's
+		// nearest-miss chain — the first dce visit of any function with a
+		// surviving marker records why dce itself cannot touch it.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != nil && in.Callee.External {
+					o.missed(f, "call "+in.Callee.Name, ReasonSideEffects,
+						"external call: opaque side effects keep it live")
+				}
+			}
+		}
+	}
 	// Use counts over the whole function, dense by instruction ID —
 	// replacing the pointer-keyed maps that made this pass one of the
 	// hottest allocation sites in the campaign.
@@ -67,14 +84,20 @@ func dceFunc(f *ir.Func) bool {
 	if !changed {
 		return false
 	}
+	removed := 0
 	for _, b := range f.Blocks {
 		keep := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if !dead[in.ID] {
 				keep = append(keep, in)
+			} else {
+				removed++
 			}
 		}
 		b.Instrs = keep
+	}
+	if o.RemarksOn() {
+		o.applied(f, fmt.Sprintf("removed %d dead values", removed), "")
 	}
 	return true
 }

@@ -15,6 +15,19 @@ var Escape = Pass{Name: "escape", Run: func(m *ir.Module, o Options, inv *Invali
 	if ComputeEscapesOpt(m, o) {
 		inv.Facts()
 	}
+	if o.RemarksOn() {
+		// Record the analysis verdicts the transforming passes act on: an
+		// escaping global is the single most common root cause of a
+		// conservative decision downstream.
+		for _, g := range m.Globals {
+			switch {
+			case g.Escapes:
+				o.analysisModule("global "+g.Name, "escapes: external code may read or write it")
+			case g.AddrExposed:
+				o.analysisModule("global "+g.Name, "address-exposed: pointers of unknown provenance may reach it")
+			}
+		}
+	}
 	return false // analysis only
 }}
 

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 	"dcelens/internal/token"
 	"dcelens/internal/types"
@@ -24,7 +26,7 @@ func gvnForward(m *ir.Module, o Options, inv *Invalidation) bool {
 	if !o.LoadForwarding {
 		return false
 	}
-	return singleStoreForward(m, inv)
+	return singleStoreForward(m, o, inv)
 }
 
 // singleStoreForward is the cross-block forwarding rule: for a non-exposed
@@ -34,7 +36,7 @@ func gvnForward(m *ir.Module, o Options, inv *Invalidation) bool {
 // regardless of loops or intervening calls. This models the part of
 // GVN/FRE both real compilers get right that the block-local pass above
 // would miss.
-func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
+func singleStoreForward(m *ir.Module, o Options, inv *Invalidation) bool {
 	changed := false
 	ai := buildAccessIndex(m)
 	for _, g := range m.Globals {
@@ -47,6 +49,10 @@ func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
 		}
 		s := stores[0]
 		if s.Widened {
+			if o.RemarksOn() {
+				o.missed(s.Block.Func, "store "+g.Name, ReasonWidenedStore,
+					"the type-erased widened store never forwards")
+			}
 			continue // the "vectorized" type-erased store never forwards
 		}
 		v := s.Args[1]
@@ -60,6 +66,10 @@ func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
 		valueStable := v.Op == ir.OpConst || v.Op == ir.OpNull || v.Op == ir.OpGlobalAddr ||
 			v.Block == s.Block || !blockInCycle(f, s.Block)
 		if !valueStable {
+			if o.RemarksOn() {
+				o.missed(f, "store "+g.Name, ReasonLoopCarried,
+					"the store sits in a cycle and the stored value may be recomputed without re-storing")
+			}
 			continue
 		}
 		dt := ir.Dominators(f)
@@ -77,9 +87,17 @@ func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
 					continue // load precedes the store in its own block
 				}
 			} else if !dt.Dominates(s.Block, l.Block) {
+				if o.RemarksOn() {
+					o.missed(l.Block.Func, "load "+g.Name, ReasonNotDominated,
+						"the single store does not dominate this load")
+				}
 				continue
 			}
 			if !types.Identical(l.Typ, v.Typ) {
+				if o.RemarksOn() {
+					o.missed(l.Block.Func, "load "+g.Name, ReasonTypeMismatch,
+						"loaded and stored types differ")
+				}
 				continue
 			}
 			ir.ReplaceAllUses(l, v)
@@ -87,6 +105,9 @@ func singleStoreForward(m *ir.Module, inv *Invalidation) bool {
 			inv.Func(l.Block.Func)
 			changed = true
 			forwarded = true
+			if o.RemarksOn() {
+				o.applied(l.Block.Func, "load "+g.Name, "forwarded the module's single store across blocks")
+			}
 		}
 		if forwarded && (v.Op == ir.OpGlobalAddr || v.Op == ir.OpGEP) {
 			// Uses of the deleted loads now reference an address value
@@ -166,14 +187,18 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 		val *ir.Instr
 	}
 	var avail []memEntry
-	invalidate := func(pred func(Loc) bool) {
+	// invalidate reports how many forwarding candidates it killed, so the
+	// call-clobber remark can say what was lost.
+	invalidate := func(pred func(Loc) bool) int {
 		kept := avail[:0]
 		for _, e := range avail {
 			if !pred(e.loc) {
 				kept = append(kept, e)
 			}
 		}
+		n := len(avail) - len(kept)
 		avail = kept
+		return n
 	}
 
 	var keep []*ir.Instr
@@ -201,6 +226,9 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 				}
 			}
 			if forwarded {
+				if g.o.RemarksOn() {
+					g.o.applied(b.Func, loadSubject(in), "forwarded from an available store or load")
+				}
 				continue // drop the load
 			}
 			avail = append(avail, memEntry{loc, in})
@@ -215,7 +243,7 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 		case ir.OpCall:
 			if in.Callee != nil && in.Callee.External {
 				// Opaque externals can only touch escaping/exposed storage.
-				invalidate(func(l Loc) bool {
+				killed := invalidate(func(l Loc) bool {
 					switch {
 					case l.G != nil:
 						return l.G.Escapes
@@ -225,8 +253,21 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 						return true
 					}
 				})
+				if killed > 0 && g.o.RemarksOn() {
+					g.o.missed(b.Func, "call "+in.Callee.Name, ReasonCallClobber,
+						fmt.Sprintf("external call may write escaping storage: %d forwarding candidates dropped", killed))
+				}
 			} else {
+				killed := len(avail)
 				avail = avail[:0] // internal call: no mod/ref summary
+				if killed > 0 && g.o.RemarksOn() {
+					subject := "call"
+					if in.Callee != nil {
+						subject = "call " + in.Callee.Name
+					}
+					g.o.missed(b.Func, subject, ReasonCallClobber,
+						fmt.Sprintf("internal call has no mod/ref summary: %d forwarding candidates dropped", killed))
+				}
 			}
 
 		default:
@@ -238,6 +279,10 @@ func (g *gvnState) walk(b *ir.Block, dt *ir.DomTree) bool {
 				if rep, ok := g.table[key]; ok {
 					g.reloc.Add(in, rep)
 					changed = true
+					if g.o.RemarksOn() {
+						g.o.applied(b.Func, fmt.Sprintf("cse v%d (%s)", in.ID, in.Op),
+							"replaced by a dominating equivalent value")
+					}
 					continue // drop the duplicate
 				}
 				g.table[key] = in

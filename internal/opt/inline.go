@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 	"dcelens/internal/types"
 )
@@ -25,13 +27,23 @@ func inline(m *ir.Module, o Options, inv *Invalidation) bool {
 		// Snapshot call sites; inlining rewrites blocks under us.
 		for {
 			call := findInlinableCall(caller, o, recursive)
-			if call == nil || grown > 4*o.InlineBudget {
+			if call == nil {
+				break
+			}
+			if grown > 4*o.InlineBudget {
+				if o.RemarksOn() {
+					o.missed(caller, "call "+call.Callee.Name, ReasonSizeThreshold,
+						fmt.Sprintf("caller growth cap reached (%d > %d)", grown, 4*o.InlineBudget))
+				}
 				break
 			}
 			call.Callee.WasInlined = true
 			inlineCall(caller, call)
 			grown += funcSize(call.Callee)
 			changed = true
+			if o.RemarksOn() {
+				o.applied(caller, "call "+call.Callee.Name, "inlined the callee body at the call site")
+			}
 			// Splicing mutates only the caller; callee bodies are read,
 			// never written, so callers are the precise invalidation set.
 			inv.Func(caller)
@@ -95,10 +107,21 @@ func findInlinableCall(caller *ir.Func, o Options, recursive map[*ir.Func]bool) 
 				continue
 			}
 			c := in.Callee
-			if c.External || c == caller || recursive[c] || len(c.Blocks) == 0 {
+			if c.External || len(c.Blocks) == 0 {
 				continue
 			}
-			if funcSize(c) > o.InlineBudget {
+			if c == caller || recursive[c] {
+				if o.RemarksOn() {
+					o.missed(caller, "call "+c.Name, ReasonRecursive,
+						"the callee participates in a call-graph cycle")
+				}
+				continue
+			}
+			if size := funcSize(c); size > o.InlineBudget {
+				if o.RemarksOn() {
+					o.missed(caller, "call "+c.Name, ReasonSizeThreshold,
+						fmt.Sprintf("callee size %d exceeds the inline budget %d", size, o.InlineBudget))
+				}
 				continue
 			}
 			return in

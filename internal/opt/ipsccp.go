@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 	"dcelens/internal/types"
 )
@@ -39,7 +41,14 @@ func ipsccp(m *ir.Module, o Options, inv *Invalidation) bool {
 	changed := false
 	for _, g := range m.Globals {
 		if g.Escapes || g.AddrExposed {
-			continue // other code can touch it: no module-wide view
+			// Other code can touch it: no module-wide view. Internal
+			// globals are the interesting misses — external ones were
+			// never candidates.
+			if o.RemarksOn() && g.Internal {
+				o.missedModule("global "+g.Name, ReasonEscape,
+					"escaping or address-exposed: no module-wide view of its value")
+			}
+			continue
 		}
 		if g.Len == 1 {
 			if propagateScalar(m, g, o, ai, inv) {
@@ -48,6 +57,9 @@ func ipsccp(m *ir.Module, o Options, inv *Invalidation) bool {
 		} else if o.ConstArrayLoadFold {
 			if propagateConstArray(m, g, ai, inv) {
 				changed = true
+				if o.RemarksOn() {
+					o.appliedModule("global "+g.Name, "folded loads from the constant array")
+				}
 			}
 		}
 	}
@@ -216,9 +228,16 @@ func propagateScalar(m *ir.Module, g *ir.Global, o Options, ai *accessIndex, inv
 		// Csmith code (paper §4.2: LLVM eliminates an order of magnitude
 		// more of GCC's misses than vice versa).
 		if o.GlobalProp < GlobalPropSameConst {
+			if o.RemarksOn() {
+				o.missedModule("global "+g.Name, ReasonPrecision,
+					"pointer-valued initializers need the flow-sensitive analysis tier (GlobalPropSameConst)")
+			}
 			return false
 		}
 		if propagatePointerGlobal(m, g, ai, inv) {
+			if o.RemarksOn() {
+				o.appliedModule("global "+g.Name, "folded loads of the never-stored pointer global to its address constant")
+			}
 			// The folded loads became fresh OpGlobalAddr/OpGEP values whose
 			// uses are new accesses of the target global — reindex so a
 			// later-iterated global sees them, exactly as the per-global
@@ -268,6 +287,10 @@ func propagateScalar(m *ir.Module, g *ir.Global, o Options, ai *accessIndex, inv
 		}
 	}
 	if len(foldable) == 0 && !deleteStores {
+		if o.RemarksOn() && len(stores) > 0 && len(loads) > 0 {
+			o.missedModule("global "+g.Name, ReasonPrecision,
+				fmt.Sprintf("%d stores block constant folding at analysis tier %d", len(stores), o.GlobalProp))
+		}
 		return false
 	}
 	for _, l := range foldable {
@@ -283,6 +306,13 @@ func propagateScalar(m *ir.Module, g *ir.Global, o Options, ai *accessIndex, inv
 			s.Remove()
 			inv.Func(s.Block.Func)
 		}
+		if o.RemarksOn() {
+			o.appliedModule("global "+g.Name,
+				fmt.Sprintf("deleted %d redundant stores of the invariant value", len(stores)))
+		}
+	}
+	if o.RemarksOn() && len(foldable) > 0 {
+		o.appliedModule("global "+g.Name, fmt.Sprintf("folded %d loads to the constant value", len(foldable)))
 	}
 	return len(foldable) > 0 || deleteStores
 }

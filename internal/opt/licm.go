@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 )
 
@@ -20,11 +22,24 @@ func licmFunc(f *ir.Func, o Options) bool {
 	loops := ir.NaturalLoops(f, dt)
 	ac := NewAliasCtx(f, o.Alias)
 	for _, l := range loops {
-		if licmLoop(f, l, ac) {
+		if licmLoop(f, l, ac, o) {
 			changed = true
 		}
 	}
 	return changed
+}
+
+// loadSubject names the location a load reads, for remarks.
+func loadSubject(in *ir.Instr) string {
+	loc := ResolveLoc(in.Args[0])
+	switch {
+	case loc.G != nil:
+		return "load " + loc.G.Name
+	case loc.A != nil:
+		return fmt.Sprintf("load alloca v%d", loc.A.ID)
+	default:
+		return fmt.Sprintf("load v%d", in.ID)
+	}
 }
 
 // preheader finds or creates the unique out-of-loop predecessor block of
@@ -114,7 +129,7 @@ func allSame(vals []*ir.Instr) bool {
 	return true
 }
 
-func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
+func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx, o Options) bool {
 	// Collect loop memory behaviour. Iterate f.Blocks for determinism.
 	var loopStores []Loc
 	hasInternalCall, hasExternalCall := false, false
@@ -156,9 +171,12 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 		}
 		return true
 	}
-	loadHoistable := func(in *ir.Instr) bool {
+	// loadReject returns the reason a loop-invariant load cannot be
+	// hoisted, or "" when it can — the reason string doubles as the
+	// Missed remark code, so the check and the explanation cannot drift.
+	loadReject := func(in *ir.Instr) (Reason, string) {
 		if hasInternalCall {
-			return false
+			return ReasonCallClobber, "an internal call in the loop has no mod/ref summary"
 		}
 		loc := ResolveLoc(in.Args[0])
 		// Speculation safety: the load may run on iterations (or paths)
@@ -168,22 +186,22 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 		case loc.G != nil && loc.OffKnown && loc.Off >= 0 && loc.Off < int64(loc.G.Len):
 		case loc.A != nil && loc.OffKnown && loc.Off >= 0 && loc.Off < int64(loc.A.Count):
 		default:
-			return false
+			return ReasonBoundsUnknown, "access not provably in bounds, so speculation is unsafe"
 		}
 		if hasExternalCall {
 			clobbered := (loc.G != nil && loc.G.Escapes) ||
 				(loc.A != nil && ac.isExposed(loc.A)) ||
 				(loc.G == nil && loc.A == nil)
 			if clobbered {
-				return false
+				return ReasonEscape, "an external call in the loop may write the escaping location"
 			}
 		}
 		for _, s := range loopStores {
 			if ac.MayAlias(s, loc) {
-				return false
+				return ReasonAliasUnknown, "a store in the loop may alias the loaded location"
 			}
 		}
-		return true
+		return "", ""
 	}
 
 	var pre *ir.Block
@@ -205,8 +223,13 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 					// would change object lifetimes. Leave them.
 				case in.IsPure() && invariant(in):
 					hoist = true
-				case in.Op == ir.OpLoad && invariant(in) && loadHoistable(in):
-					hoist = true
+				case in.Op == ir.OpLoad && invariant(in):
+					reason, detail := loadReject(in)
+					if reason == "" {
+						hoist = true
+					} else if o.RemarksOn() {
+						o.missed(f, loadSubject(in), reason, detail)
+					}
 				}
 				if !hoist {
 					continue
@@ -222,6 +245,9 @@ func licmLoop(f *ir.Func, l *ir.Loop, ac *AliasCtx) bool {
 				definedInLoop[in.ID] = false
 				moved = true
 				changed = true
+				if o.RemarksOn() {
+					o.applied(f, fmt.Sprintf("hoist v%d (%s)", in.ID, in.Op), "loop-invariant; moved to preheader")
+				}
 			}
 		}
 		if !moved {

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"dcelens/internal/ir"
 	"dcelens/internal/types"
 )
@@ -14,14 +16,20 @@ import (
 // Almost everything the rest of the pipeline achieves depends on this pass:
 // without promotion, SCCP and GVN see only opaque memory traffic. The
 // ablation benchmark BenchmarkAblationNoMem2Reg quantifies exactly that.
-var Mem2Reg = Pass{Name: "mem2reg", Fn: func(f *ir.Func, o Options) bool { return mem2regFunc(f) }}
+var Mem2Reg = Pass{Name: "mem2reg", Fn: mem2regFunc}
 
-func mem2regFunc(f *ir.Func) bool {
+func mem2regFunc(f *ir.Func, o Options) bool {
 	var cands []*ir.Instr
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
-			if in.Op == ir.OpAlloca && in.Count == 1 && promotable(f, in) {
+			if in.Op != ir.OpAlloca || in.Count != 1 {
+				continue
+			}
+			if promotable(f, in) {
 				cands = append(cands, in)
+			} else if o.RemarksOn() {
+				o.missed(f, fmt.Sprintf("alloca v%d", in.ID), ReasonAddressTaken,
+					"address used beyond direct loads and stores; slot stays in memory")
 			}
 		}
 	}
@@ -38,6 +46,9 @@ func mem2regFunc(f *ir.Func) bool {
 	var reloc ir.Relocator
 	for _, a := range cands {
 		promote(f, a, dt, df, reach, &reloc)
+		if o.RemarksOn() {
+			o.applied(f, fmt.Sprintf("alloca v%d", a.ID), "promoted to SSA registers")
+		}
 	}
 	reloc.Apply(f)
 	return true

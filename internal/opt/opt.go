@@ -122,6 +122,14 @@ type Options struct {
 	// does. Tests enable it; production-style campaigns rely on the final
 	// verification plus the semantic execution checks.
 	VerifyEachPass bool
+
+	// remarks carries the remark sink and the executing pass instance's
+	// position (see remark.go). Set only by ObservedPipeline, and only
+	// when the observer implements RemarkSink; nil otherwise, so every
+	// emission helper is one pointer comparison on the uninstrumented
+	// path. Unexported: it is pipeline plumbing, not a personality knob,
+	// and must never differ between Options values being compared.
+	remarks *remarkCtx
 }
 
 // Invalidation is how a module-scoped pass tells the pass manager which
@@ -225,14 +233,36 @@ func (mo multiObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iter
 	}
 }
 
+// multiRemarkObserver is the composition used when at least one composed
+// observer is a RemarkSink: it fans remarks out to the sinks while the
+// embedded multiObserver fans out the pass observations. The wrapper
+// itself implements RemarkSink, so sink-ness survives nested composition
+// (the traced compile path re-composes an already-composed observer with
+// the trace recorder). Plain multiObserver deliberately does NOT implement
+// RemarkSink — otherwise remark emission would switch on whenever any
+// observer (the ever-present harness watchdog, say) is attached.
+type multiRemarkObserver struct {
+	multiObserver
+	sinks []RemarkSink
+}
+
+func (mo *multiRemarkObserver) Remark(r Remark) {
+	for _, s := range mo.sinks {
+		s.Remark(r)
+	}
+}
+
 // Observers composes observers into one, dropping nils — including typed
 // nils (a nil *trace.Recorder or *metricsObserver boxed into the
 // interface), which would otherwise both survive the composition and crash
 // on first call. Zero survivors yield a true nil Observer, preserving the
 // unobserved fast path: ObservedPipeline's nil check short-circuits and an
 // uninstrumented run pays no interface-call cost. A single survivor is
-// returned unwrapped. The harness chains its watchdog/fault observer with
-// the trace recorder and the metrics pass collector through this.
+// returned unwrapped. When several survive and at least one implements
+// RemarkSink, the composition forwards remarks to exactly those sinks —
+// the others never see them (no cross-contamination). The harness chains
+// its watchdog/fault observer with the trace recorder, the metrics pass
+// collector, and the remark collector through this.
 func Observers(obs ...Observer) Observer {
 	var out multiObserver
 	for _, o := range obs {
@@ -249,6 +279,15 @@ func Observers(obs ...Observer) Observer {
 		return nil
 	case 1:
 		return out[0]
+	}
+	var sinks []RemarkSink
+	for _, o := range out {
+		if s, ok := o.(RemarkSink); ok {
+			sinks = append(sinks, s)
+		}
+	}
+	if len(sinks) > 0 {
+		return &multiRemarkObserver{out, sinks}
 	}
 	return out
 }
@@ -430,6 +469,12 @@ func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs 
 	}
 	if obs != nil {
 		obs.BeginPipeline(m)
+		// An observer that is also a remark sink turns pass-side remark
+		// emission on for this run; the shared context rides the Options
+		// value into every pass invocation.
+		if sink, ok := obs.(RemarkSink); ok {
+			o.remarks = &remarkCtx{sink: sink}
+		}
 	}
 	ps := newPipeState(passes)
 	for iter := 0; iter < maxIters; iter++ {
@@ -438,6 +483,9 @@ func ObservedPipeline(m *ir.Module, o Options, passes []Pass, maxIters int, obs 
 			var start time.Time
 			if obs != nil {
 				start = time.Now()
+			}
+			if o.remarks != nil {
+				o.remarks.pass, o.remarks.index, o.remarks.iter = p.Name, i, iter
 			}
 			var passChanged bool
 			var st PassStats

@@ -192,7 +192,7 @@ func vrpFunc(f *ir.Func, o Options) bool {
 	}
 	if foldedAny {
 		reloc.Apply(f)
-		dceFunc(f)
+		dceFunc(f, Options{}) // cleanup sweep; no remarks
 	}
 	return foldedAny
 }

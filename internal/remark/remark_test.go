@@ -1,0 +1,259 @@
+package remark
+
+import (
+	"strings"
+	"testing"
+
+	"dcelens/internal/instrument"
+	"dcelens/internal/ir"
+	"dcelens/internal/lower"
+	"dcelens/internal/metrics"
+	"dcelens/internal/opt"
+	"dcelens/internal/parser"
+	"dcelens/internal/sema"
+	"dcelens/internal/trace"
+)
+
+func missed(pass, fn, subject string, reason opt.Reason) opt.Remark {
+	return opt.Remark{Kind: opt.RemarkMissed, Pass: pass, Fn: fn, Subject: subject, Reason: reason}
+}
+
+// TestCollectorDedupe checks that fixpoint re-emissions — the same decision
+// re-derived at a different schedule index or iteration — collapse to the
+// first occurrence, while genuinely distinct decisions do not.
+func TestCollectorDedupe(t *testing.T) {
+	c := NewCollector(nil)
+	r := missed("gvn", "f", "load g", opt.ReasonAliasUnknown)
+	c.Remark(r)
+
+	dup := r
+	dup.ScheduleIndex, dup.Iteration = 5, 2
+	c.Remark(dup)
+	if c.Len() != 1 {
+		t.Fatalf("after positional duplicate: Len = %d, want 1", c.Len())
+	}
+
+	other := r
+	other.Subject = "load h"
+	c.Remark(other)
+	applied := opt.Remark{Kind: opt.RemarkApplied, Pass: "gvn", Fn: "f", Subject: "load g"}
+	c.Remark(applied)
+	if c.Len() != 3 {
+		t.Fatalf("after distinct remarks: Len = %d, want 3", c.Len())
+	}
+	if got := c.Remarks()[0]; got != r {
+		t.Errorf("emission order lost: first remark = %+v, want %+v", got, r)
+	}
+}
+
+// TestProfileCounts checks the per-pass reduction: applied/missed/analysis
+// tallies, the miss-reason histogram, and pass-name ordering.
+func TestProfileCounts(t *testing.T) {
+	c := NewCollector(nil)
+	c.Remark(opt.Remark{Kind: opt.RemarkApplied, Pass: "licm", Fn: "f", Subject: "hoist a"})
+	c.Remark(opt.Remark{Kind: opt.RemarkApplied, Pass: "licm", Fn: "f", Subject: "hoist b"})
+	c.Remark(missed("licm", "f", "store g", opt.ReasonAliasUnknown))
+	c.Remark(missed("gvn", "f", "load g", opt.ReasonAliasUnknown))
+	c.Remark(missed("gvn", "g", "load h", opt.ReasonCallClobber))
+	c.Remark(opt.Remark{Kind: opt.RemarkAnalysis, Pass: "gvn", Fn: "f", Subject: "escape set"})
+
+	p := c.Profile()
+	if p.Total != 6 {
+		t.Fatalf("Total = %d, want 6", p.Total)
+	}
+	want := []PassCount{
+		{Pass: "gvn", Missed: 2, Analysis: 1},
+		{Pass: "licm", Applied: 2, Missed: 1},
+	}
+	if len(p.Passes) != len(want) {
+		t.Fatalf("Passes = %+v, want %+v", p.Passes, want)
+	}
+	for i := range want {
+		if p.Passes[i] != want[i] {
+			t.Errorf("Passes[%d] = %+v, want %+v", i, p.Passes[i], want[i])
+		}
+	}
+	if p.Reasons["alias-unknown"] != 2 || p.Reasons["call-clobber"] != 1 {
+		t.Errorf("Reasons = %v, want alias-unknown:2 call-clobber:1", p.Reasons)
+	}
+	if p.Chains != nil {
+		t.Errorf("no module captured, yet Chains = %v", p.Chains)
+	}
+	if got := p.Chain("DCEMarker0"); got != nil {
+		t.Errorf("Chain on chainless profile = %v, want nil", got)
+	}
+	var nilProfile *Profile
+	if got := nilProfile.Chain("DCEMarker0"); got != nil {
+		t.Errorf("Chain on nil profile = %v, want nil", got)
+	}
+}
+
+// chainModule builds a module where DCEMarker0 survives inside f: the
+// chain must contain f-scoped and module-scoped misses, in emission order,
+// and exclude misses recorded in unrelated functions.
+func chainModule() *ir.Module {
+	marker := &ir.Func{Name: "DCEMarker0", External: true}
+	f := &ir.Func{Name: "f"}
+	f.NewBlock().Append(ir.OpCall, nil)
+	f.Entry().Instrs[0].Callee = marker
+	g := &ir.Func{Name: "g"}
+	g.NewBlock()
+	return &ir.Module{Funcs: []*ir.Func{f, g, marker}}
+}
+
+// TestProfileChains checks nearest-miss chain assembly: scoping, ordering,
+// the Missed-only filter, and the chain cap.
+func TestProfileChains(t *testing.T) {
+	c := NewCollector(instrument.IsMarker)
+	c.BeginPipeline(chainModule())
+	c.Remark(missed("dce", "f", "call DCEMarker0", opt.ReasonSideEffects))
+	c.Remark(missed("gvn", "g", "load h", opt.ReasonCallClobber)) // wrong function
+	c.Remark(opt.Remark{Kind: opt.RemarkApplied, Pass: "licm", Fn: "f", Subject: "hoist a"})
+	c.Remark(missed("ipsccp", "", "global g_1", opt.ReasonEscape)) // module scope
+	c.Remark(missed("licm", "f", "store g_1", opt.ReasonLoopCarried))
+
+	chain := c.Profile().Chain("DCEMarker0")
+	want := []ChainStep{
+		{Pass: "dce", Reason: "side-effects", Subject: "call DCEMarker0"},
+		{Pass: "ipsccp", Reason: "escape", Subject: "global g_1"},
+		{Pass: "licm", Reason: "loop-carried", Subject: "store g_1"},
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %+v, want %+v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Errorf("chain[%d] = %+v, want %+v", i, chain[i], want[i])
+		}
+	}
+}
+
+// TestChainCap checks that a flood of misses truncates to chainCap: the
+// decisions nearest the marker lead, and the tail stops adding signal.
+func TestChainCap(t *testing.T) {
+	c := NewCollector(instrument.IsMarker)
+	c.BeginPipeline(chainModule())
+	for i := 0; i < 2*chainCap; i++ {
+		c.Remark(missed("gvn", "f", "load g_"+string(rune('a'+i)), opt.ReasonAliasUnknown))
+	}
+	if chain := c.Profile().Chain("DCEMarker0"); len(chain) != chainCap {
+		t.Fatalf("chain length = %d, want cap %d", len(chain), chainCap)
+	}
+}
+
+// buildIR lowers a MiniC fragment, as the opt tests do.
+func buildIR(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	m, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// orderObserver appends its tag to a shared log on every observation, to
+// pin down fan-out ordering.
+type orderObserver struct {
+	tag string
+	log *[]string
+}
+
+func (o *orderObserver) BeginPipeline(m *ir.Module) { *o.log = append(*o.log, o.tag+":begin") }
+func (o *orderObserver) AfterPass(m *ir.Module, pass string, scheduleIndex, iteration int, st opt.PassStats) {
+	*o.log = append(*o.log, o.tag+":"+pass)
+}
+
+const fanoutSrc = `
+void DCEMarker0(void);
+int g;
+int main(void) {
+  int x = 1 + 2;
+  if (g) {
+    DCEMarker0();
+  }
+  return x - 3;
+}`
+
+// TestObserverFanOut runs one pipeline with the remark collector, the trace
+// recorder, and the metrics pass observer composed through opt.Observers —
+// the full production stack at once — and checks that each consumer sees
+// exactly its own channel:
+//
+//   - the collector receives remarks (including dce's side-effects anchor
+//     for the surviving marker), and a collector-free composition of the
+//     same observers leaves remark emission off entirely;
+//   - the trace recorder still assembles its pass profile and the metrics
+//     registry its pass counters (pass observations are not consumed by the
+//     remark fan-out);
+//   - observers fire in composition order;
+//   - typed nils are dropped even when a remark sink is present.
+func TestObserverFanOut(t *testing.T) {
+	passes := []opt.Pass{opt.Mem2Reg, opt.SCCP, opt.DCE}
+
+	// Collector-free baseline: remark emission must stay off.
+	m := buildIR(t, fanoutSrc)
+	reg := metrics.New()
+	rec := trace.NewRecorder([]string{"DCEMarker0"}, instrument.IsMarker)
+	base := NewCollector(instrument.IsMarker)
+	if err := opt.ObservedPipeline(m, opt.Options{}, passes, 2, opt.Observers(rec, opt.MetricsObserver(reg))); err != nil {
+		t.Fatal(err)
+	}
+	// The baseline collector was never composed, so it saw nothing; the
+	// pipeline ran without a sink, so no pass emitted.
+	if base.Len() != 0 {
+		t.Fatalf("uncomposed collector saw %d remarks", base.Len())
+	}
+
+	// Full stack: order log around the production observers.
+	m = buildIR(t, fanoutSrc)
+	reg = metrics.New()
+	rec = trace.NewRecorder([]string{"DCEMarker0"}, instrument.IsMarker)
+	coll := NewCollector(instrument.IsMarker)
+	var log []string
+	first := &orderObserver{tag: "first", log: &log}
+	last := &orderObserver{tag: "last", log: &log}
+	var typedNil *trace.Recorder
+	obs := opt.Observers(first, typedNil, rec, opt.MetricsObserver(reg), coll, last)
+	if err := opt.ObservedPipeline(m, opt.Options{}, passes, 2, obs); err != nil {
+		t.Fatal(err)
+	}
+
+	if coll.Len() == 0 {
+		t.Fatal("composed collector saw no remarks")
+	}
+	prof := coll.Profile()
+	chain := prof.Chain("DCEMarker0")
+	if len(chain) == 0 {
+		t.Fatalf("surviving marker has no chain; chains = %v", prof.Chains)
+	}
+	if chain[0].Pass != "dce" || chain[0].Reason != string(opt.ReasonSideEffects) {
+		t.Errorf("chain anchor = %+v, want dce/side-effects", chain[0])
+	}
+
+	// The pass channel still reached the other consumers.
+	if got := reg.Histogram("pass.dce").Count(); got == 0 {
+		t.Error("metrics observer recorded no dce instances")
+	}
+	if tp := rec.Profile(); len(tp.Passes) == 0 {
+		t.Error("trace recorder assembled no pass profile")
+	}
+
+	// Ordering: every pass observation hits `first` before `last`, and the
+	// log starts with the BeginPipeline pair.
+	if len(log) < 2 || log[0] != "first:begin" || log[1] != "last:begin" {
+		t.Fatalf("begin order = %v", log[:min(2, len(log))])
+	}
+	for i := 2; i < len(log); i += 2 {
+		f, l := log[i], log[i+1]
+		if !strings.HasPrefix(f, "first:") || !strings.HasPrefix(l, "last:") || f[len("first:"):] != l[len("last:"):] {
+			t.Fatalf("pass order broken at %d: %q then %q", i, f, l)
+		}
+	}
+}

@@ -160,6 +160,10 @@ func Summary(c *corpus.Campaign) string {
 	sb.WriteString(LevelDiff(c.Stats))
 	sb.WriteString("\n")
 	sb.WriteString(Findings(c))
+	if r := Remarks(c.Stats); r != "" {
+		sb.WriteString("\n")
+		sb.WriteString(r)
+	}
 	if len(c.Stats.Failures) > 0 {
 		sb.WriteString("\n")
 		sb.WriteString(Failures(c.Stats))

@@ -11,6 +11,7 @@
 //	GET  /jobs/{id}/progress  the job's live progress (monitor /progress shape)
 //	GET  /jobs/{id}/findings  findings discovered so far
 //	GET  /jobs/{id}/report  the finished job's campaign report (text)
+//	GET  /jobs/{id}/remarks  the finished job's remark summary (JSON)
 //	GET  /healthz           ok | degraded (queue full) | draining
 //	GET  /metrics           service registry (Prometheus text, ?format=json)
 //
@@ -56,6 +57,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /jobs/{id}/findings", s.handleFindings)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/remarks", s.handleRemarks)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -223,6 +225,30 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, text)
+}
+
+// handleRemarks serves a finished job's campaign-wide remark summary:
+// per-pass applied/missed counts and the miss-reason histogram. Like
+// /report it answers 409 until the job is done (the summary aggregates the
+// whole campaign); a done job that ran without Spec.Remarks gets an
+// explicit remarks=false body rather than an empty object, so clients can
+// tell "collected nothing" from "was never collecting".
+func (s *Server) handleRemarks(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	sum, done := j.RemarkSummary()
+	if !done {
+		monitor.JSONError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; the remark summary exists once it is done", j.ID, j.State()))
+		return
+	}
+	if sum == nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "remarks": false})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "remarks": true, "summary": sum})
 }
 
 // HealthReply is the /healthz body: admission health plus the queue and

@@ -131,6 +131,81 @@ func TestHTTPSubmitLifecycle(t *testing.T) {
 	}
 }
 
+// TestHTTPRemarks: a job submitted with "remarks": true exposes its
+// campaign-wide remark summary once done; a job without the flag answers
+// an explicit remarks=false, and an unfinished job answers 409 like
+// /report.
+func TestHTTPRemarks(t *testing.T) {
+	s, _ := newTestServer(t, Limits{Executors: 1}, true)
+
+	if rec := do(t, s, http.MethodPost, "/jobs",
+		`{"programs": 2, "base_seed": 1, "remarks": true, "personalities": ["gcc"], "levels": ["O3"]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, http.MethodPost, "/jobs",
+		`{"programs": 2, "base_seed": 1, "personalities": ["gcc"], "levels": ["O3"]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	wait := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var st Status
+			decodeBody(t, do(t, s, http.MethodGet, "/jobs/"+id, ""), &st)
+			if st.State == StateDone {
+				return
+			}
+			if st.State.Terminal() {
+				t.Fatalf("%s ended %s", id, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stuck in %s", id, st.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wait("job-1")
+	wait("job-2")
+
+	var reply struct {
+		ID      string `json:"id"`
+		Remarks bool   `json:"remarks"`
+		Summary struct {
+			Applied map[string]int `json:"applied"`
+			Missed  map[string]int `json:"missed"`
+			Reasons map[string]int `json:"reasons"`
+		} `json:"summary"`
+	}
+	rec := do(t, s, http.MethodGet, "/jobs/job-1/remarks", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remarks = %d (%s)", rec.Code, rec.Body.String())
+	}
+	decodeBody(t, rec, &reply)
+	if !reply.Remarks || len(reply.Summary.Missed) == 0 || reply.Summary.Reasons["side-effects"] == 0 {
+		t.Fatalf("remark summary = %+v, want collected data with a side-effects bucket", reply)
+	}
+
+	rec = do(t, s, http.MethodGet, "/jobs/job-2/remarks", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remarks without flag = %d (%s)", rec.Code, rec.Body.String())
+	}
+	reply.Remarks, reply.Summary.Missed = true, nil // must be overwritten/absent
+	decodeBody(t, rec, &reply)
+	if reply.Remarks || len(reply.Summary.Missed) != 0 {
+		t.Fatalf("remarks-off job reply = %+v, want explicit remarks=false", reply)
+	}
+
+	// A job that cannot have finished (no executors) answers 409.
+	queued, _ := newTestServer(t, Limits{}, false)
+	if rec := do(t, queued, http.MethodPost, "/jobs", `{"programs": 1, "remarks": true}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("queued submit = %d", rec.Code)
+	}
+	if rec := do(t, queued, http.MethodGet, "/jobs/job-1/remarks", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("remarks on a queued job = %d, want 409", rec.Code)
+	}
+}
+
 // TestHTTPBackpressure: the admission contract over HTTP — 429 with
 // Retry-After on a full queue, 503 while draining, health transitions
 // ok → degraded → draining.

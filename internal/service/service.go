@@ -113,6 +113,10 @@ type Spec struct {
 	Levels []string `json:"levels,omitempty"`
 	// Trace records per-pass profiles and marker provenance.
 	Trace bool `json:"trace,omitempty"`
+	// Remarks collects optimization remarks: findings carry nearest-miss
+	// chains, and the finished job exposes a remark summary
+	// (GET /jobs/{id}/remarks).
+	Remarks bool `json:"remarks,omitempty"`
 	// VerifySemantics executes every compiled module against ground truth.
 	VerifySemantics bool `json:"verify,omitempty"`
 	// StepBudget bounds pass instances per compilation (0: harness
@@ -531,6 +535,7 @@ type Job struct {
 	skipped   int
 	lastErr   string
 	report    string
+	remarkSum *corpus.RemarkSummary
 	snapshot  *history.Snapshot
 	snapPath  string
 	faults    *harness.Faults
@@ -688,6 +693,7 @@ func (j *Job) run(e *Engine, attempt int) (*corpus.Campaign, error) {
 		Personalities:   ps,
 		Levels:          ls,
 		Trace:           j.Spec.Trace,
+		Remarks:         j.Spec.Remarks,
 		VerifySemantics: j.Spec.VerifySemantics,
 		StepBudget:      j.Spec.StepBudget,
 		Faults:          j.faults,
@@ -728,6 +734,14 @@ func (j *Job) run(e *Engine, attempt int) (*corpus.Campaign, error) {
 // complete finalizes a fully-run job: report, history snapshot, done.
 func (j *Job) complete(e *Engine, c *corpus.Campaign) {
 	text := report.Summary(c)
+	var rsum *corpus.RemarkSummary
+	if c.Stats.RemarkApplied != nil || c.Stats.RemarkMissed != nil {
+		rsum = &corpus.RemarkSummary{
+			Applied: c.Stats.RemarkApplied,
+			Missed:  c.Stats.RemarkMissed,
+			Reasons: c.Stats.RemarkReasons,
+		}
+	}
 	snap := history.NewSnapshot(e.Tool, c, j.Registry())
 	var path string
 	if e.limits.HistoryDir != "" {
@@ -743,9 +757,19 @@ func (j *Job) complete(e *Engine, c *corpus.Campaign) {
 	j.state = StateDone
 	j.lastErr = ""
 	j.report = text
+	j.remarkSum = rsum
 	j.snapshot = snap
 	j.snapPath = path
 	j.mu.Unlock()
+}
+
+// RemarkSummary returns the finished job's campaign-wide remark summary;
+// ok is false until StateDone. A done job that ran without Spec.Remarks
+// returns (nil, true).
+func (j *Job) RemarkSummary() (*corpus.RemarkSummary, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.remarkSum, j.state == StateDone
 }
 
 func (j *Job) finish(s State, msg string) {

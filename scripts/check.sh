@@ -32,7 +32,7 @@ go test ./...
 # read campaign state while it mutates.
 go test -race ./internal/sched ./internal/harness ./internal/corpus \
     ./internal/metrics ./internal/monitor ./internal/history \
-    ./internal/service ./internal/span
+    ./internal/service ./internal/span ./internal/remark
 
 # Service smoke gate: build dce-serve and drive it with the load-test
 # client — concurrent submissions against a tiny queue must produce 429s
@@ -81,6 +81,23 @@ go test -run '^$' -bench 'BenchmarkSpanOverhead' -benchtime 2s . | awk '
         ratio = on / off
         printf "span overhead: %.1f%% (budget ~3%%, gate 25%%)\n", (ratio - 1) * 100
         if (ratio > 1.25) { print "span overhead exceeds the gate" > "/dev/stderr"; exit 1 }
+    }'
+
+# Remark-collection overhead smoke: a campaign with -remarks (every pass
+# emitting applied/missed remarks, the collector deduplicating and
+# reducing them to chains) costs ~10% on this small fixture; the gate
+# bounds drift on top of that with the same noise allowance as the other
+# smokes. The remarks-off case is the real zero-cost claim — it shares the
+# "off" arm with the bare pipeline, and the emission seam there is one
+# pointer comparison per decision.
+go test -run '^$' -bench 'BenchmarkRemarkOverhead' -benchtime 2s . | awk '
+    /BenchmarkRemarkOverhead\/off/ { off = $3 }
+    /BenchmarkRemarkOverhead\/on/  { on = $3 }
+    END {
+        if (off == 0 || on == 0) { print "remark overhead bench did not run" > "/dev/stderr"; exit 1 }
+        ratio = on / off
+        printf "remark overhead: %.1f%% (nominal ~10%%, gate 35%%)\n", (ratio - 1) * 100
+        if (ratio > 1.35) { print "remark overhead exceeds the gate" > "/dev/stderr"; exit 1 }
     }'
 
 # Allocation-regression gate: allocs/op of the standard compile unit must
